@@ -1,0 +1,145 @@
+// Command chc-advisor is the integrated design tool the paper's §7
+// envisions: it chains the three supporting tools — trace collection, trace
+// analysis (α, β, γ), and budget-constrained configuration generation —
+// into one "timely and effective vehicle to support the design of cost
+// effective parallel cluster computing".
+//
+// Given a workload (a named kernel, characterized on the fly, or paper
+// Table 2 parameters) and a budget, it reports the workload class and §6
+// principle, the optimal platform with runners-up, a machine-count
+// scalability sweep for the winning cluster family, and resource
+// sensitivities backing the upgrade rule.
+//
+// Usage:
+//
+//	chc-advisor -budget 5000 -workload Radix          # paper parameters
+//	chc-advisor -budget 8000 -workload radix -measured
+//	chc-advisor -budget 20000 -workload TPC-C -top 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memhier/internal/core"
+	"memhier/internal/cost"
+	"memhier/internal/experiments"
+	"memhier/internal/machine"
+	"memhier/internal/workloads"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "chc-advisor:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		budget       = flag.Float64("budget", 5000, "construction budget in dollars")
+		workload     = flag.String("workload", "FFT", "workload name")
+		workloadFile = flag.String("workload-file", "", "JSON workload description (overrides -workload)")
+		measured     = flag.Bool("measured", false, "characterize the instrumented kernel instead of using paper parameters")
+		top          = flag.Int("top", 5, "runners-up to print")
+		delta        = flag.Float64("delta", 0, "coherence rate adjustment (default: paper's 0.124)")
+	)
+	flag.Parse()
+	opts := core.Options{CoherenceAdjust: *delta}
+
+	// Step 1-2 (paper §7 tools 1+2): obtain the workload parameters.
+	var wl core.Workload
+	if *workloadFile != "" {
+		f, err := os.Open(*workloadFile)
+		if err != nil {
+			fail(err)
+		}
+		wl, err = core.ReadWorkload(f)
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("reading %s: %w", *workloadFile, err))
+		}
+	} else if *measured {
+		k, err := workloads.ByName(strings.ToLower(*workload), workloads.ScaleSmall)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("collecting and analyzing the %s address stream...\n", k.Name())
+		c, err := workloads.Characterize(k, workloads.CharacterizeOptions{LineSize: 64})
+		if err != nil {
+			fail(err)
+		}
+		wl = experiments.ModelWorkload(c)
+		fmt.Printf("  alpha=%.3f beta=%.2f gamma=%.3f kappa=%.2f footprint=%d lines (R2 %.3f)\n",
+			c.Params.Alpha, c.Params.Beta, c.Params.Gamma, c.Conflict, c.Distinct, c.Fit.R2)
+	} else {
+		var ok bool
+		wl, ok = core.PaperWorkload(*workload)
+		if !ok {
+			fail(fmt.Errorf("unknown paper workload %q (or pass -measured with a kernel name)", *workload))
+		}
+	}
+
+	// Classification: the §6 principle.
+	fmt.Printf("\nworkload class: %s\n", describeClass(wl))
+	fmt.Printf("§6 principle:   %s\n", cost.Recommend(wl))
+
+	// Step 3 (paper §7 tool 3): enumerate configurations under the budget.
+	best, all, err := cost.Optimize(*budget, wl, cost.DefaultCatalog(), cost.DefaultSpace(), opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\noptimal platform under $%.0f (%d feasible):\n", *budget, len(all))
+	fmt.Printf("  %s — $%.0f, E(Instr) = %.3f cycles\n", best.Config.Name, best.Cost, best.EInstr)
+	n := *top
+	if n > len(all) {
+		n = len(all)
+	}
+	for i := 1; i < n; i++ {
+		s := all[i]
+		fmt.Printf("  %2d. %-45s $%-6.0f E=%.3f\n", i+1, s.Config.Name, s.Cost, s.EInstr)
+	}
+
+	// Scalability of the winning family (how far adding machines helps).
+	if best.Config.N >= 1 && best.Config.Kind != machine.SMP && best.Config.Net != machine.NetNone {
+		pts, err := core.Scalability(best.Config, wl, opts, 16)
+		if err == nil {
+			fmt.Println("\nscaling the winner's machine count (ignoring budget):")
+			for _, p := range pts {
+				if p.N == 1 || p.N%2 == 0 {
+					fmt.Printf("  N=%-3d E=%-9.3f speedup %.2fx efficiency %.2f\n",
+						p.N, p.EInstr, p.Speedup, p.Efficiency)
+				}
+			}
+			if opt, err := core.OptimalMachines(pts); err == nil {
+				fmt.Printf("  best machine count: %d\n", opt.N)
+			}
+		}
+	}
+
+	// Sensitivities: what to upgrade first (the §6 rule, quantified).
+	sens, err := core.Sensitivities(best.Config, wl, opts)
+	if err == nil && len(sens) > 0 {
+		fmt.Println("\nresource sensitivities of the winner (dE% per +1% resource):")
+		for _, s := range sens {
+			fmt.Printf("  %-16s %+0.4f\n", s.Resource, s.Elasticity)
+		}
+		if advice, err := cost.UpgradeAdvice(best.Config, wl, opts); err == nil {
+			fmt.Printf("upgrade rule: %s\n", advice)
+		}
+	}
+}
+
+func describeClass(wl core.Workload) string {
+	bound := "CPU bound (small gamma)"
+	if wl.Locality.Gamma >= 0.35 {
+		bound = "memory bound (large gamma)"
+	}
+	loc := "good locality (beta < 100)"
+	if wl.Locality.Beta >= 1000 {
+		loc = "very large beta"
+	} else if wl.Locality.Beta >= 100 {
+		loc = "poor locality (beta > 100)"
+	}
+	return bound + ", " + loc
+}

@@ -1,0 +1,114 @@
+// Command chc-compare puts two platform configurations head to head across
+// the paper's workload suite: modeled E(Instr), cost, and the per-level
+// breakdown of where they differ — the purchasing question ("these two
+// quotes, which one?") the paper's model exists to answer quickly.
+//
+// Usage:
+//
+//	chc-compare -a C8 -b C10
+//	chc-compare -a C5 -b C11 -workload Radix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memhier/internal/core"
+	"memhier/internal/cost"
+	"memhier/internal/machine"
+	"memhier/internal/tabulate"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "chc-compare:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		aName    = flag.String("a", "C8", "first configuration (C1-C15)")
+		bName    = flag.String("b", "C10", "second configuration (C1-C15)")
+		workload = flag.String("workload", "", "compare on one workload only (default: the whole suite)")
+		delta    = flag.Float64("delta", 0, "coherence rate adjustment (default: paper's 0.124)")
+	)
+	flag.Parse()
+
+	a, err := machine.ByName(*aName)
+	if err != nil {
+		fail(err)
+	}
+	b, err := machine.ByName(*bName)
+	if err != nil {
+		fail(err)
+	}
+	opts := core.Options{CoherenceAdjust: *delta}
+	cat := cost.DefaultCatalog()
+
+	costA, err := cat.ClusterCost(a)
+	if err != nil {
+		fail(err)
+	}
+	costB, err := cat.ClusterCost(b)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("A: %s — %v, n=%d, N=%d, %dKB cache, %dMB memory, %v ($%.0f)\n",
+		a.Name, a.Kind, a.Procs, a.N, a.CacheBytes>>10, a.MemoryBytes>>20, a.Net, costA)
+	fmt.Printf("B: %s — %v, n=%d, N=%d, %dKB cache, %dMB memory, %v ($%.0f)\n\n",
+		b.Name, b.Kind, b.Procs, b.N, b.CacheBytes>>10, b.MemoryBytes>>20, b.Net, costB)
+
+	wls := append(core.PaperWorkloads(), core.PaperTPCC())
+	if *workload != "" {
+		wl, ok := core.PaperWorkload(*workload)
+		if !ok {
+			fail(fmt.Errorf("unknown workload %q", *workload))
+		}
+		wls = []core.Workload{wl}
+	}
+
+	t := tabulate.New("modeled E(Instr), cycles (lower is better)",
+		"Program", a.Name, b.Name, "winner", "factor")
+	winsA, winsB := 0, 0
+	for _, wl := range wls {
+		ra, err := core.Evaluate(a, wl, opts)
+		if err != nil {
+			fail(fmt.Errorf("%s on %s: %w", wl.Name, a.Name, err))
+		}
+		rb, err := core.Evaluate(b, wl, opts)
+		if err != nil {
+			fail(fmt.Errorf("%s on %s: %w", wl.Name, b.Name, err))
+		}
+		winner, factor := a.Name, rb.EInstr/ra.EInstr
+		if rb.EInstr < ra.EInstr {
+			winner, factor = b.Name, ra.EInstr/rb.EInstr
+			winsB++
+		} else {
+			winsA++
+		}
+		t.AddRow(wl.Name,
+			fmt.Sprintf("%.3f", ra.EInstr),
+			fmt.Sprintf("%.3f", rb.EInstr),
+			winner, fmt.Sprintf("%.2fx", factor))
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("\nscore: %s %d — %d %s; dollars per unit speed favour the cheaper box when factors are near 1\n",
+		a.Name, winsA, winsB, b.Name)
+
+	if len(wls) == 1 {
+		// Per-level breakdown for the single-workload comparison.
+		for _, pair := range []struct {
+			cfg machine.Config
+		}{{a}, {b}} {
+			res, err := core.Evaluate(pair.cfg, wls[0], opts)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("\n%s levels for %s:\n", pair.cfg.Name, wls[0].Name)
+			for _, lv := range res.Levels {
+				fmt.Printf("  %-14s miss=%.4f contended=%.1f cycles/ref=%.3f\n",
+					lv.Name, lv.MissFraction, lv.Contended, lv.CyclesPerRef)
+			}
+		}
+	}
+}

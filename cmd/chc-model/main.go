@@ -1,0 +1,162 @@
+// Command chc-model evaluates the analytical model for one platform
+// configuration and one workload, printing T, E(Instr) and the per-level
+// breakdown.
+//
+// Usage:
+//
+//	chc-model -config C8 -workload FFT            # paper Table 2 parameters
+//	chc-model -config C8 -workload fft -measured  # characterize the Go kernel
+//	chc-model -kind ws -N 4 -n 1 -cache 256KB -mem 64MB -net 100 -workload Radix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"memhier/internal/core"
+	"memhier/internal/experiments"
+	"memhier/internal/machine"
+	"memhier/internal/workloads"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "chc-model:", err)
+	os.Exit(1)
+}
+
+// parseSize accepts "256KB", "64MB", or plain bytes.
+func parseSize(s string) (int64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func parseNet(s string) (machine.NetworkKind, error) {
+	switch strings.ToLower(s) {
+	case "", "none":
+		return machine.NetNone, nil
+	case "10", "10mb", "ethernet":
+		return machine.NetBus10, nil
+	case "100", "100mb", "fast-ethernet":
+		return machine.NetBus100, nil
+	case "155", "atm", "switch":
+		return machine.NetSwitch155, nil
+	}
+	return 0, fmt.Errorf("unknown network %q (want 10, 100, atm)", s)
+}
+
+func main() {
+	var (
+		config       = flag.String("config", "", "catalog configuration C1-C15")
+		kind         = flag.String("kind", "", "custom platform: smp, ws, or csmp")
+		nMach        = flag.Int("N", 1, "machines in the cluster")
+		nProc        = flag.Int("n", 1, "processors per machine")
+		cacheStr     = flag.String("cache", "256KB", "per-processor cache size")
+		memStr       = flag.String("mem", "64MB", "per-machine memory size")
+		netStr       = flag.String("net", "none", "cluster network: 10, 100, atm")
+		workload     = flag.String("workload", "FFT", "workload: FFT, LU, Radix, EDGE, TPC-C (paper) or fft, lu, radix, edge, tpcc (measured)")
+		workloadFile = flag.String("workload-file", "", "JSON workload description (overrides -workload)")
+		measured     = flag.Bool("measured", false, "characterize the instrumented Go kernel instead of using paper parameters")
+		delta        = flag.Float64("delta", 0, "coherence rate adjustment (default: paper's 0.124)")
+	)
+	flag.Parse()
+
+	var cfg machine.Config
+	var err error
+	if *config != "" {
+		cfg, err = machine.ByName(*config)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		cache, err := parseSize(*cacheStr)
+		if err != nil {
+			fail(err)
+		}
+		mem, err := parseSize(*memStr)
+		if err != nil {
+			fail(err)
+		}
+		net, err := parseNet(*netStr)
+		if err != nil {
+			fail(err)
+		}
+		var k machine.PlatformKind
+		switch strings.ToLower(*kind) {
+		case "smp":
+			k = machine.SMP
+		case "ws":
+			k = machine.ClusterWS
+		case "csmp":
+			k = machine.ClusterSMP
+		default:
+			fail(fmt.Errorf("need -config or -kind (smp, ws, csmp)"))
+		}
+		cfg = machine.Config{Name: "custom", Kind: k, N: *nMach, Procs: *nProc,
+			CacheBytes: cache, MemoryBytes: mem, Net: net, ClockMHz: 200}
+	}
+
+	var wl core.Workload
+	if *workloadFile != "" {
+		f, err := os.Open(*workloadFile)
+		if err != nil {
+			fail(err)
+		}
+		wl, err = core.ReadWorkload(f)
+		f.Close()
+		if err != nil {
+			fail(fmt.Errorf("reading %s: %w", *workloadFile, err))
+		}
+	} else if *measured {
+		k, err := workloads.ByName(strings.ToLower(*workload), workloads.ScaleSmall)
+		if err != nil {
+			fail(err)
+		}
+		c, err := workloads.Characterize(k, workloads.CharacterizeOptions{LineSize: 64})
+		if err != nil {
+			fail(err)
+		}
+		wl = experiments.ModelWorkload(c)
+		fmt.Printf("measured characterization: alpha=%.3f beta=%.2f gamma=%.3f kappa=%.2f footprint=%d lines\n",
+			c.Params.Alpha, c.Params.Beta, c.Params.Gamma, c.Conflict, c.Distinct)
+	} else {
+		var ok bool
+		wl, ok = core.PaperWorkload(*workload)
+		if !ok {
+			fail(fmt.Errorf("unknown paper workload %q", *workload))
+		}
+	}
+
+	opts := core.Options{CoherenceAdjust: *delta}
+	res, err := core.Evaluate(cfg, wl, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("platform:  %s (%s, n=%d, N=%d, cache %dKB, mem %dMB, net %v)\n",
+		cfg.Name, cfg.Kind, cfg.Procs, cfg.N, cfg.CacheBytes>>10, cfg.MemoryBytes>>20, cfg.Net)
+	fmt.Printf("workload:  %s (alpha=%.2f beta=%.2f gamma=%.2f)\n",
+		wl.Name, wl.Locality.Alpha, wl.Locality.Beta, wl.Locality.Gamma)
+	fmt.Printf("T        = %.3f cycles/reference (barrier part %.3f)\n", res.T, res.Barrier)
+	fmt.Printf("E(Instr) = %.4f cycles = %.4g seconds at %g MHz\n", res.EInstr, res.Seconds, cfg.ClockMHz)
+	fmt.Println("levels:")
+	for _, lv := range res.Levels {
+		fmt.Printf("  %-14s miss=%.4f service=%.0f contended=%.1f utilization=%.3f cycles/ref=%.3f\n",
+			lv.Name, lv.MissFraction, lv.Uncontended, lv.Contended, lv.Utilization, lv.CyclesPerRef)
+	}
+}

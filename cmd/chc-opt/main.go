@@ -1,0 +1,97 @@
+// Command chc-opt answers the paper's two design questions: the best
+// cluster platform for a budget and workload (eq. 6), and the best upgrade
+// of an existing cluster for a budget increase (§6).
+//
+// Usage:
+//
+//	chc-opt -budget 5000 -workload FFT
+//	chc-opt -budget 20000 -workload Radix -top 10
+//	chc-opt -upgrade -config C7 -budget 2000 -workload EDGE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memhier/internal/core"
+	"memhier/internal/cost"
+	"memhier/internal/machine"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "chc-opt:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		budget       = flag.Float64("budget", 5000, "budget in dollars (or budget increase with -upgrade)")
+		workload     = flag.String("workload", "FFT", "paper workload: FFT, LU, Radix, EDGE, TPC-C")
+		workloadFile = flag.String("workload-file", "", "JSON workload description (overrides -workload)")
+		top          = flag.Int("top", 5, "how many ranked configurations to print")
+		upgrade      = flag.Bool("upgrade", false, "upgrade an existing cluster instead of building one")
+		config       = flag.String("config", "C7", "existing cluster (C1-C15) for -upgrade")
+		delta        = flag.Float64("delta", 0, "coherence rate adjustment (default: paper's 0.124)")
+	)
+	flag.Parse()
+
+	var wl core.Workload
+	if *workloadFile != "" {
+		f, err := os.Open(*workloadFile)
+		if err != nil {
+			fail(err)
+		}
+		var rerr error
+		wl, rerr = core.ReadWorkload(f)
+		f.Close()
+		if rerr != nil {
+			fail(fmt.Errorf("reading %s: %w", *workloadFile, rerr))
+		}
+	} else {
+		var ok bool
+		wl, ok = core.PaperWorkload(*workload)
+		if !ok {
+			fail(fmt.Errorf("unknown workload %q", *workload))
+		}
+	}
+	opts := core.Options{CoherenceAdjust: *delta}
+
+	if *upgrade {
+		existing, err := machine.ByName(*config)
+		if err != nil {
+			fail(err)
+		}
+		plan, err := cost.Upgrade(existing, *budget, wl, cost.DefaultCatalog(), cost.DefaultSpace(), opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("existing:  %s (%s)\n", existing.Name, existing.Kind)
+		fmt.Printf("upgrade:   %s\n", plan.To.Name)
+		fmt.Printf("spend:     $%.0f of $%.0f\n", plan.UpgradeCost, *budget)
+		fmt.Printf("E(Instr):  %.3f -> %.3f cycles (%.2fx speedup)\n",
+			plan.OldEInstr, plan.NewEInstr, plan.Speedup)
+		advice, err := cost.UpgradeAdvice(existing, wl, opts)
+		if err == nil {
+			fmt.Printf("principle: %s\n", advice)
+		}
+		return
+	}
+
+	best, all, err := cost.Optimize(*budget, wl, cost.DefaultCatalog(), cost.DefaultSpace(), opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("workload:  %s — recommended class: %s\n", wl.Name, cost.Recommend(wl))
+	fmt.Printf("budget:    $%.0f (%d feasible configurations)\n", *budget, len(all))
+	fmt.Printf("winner:    %s at $%.0f, E(Instr) = %.3f cycles\n\n", best.Config.Name, best.Cost, best.EInstr)
+	n := *top
+	if n > len(all) {
+		n = len(all)
+	}
+	fmt.Printf("top %d:\n", n)
+	for i := 0; i < n; i++ {
+		s := all[i]
+		fmt.Printf("  %2d. %-45s $%-6.0f E=%.3f\n", i+1, s.Config.Name, s.Cost, s.EInstr)
+	}
+}

@@ -1,0 +1,186 @@
+// Command chc-repro regenerates the paper's evaluation artifacts: Tables
+// 1–5, the model-vs-simulation validation of Figures 2–4, and the §6 case
+// studies.
+//
+// Usage:
+//
+//	chc-repro -all
+//	chc-repro -table 2
+//	chc-repro -figure 3 [-divisor 16]
+//	chc-repro -case 1 | -case fft4x | -case principles
+//	chc-repro -calibrate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memhier/internal/core"
+	"memhier/internal/experiments"
+	"memhier/internal/machine"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "regenerate everything")
+		table     = flag.Int("table", 0, "render one table (1-5)")
+		figure    = flag.Int("figure", 0, "render one validation figure (2-4)")
+		caseID    = flag.String("case", "", "render one case study (1, 2, 3, fft4x, principles)")
+		divisor   = flag.Int("divisor", 0, "capacity divisor for validation runs (default 16)")
+		csv       = flag.Bool("csv", false, "emit figures as CSV series instead of tables")
+		chart     = flag.Bool("chart", false, "emit figures as bar charts instead of tables")
+		delta     = flag.Float64("delta", 0, "coherence rate adjustment (default: paper's 0.124)")
+		calibrate = flag.Bool("calibrate", false, "search the coherence adjustment minimizing model-vs-sim error")
+		report    = flag.String("report", "", "write the full reproduction as a Markdown report to this file")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Divisor: *divisor}
+	opts.Model.CoherenceAdjust = *delta
+	out := os.Stdout
+
+	run := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chc-repro:", err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *report != "":
+		f, err := os.Create(*report)
+		run(err)
+		err = experiments.WriteReport(f, opts)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		run(err)
+		fmt.Fprintf(out, "report written to %s\n", *report)
+	case *all:
+		run(experiments.WriteAll(out, opts))
+	case *calibrate:
+		s := experiments.NewSuite(opts)
+		clusters := append(machine.WSCatalog(), machine.SMPClusterCatalog()...)
+		best, diff, err := s.CalibrateCoherenceAdjust(clusters, nil)
+		run(err)
+		fmt.Fprintf(out, "calibrated coherence adjustment δ = %.2f (mean |model−sim| = %.1f%%)\n", best, diff)
+		fmt.Fprintf(out, "(the paper's empirically determined value was 12.4%%)\n")
+	case *table != 0:
+		s := experiments.NewSuite(opts)
+		switch *table {
+		case 1:
+			experiments.Table1().Render(out)
+		case 2:
+			_, t, err := s.Table2()
+			run(err)
+			t.Render(out)
+			fmt.Fprintln(out)
+			experiments.PaperTable2().Render(out)
+		case 3:
+			experiments.Table3().Render(out)
+		case 4:
+			experiments.Table4().Render(out)
+		case 5:
+			experiments.Table5().Render(out)
+		default:
+			run(fmt.Errorf("no table %d (have 1-5)", *table))
+		}
+	case *figure != 0:
+		s := experiments.NewSuite(opts)
+		var v experiments.Validation
+		var err error
+		switch *figure {
+		case 2:
+			v, err = s.Figure2()
+		case 3:
+			v, err = s.Figure3()
+		case 4:
+			v, err = s.Figure4()
+		default:
+			err = fmt.Errorf("no figure %d (have 2-4)", *figure)
+		}
+		run(err)
+		switch {
+		case *csv:
+			run(v.CSV().CSV(out))
+		case *chart:
+			for _, c := range v.Charts() {
+				c.Render(out)
+				fmt.Fprintln(out)
+			}
+		default:
+			v.Table().Render(out)
+		}
+	case *caseID != "":
+		var err error
+		switch *caseID {
+		case "1":
+			_, tab, e := experiments.Case1(opts.Model)
+			err = e
+			if e == nil {
+				tab.Render(out)
+			}
+		case "2":
+			_, tab, e := experiments.Case2(opts.Model)
+			err = e
+			if e == nil {
+				tab.Render(out)
+			}
+		case "3":
+			_, tab, e := experiments.Case3(2000, opts.Model)
+			err = e
+			if e == nil {
+				tab.Render(out)
+			}
+		case "fft4x":
+			_, tab, e := experiments.CaseFFT4x(opts.Model)
+			err = e
+			if e == nil {
+				tab.Render(out)
+			}
+		case "principles":
+			experiments.Principles().Render(out)
+		case "modern":
+			_, tab, e := experiments.CaseModernNetworks(opts.Model)
+			err = e
+			if e == nil {
+				tab.Render(out)
+			}
+		case "speedgap":
+			for _, name := range []string{"FFT", "Radix"} {
+				wl, _ := core.PaperWorkload(name)
+				_, tab, e := experiments.CaseSpeedGap(wl, opts.Model)
+				if e != nil {
+					err = e
+					break
+				}
+				tab.Render(out)
+				fmt.Fprintln(out)
+			}
+		case "sizescaling":
+			_, tab, e := experiments.CaseSizeScaling(opts.Model)
+			err = e
+			if e == nil {
+				tab.Render(out)
+			}
+		case "map":
+			for _, alpha := range []float64{1.15, 1.5, 1.8} {
+				cells, tab, e := experiments.PrincipleMap(alpha, nil, nil, 20000, opts.Model)
+				if e != nil {
+					err = e
+					break
+				}
+				tab.Render(out)
+				fmt.Fprintf(out, "  classifier/optimizer agreement: %.0f%%\n\n",
+					experiments.AgreementRate(cells)*100)
+			}
+		default:
+			err = fmt.Errorf("no case %q (have 1, 2, 3, fft4x, principles, modern, map, speedgap, sizescaling)", *caseID)
+		}
+		run(err)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,74 @@
+package memhier_test
+
+import (
+	"fmt"
+	"log"
+
+	"memhier"
+)
+
+// Evaluate the analytical model for a Table 4 platform and a Table 2
+// workload.
+func ExampleEvaluate() {
+	cfg, err := memhier.ConfigByName("C7") // 2 workstations, 10Mb Ethernet
+	if err != nil {
+		log.Fatal(err)
+	}
+	lu, _ := memhier.PaperWorkload("LU")
+	res, err := memhier.Evaluate(cfg, lu, memhier.ModelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s: %d memory levels beyond the cache\n",
+		lu.Name, cfg.Name, len(res.Levels))
+	fmt.Printf("E(Instr) is positive: %v\n", res.EInstr > 0)
+	// Output:
+	// LU on C7: 3 memory levels beyond the cache
+	// E(Instr) is positive: true
+}
+
+// Answer the paper's first design question: the best platform for a budget.
+func ExampleOptimize() {
+	radix, _ := memhier.PaperWorkload("Radix")
+	best, feasible, err := memhier.Optimize(20000, radix, memhier.ModelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform kind: %v\n", best.Config.Kind)
+	fmt.Printf("within budget: %v\n", best.Cost <= 20000)
+	fmt.Printf("candidates considered: %v\n", len(feasible) > 100)
+	// Output:
+	// platform kind: SMP
+	// within budget: true
+	// candidates considered: true
+}
+
+// Classify a workload into the paper's §6 principles.
+func ExampleRecommend() {
+	for _, name := range []string{"LU", "Radix"} {
+		wl, _ := memhier.PaperWorkload(name)
+		fmt.Printf("%s: %v\n", name, memhier.Recommend(wl))
+	}
+	// Output:
+	// LU: slow network of a large number of high-speed workstations
+	// Radix: an SMP (processor count may be limited)
+}
+
+// Run the full measurement pipeline on an instrumented kernel.
+func ExampleCharacterize() {
+	k, err := memhier.KernelByName("edge", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := memhier.Characterize(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel: %s\n", c.Workload)
+	fmt.Printf("valid fit: %v\n", c.Params.Validate() == nil)
+	fmt.Printf("gamma in (0.3, 0.6): %v\n", c.Params.Gamma > 0.3 && c.Params.Gamma < 0.6)
+	// Output:
+	// kernel: EDGE
+	// valid fit: true
+	// gamma in (0.3, 0.6): true
+}

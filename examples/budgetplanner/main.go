@@ -1,0 +1,61 @@
+// Budgetplanner sweeps the construction budget for each paper workload and
+// shows how the optimal platform changes — the crossover from clusters of
+// workstations to SMPs that the paper's §6 principles describe.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memhier"
+)
+
+func main() {
+	budgets := []float64{2000, 5000, 10000, 20000, 40000}
+	wls := append(memhier.PaperWorkloads(), memhier.PaperTPCC())
+
+	fmt.Printf("%-8s", "budget")
+	for _, wl := range wls {
+		fmt.Printf("  %-28s", wl.Name)
+	}
+	fmt.Println()
+
+	for _, b := range budgets {
+		fmt.Printf("$%-7.0f", b)
+		for _, wl := range wls {
+			best, _, err := memhier.Optimize(b, wl, memhier.ModelOptions{})
+			if err != nil {
+				fmt.Printf("  %-28s", "(infeasible)")
+				continue
+			}
+			fmt.Printf("  %-28s", fmt.Sprintf("%s E=%.2f", shortName(best.Config), best.EInstr))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nthe paper's §6 classification of these workloads:")
+	for _, wl := range wls {
+		fmt.Printf("  %-6s -> %s\n", wl.Name, memhier.Recommend(wl))
+	}
+
+	// Sanity: the classifier and the optimizer should broadly agree for
+	// Radix once the budget admits SMPs.
+	radix, _ := memhier.PaperWorkload("Radix")
+	best, _, err := memhier.Optimize(20000, radix, memhier.ModelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRadix at $20,000 -> %s (classifier says: %s)\n",
+		best.Config.Name, memhier.Recommend(radix))
+}
+
+func shortName(c memhier.Config) string {
+	switch c.Kind {
+	case memhier.SMP:
+		return fmt.Sprintf("SMP n=%d", c.Procs)
+	case memhier.ClusterWS:
+		return fmt.Sprintf("%dxWS %v", c.N, c.Net)
+	default:
+		return fmt.Sprintf("%dxSMP%d %v", c.N, c.Procs, c.Net)
+	}
+}

@@ -1,0 +1,50 @@
+// Modelvssim reproduces the paper's validation methodology on a single
+// configuration: characterize a kernel, predict E(Instr) with the
+// analytical model, then run the execution-driven simulator on the same
+// trace and compare — the per-point version of Figures 2–4.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memhier"
+)
+
+func main() {
+	// C5: the paper's 4-processor SMP, capacity-scaled 16x to match the
+	// small problem sizes (see EXPERIMENTS.md on scaling).
+	cfg, err := memhier.ConfigByName("C5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg = cfg.Scaled(16)
+
+	for _, k := range memhier.Kernels(false) {
+		// Line-granularity characterization: the simulator's caches work
+		// in 64-byte lines, so the model must too.
+		c, err := memhier.CharacterizeLines(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wl := memhier.ModelWorkload(c)
+
+		res, err := memhier.Evaluate(cfg, wl, memhier.ModelOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		tr, err := memhier.GenerateTrace(k, cfg.TotalProcs())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := memhier.Simulate(tr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		diff := (res.EInstr - sim.EInstr) / sim.EInstr * 100
+		fmt.Printf("%-6s model E(Instr) = %7.3f cycles, simulated = %7.3f cycles (%+.1f%%)\n",
+			k.Name(), res.EInstr, sim.EInstr, diff)
+	}
+}

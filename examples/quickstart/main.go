@@ -1,0 +1,48 @@
+// Quickstart: evaluate the Du–Zhang analytical model for a catalog
+// platform and a paper workload, and print where the cycles go.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memhier"
+)
+
+func main() {
+	// The platform: C10 from the paper's Table 4 — four workstations on a
+	// 155 Mb ATM switch.
+	cfg, err := memhier.ConfigByName("C10")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The workload: FFT with the paper's Table 2 locality parameters.
+	fft, ok := memhier.PaperWorkload("FFT")
+	if !ok {
+		log.Fatal("FFT missing from Table 2")
+	}
+
+	res, err := memhier.Evaluate(cfg, fft, memhier.ModelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s on %s (%v):\n", fft.Name, cfg.Name, cfg.Kind)
+	fmt.Printf("  average memory access time T = %.1f cycles\n", res.T)
+	fmt.Printf("  E(Instr) = %.3f cycles  (%.3g s/instruction at %g MHz)\n",
+		res.EInstr, res.Seconds, cfg.ClockMHz)
+	for _, lv := range res.Levels {
+		fmt.Printf("  %-14s %6.2f%% of references, %8.1f cycles each\n",
+			lv.Name, lv.MissFraction*100, lv.Contended)
+	}
+
+	// The same question the paper's §6 asks: what is the best platform for
+	// this workload under a $5,000 budget?
+	best, feasible, err := memhier.Optimize(5000, fft, memhier.ModelOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest $5,000 platform for %s: %s ($%.0f, E(Instr)=%.3f, %d candidates)\n",
+		fft.Name, best.Config.Name, best.Cost, best.EInstr, len(feasible))
+}

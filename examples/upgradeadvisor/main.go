@@ -1,0 +1,36 @@
+// Upgradeadvisor reproduces the paper's third case study: given an
+// existing cluster and a growing upgrade budget, decide what to buy first —
+// memory, cache, a faster network, or more machines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memhier"
+)
+
+func main() {
+	// The existing system: C7 — two workstations with 32 MB each on a
+	// 10 Mb Ethernet (Table 4's smallest cluster).
+	existing, err := memhier.ConfigByName("C7")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, wl := range append(memhier.PaperWorkloads(), memhier.PaperTPCC()) {
+		fmt.Printf("== %s (currently on %s)\n", wl.Name, existing.Name)
+		for _, budget := range []float64{500, 1500, 3000, 6000} {
+			plan, err := memhier.Upgrade(existing, budget, wl, memhier.ModelOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if plan.To == plan.From {
+				fmt.Printf("  +$%-5.0f keep as is\n", budget)
+				continue
+			}
+			fmt.Printf("  +$%-5.0f -> %-45s spend $%-5.0f speedup %5.2fx\n",
+				budget, plan.To.Name, plan.UpgradeCost, plan.Speedup)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module memhier
+
+go 1.22

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"memhier/internal/machine"
+)
+
+// ScalabilityPoint is one point of a machine-count sweep.
+type ScalabilityPoint struct {
+	N          int
+	EInstr     float64
+	Speedup    float64 // E(1 machine) / E(N machines)
+	Efficiency float64 // Speedup / N
+}
+
+// Scalability sweeps the machine count of a cluster template from 1 to
+// maxN, holding everything else fixed, and reports modeled speedup and
+// efficiency — the "desktop-to-teraflop" scaling question of the paper's
+// introduction. The template's N is ignored. Points where the model
+// saturates are skipped.
+func Scalability(template machine.Config, wl Workload, opts Options, maxN int) ([]ScalabilityPoint, error) {
+	if maxN < 1 {
+		return nil, fmt.Errorf("core: maxN must be >= 1, got %d", maxN)
+	}
+	if template.Kind == machine.SMP {
+		return nil, fmt.Errorf("core: scalability sweeps machines; %s has N fixed at 1", template.Kind)
+	}
+	var out []ScalabilityPoint
+	base := 0.0
+	for n := 1; n <= maxN; n++ {
+		cfg := template
+		cfg.N = n
+		cfg.Name = fmt.Sprintf("%s N=%d", template.Name, n)
+		if n == 1 {
+			cfg.Net = machine.NetNone
+		} else if cfg.Net == machine.NetNone {
+			return nil, fmt.Errorf("core: template needs a network to scale beyond one machine")
+		}
+		res, err := Evaluate(cfg, wl, opts)
+		if err != nil {
+			continue
+		}
+		p := ScalabilityPoint{N: n, EInstr: res.EInstr}
+		if n == 1 {
+			base = res.EInstr
+		}
+		if base > 0 {
+			p.Speedup = base / res.EInstr
+			p.Efficiency = p.Speedup / float64(n)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no feasible point in 1..%d machines", maxN)
+	}
+	return out, nil
+}
+
+// OptimalMachines returns the sweep point with the lowest E(Instr).
+func OptimalMachines(points []ScalabilityPoint) (ScalabilityPoint, error) {
+	if len(points) == 0 {
+		return ScalabilityPoint{}, fmt.Errorf("core: empty scalability sweep")
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.EInstr < best.EInstr {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// Sensitivity reports the elasticity of E(Instr) with respect to one
+// resource: the percentage change in E per percent change in the resource,
+// estimated by central finite differences. Negative values mean the
+// resource helps (more of it lowers E).
+type Sensitivity struct {
+	Resource   string
+	Elasticity float64
+}
+
+// Sensitivities estimates the model's elasticities for cache capacity,
+// memory capacity, and (on clusters) network latency — the quantitative
+// backing for the paper's upgrade rule ("money first on cache/memory
+// capacity …; if network activities are independent of capacity, upgrade
+// the network first").
+func Sensitivities(cfg machine.Config, wl Workload, opts Options) ([]Sensitivity, error) {
+	base, err := Evaluate(cfg, wl, opts)
+	if err != nil {
+		return nil, err
+	}
+	const eps = 0.10 // ±10% finite-difference step
+	elasticity := func(up, down float64) float64 {
+		return (up - down) / (2 * eps * base.EInstr) * 1.0
+	}
+
+	var out []Sensitivity
+	evalE := func(c machine.Config) (float64, error) {
+		r, err := Evaluate(c, wl, opts)
+		if err != nil {
+			return 0, err
+		}
+		return r.EInstr, nil
+	}
+
+	// Cache capacity.
+	cUp, cDown := cfg, cfg
+	cUp.CacheBytes = int64(float64(cfg.CacheBytes) * (1 + eps))
+	cDown.CacheBytes = int64(float64(cfg.CacheBytes) * (1 - eps))
+	if up, err1 := evalE(cUp); err1 == nil {
+		if down, err2 := evalE(cDown); err2 == nil {
+			out = append(out, Sensitivity{Resource: "cache", Elasticity: elasticity(up, down)})
+		}
+	}
+
+	// Memory capacity.
+	mUp, mDown := cfg, cfg
+	mUp.MemoryBytes = int64(float64(cfg.MemoryBytes) * (1 + eps))
+	mDown.MemoryBytes = int64(float64(cfg.MemoryBytes) * (1 - eps))
+	if up, err1 := evalE(mUp); err1 == nil {
+		if down, err2 := evalE(mDown); err2 == nil {
+			out = append(out, Sensitivity{Resource: "memory", Elasticity: elasticity(up, down)})
+		}
+	}
+
+	// Network latency (clusters only): scale the remote latencies.
+	if cfg.N > 1 && cfg.Net != machine.NetNone {
+		scaleNet := func(factor float64) Options {
+			lat := machine.LatenciesAt(cfg.Kind, cfg.ClockMHz)
+			if opts.Latencies != nil {
+				lat = *opts.Latencies
+			}
+			rn := make(map[machine.NetworkKind]float64, len(lat.RemoteNode))
+			rc := make(map[machine.NetworkKind]float64, len(lat.RemoteCached))
+			for k, v := range lat.RemoteNode {
+				rn[k] = v * factor
+			}
+			for k, v := range lat.RemoteCached {
+				rc[k] = v * factor
+			}
+			lat.RemoteNode, lat.RemoteCached = rn, rc
+			o := opts
+			o.Latencies = &lat
+			return o
+		}
+		up, err1 := Evaluate(cfg, wl, scaleNet(1+eps))
+		down, err2 := Evaluate(cfg, wl, scaleNet(1-eps))
+		if err1 == nil && err2 == nil {
+			out = append(out, Sensitivity{Resource: "network latency",
+				Elasticity: elasticity(up.EInstr, down.EInstr)})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Resource < out[j].Resource })
+	return out, nil
+}
+
+// MixComponent weights one workload inside an application mix.
+type MixComponent struct {
+	Workload Workload
+	Weight   float64 // relative share of the machine's instruction stream
+}
+
+// EvaluateMix models a platform running a weighted mix of applications: the
+// mix's E(Instr) is the weight-averaged per-workload E(Instr). A site that
+// runs 70% LU and 30% Radix optimizes this number, not either extreme.
+func EvaluateMix(cfg machine.Config, mix []MixComponent, opts Options) (float64, error) {
+	if len(mix) == 0 {
+		return 0, fmt.Errorf("core: empty workload mix")
+	}
+	var total, acc float64
+	for _, c := range mix {
+		if c.Weight <= 0 {
+			return 0, fmt.Errorf("core: mix weight %v must be positive", c.Weight)
+		}
+		res, err := Evaluate(cfg, c.Workload, opts)
+		if err != nil {
+			return 0, fmt.Errorf("core: mix component %s: %w", c.Workload.Name, err)
+		}
+		acc += c.Weight * res.EInstr
+		total += c.Weight
+	}
+	return acc / total, nil
+}

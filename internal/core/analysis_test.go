@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"memhier/internal/machine"
+)
+
+func wsTemplate() machine.Config {
+	return machine.Config{Name: "ws", Kind: machine.ClusterWS, N: 1, Procs: 1,
+		CacheBytes: 256 << 10, MemoryBytes: 64 << 20, Net: machine.NetSwitch155, ClockMHz: 200}
+}
+
+func TestScalabilitySweep(t *testing.T) {
+	pts, err := Scalability(wsTemplate(), fft(), Options{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 || pts[0].N != 1 {
+		t.Fatalf("sweep should start at N=1: %+v", pts)
+	}
+	if pts[0].Speedup != 1 || pts[0].Efficiency != 1 {
+		t.Errorf("N=1 baseline: %+v", pts[0])
+	}
+	for _, p := range pts {
+		if p.EInstr <= 0 || math.IsNaN(p.Speedup) {
+			t.Errorf("degenerate point %+v", p)
+		}
+		if p.Efficiency > 1.0001 {
+			t.Errorf("superlinear efficiency %+v (model has no superlinear mechanism beyond cache rescale; inspect)", p)
+		}
+	}
+	best, err := OptimalMachines(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.EInstr < best.EInstr {
+			t.Errorf("OptimalMachines missed %+v (picked %+v)", p, best)
+		}
+	}
+}
+
+func TestScalabilityErrors(t *testing.T) {
+	if _, err := Scalability(wsTemplate(), fft(), Options{}, 0); err == nil {
+		t.Error("maxN=0 accepted")
+	}
+	smp := machine.Config{Name: "s", Kind: machine.SMP, N: 1, Procs: 2,
+		CacheBytes: 256 << 10, MemoryBytes: 64 << 20, ClockMHz: 200}
+	if _, err := Scalability(smp, fft(), Options{}, 4); err == nil {
+		t.Error("SMP sweep accepted")
+	}
+	noNet := wsTemplate()
+	noNet.Net = machine.NetNone
+	if _, err := Scalability(noNet, fft(), Options{}, 4); err == nil {
+		t.Error("netless template accepted beyond one machine")
+	}
+	if _, err := OptimalMachines(nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestSensitivities(t *testing.T) {
+	cfg := wsTemplate()
+	cfg.N = 4
+	sens, err := Sensitivities(cfg, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, s := range sens {
+		byName[s.Resource] = s.Elasticity
+	}
+	// More cache can only help (elasticity <= 0); higher network latency
+	// can only hurt (elasticity >= 0).
+	if e, ok := byName["cache"]; !ok || e > 1e-9 {
+		t.Errorf("cache elasticity = %v, want <= 0", e)
+	}
+	if e, ok := byName["network latency"]; !ok || e < -1e-9 {
+		t.Errorf("network latency elasticity = %v, want >= 0", e)
+	}
+	// A network-bound FFT cluster should be far more sensitive to the
+	// network than to memory capacity.
+	if math.Abs(byName["network latency"]) <= math.Abs(byName["memory"]) {
+		t.Errorf("expected network-dominated sensitivities: %+v", byName)
+	}
+	// A single SMP reports no network sensitivity.
+	smp := machine.Config{Name: "s", Kind: machine.SMP, N: 1, Procs: 2,
+		CacheBytes: 256 << 10, MemoryBytes: 64 << 20, ClockMHz: 200}
+	sens, err = Sensitivities(smp, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sens {
+		if s.Resource == "network latency" {
+			t.Error("SMP should have no network sensitivity")
+		}
+	}
+}
+
+func TestEvaluateMix(t *testing.T) {
+	cfg := wsTemplate()
+	cfg.N = 2
+	lu, _ := PaperWorkload("LU")
+	radix, _ := PaperWorkload("Radix")
+
+	eLU, err := Evaluate(cfg, lu, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eRadix, err := Evaluate(cfg, radix, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mix, err := EvaluateMix(cfg, []MixComponent{
+		{Workload: lu, Weight: 3},
+		{Workload: radix, Weight: 1},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (3*eLU.EInstr + eRadix.EInstr) / 4
+	if math.Abs(mix-want) > 1e-9*want {
+		t.Errorf("mix = %v, want %v", mix, want)
+	}
+	// The mix lies between the extremes.
+	lo, hi := math.Min(eLU.EInstr, eRadix.EInstr), math.Max(eLU.EInstr, eRadix.EInstr)
+	if mix < lo || mix > hi {
+		t.Errorf("mix %v outside [%v, %v]", mix, lo, hi)
+	}
+
+	if _, err := EvaluateMix(cfg, nil, Options{}); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := EvaluateMix(cfg, []MixComponent{{Workload: lu, Weight: 0}}, Options{}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	bad := lu
+	bad.Locality.Alpha = 0.1
+	if _, err := EvaluateMix(cfg, []MixComponent{{Workload: bad, Weight: 1}}, Options{}); err == nil {
+		t.Error("invalid component accepted")
+	}
+}

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"memhier/internal/locality"
+	"memhier/internal/machine"
+)
+
+func fft() Workload {
+	w, _ := PaperWorkload("FFT")
+	return w
+}
+
+func uniproc(cache, mem int64) machine.Config {
+	return machine.Config{Name: "uni", Kind: machine.SMP, N: 1, Procs: 1,
+		CacheBytes: cache, MemoryBytes: mem, Net: machine.NetNone, ClockMHz: 200}
+}
+
+// TestUniprocessorReducesToJacob checks the paper's anchor: with n = 1 the
+// SMP model must equal the closed-form uniprocessor hierarchy model of
+// Jacob et al. (no contention, no barrier):
+// T = τ1 + F(s1)·τ2 + F(s2)·τ3, E = 1/S + γT.
+func TestUniprocessorReducesToJacob(t *testing.T) {
+	wl := fft()
+	cfg := uniproc(256<<10, 64<<20)
+	res, err := Evaluate(cfg, wl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := float64(cfg.CacheBytes) / 8
+	f1 := wl.Locality.MissBeyond(s1)
+	// FFT's 3 MB footprint fits the 64 MB memory, so the disk term is
+	// truncated to zero and T reduces to τ1 + F(s1)·τ2.
+	wantT := 1 + f1*50
+	if math.Abs(res.T-wantT) > 1e-6*wantT {
+		t.Errorf("T = %v, want closed form %v", res.T, wantT)
+	}
+	// With the footprint exceeding memory, the disk term reappears:
+	// T = τ1 + F(s1)·τ2 + F(s2)·τ3.
+	paging := wl
+	paging.FootprintItems = 2 * float64(cfg.MemoryBytes) / 8
+	resPaging, err := Evaluate(cfg, paging, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := float64(cfg.MemoryBytes) / 8
+	wantPaging := 1 + f1*50 + wl.Locality.MissBeyond(s2)*2000
+	if math.Abs(resPaging.T-wantPaging) > 1e-6*wantPaging {
+		t.Errorf("paging T = %v, want closed form %v", resPaging.T, wantPaging)
+	}
+	wantE := 1 + wl.Locality.Gamma*wantT
+	if math.Abs(res.EInstr-wantE) > 1e-6*wantE {
+		t.Errorf("EInstr = %v, want %v", res.EInstr, wantE)
+	}
+	if res.Barrier != 0 {
+		t.Errorf("uniprocessor has barrier term %v", res.Barrier)
+	}
+	if res.Seconds <= 0 || math.Abs(res.Seconds-res.EInstr/2e8) > 1e-18 {
+		t.Errorf("Seconds = %v inconsistent with 200 MHz", res.Seconds)
+	}
+}
+
+func TestEvaluateAllCatalogConfigsAllPaperWorkloads(t *testing.T) {
+	for _, cfg := range machine.Catalog() {
+		for _, wl := range append(PaperWorkloads(), PaperTPCC()) {
+			res, err := Evaluate(cfg, wl, Options{})
+			if err != nil {
+				t.Errorf("%s/%s: %v", cfg.Name, wl.Name, err)
+				continue
+			}
+			if res.T <= 0 || math.IsNaN(res.T) || math.IsInf(res.T, 0) {
+				t.Errorf("%s/%s: bad T %v", cfg.Name, wl.Name, res.T)
+			}
+			if res.EInstr <= 0 {
+				t.Errorf("%s/%s: bad EInstr %v", cfg.Name, wl.Name, res.EInstr)
+			}
+			for _, lv := range res.Levels {
+				if lv.Utilization >= 1 {
+					t.Errorf("%s/%s: level %s saturated at solution (ρ=%v)", cfg.Name, wl.Name, lv.Name, lv.Utilization)
+				}
+				if lv.MissFraction < 0 || lv.MissFraction > 1 {
+					t.Errorf("%s/%s: level %s bad miss fraction %v", cfg.Name, wl.Name, lv.Name, lv.MissFraction)
+				}
+				if lv.Contended < lv.Uncontended-1e-9 {
+					t.Errorf("%s/%s: level %s contended %v below uncontended %v", cfg.Name, wl.Name, lv.Name, lv.Contended, lv.Uncontended)
+				}
+			}
+		}
+	}
+}
+
+func TestMissFractionsDecreaseAlongHierarchy(t *testing.T) {
+	for _, cfg := range machine.Catalog() {
+		res, err := Evaluate(cfg, fft(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(res.Levels); i++ {
+			if res.Levels[i].MissFraction > res.Levels[i-1].MissFraction+1e-12 {
+				t.Errorf("%s: miss fraction rises from %s (%v) to %s (%v)", cfg.Name,
+					res.Levels[i-1].Name, res.Levels[i-1].MissFraction,
+					res.Levels[i].Name, res.Levels[i].MissFraction)
+			}
+		}
+	}
+}
+
+func TestLargerCacheNeverHurts(t *testing.T) {
+	base, _ := machine.ByName("C1")
+	big := base
+	big.CacheBytes *= 2
+	for _, wl := range PaperWorkloads() {
+		r1, err := Evaluate(base, wl, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Evaluate(big, wl, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.T > r1.T+1e-9 {
+			t.Errorf("%s: doubling cache raised T from %v to %v", wl.Name, r1.T, r2.T)
+		}
+	}
+}
+
+func TestFasterNetworkHelps(t *testing.T) {
+	cfg := machine.Config{Name: "ws", Kind: machine.ClusterWS, N: 4, Procs: 1,
+		CacheBytes: 256 << 10, MemoryBytes: 64 << 20, Net: machine.NetBus10, ClockMHz: 200}
+	slow, err := Evaluate(cfg, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Net = machine.NetBus100
+	mid, err := Evaluate(cfg, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Net = machine.NetSwitch155
+	fast, err := Evaluate(cfg, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fast.EInstr < mid.EInstr && mid.EInstr < slow.EInstr) {
+		t.Errorf("network ordering violated: 10Mb=%v 100Mb=%v switch=%v",
+			slow.EInstr, mid.EInstr, fast.EInstr)
+	}
+}
+
+func TestContentionAblation(t *testing.T) {
+	cfg, _ := machine.ByName("C5") // 4-processor SMP
+	with, err := Evaluate(cfg, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Evaluate(cfg, fft(), Options{NoContention: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.T <= without.T {
+		t.Errorf("contention should raise T: with=%v without=%v", with.T, without.T)
+	}
+	for _, lv := range without.Levels {
+		if lv.Utilization != 0 {
+			t.Errorf("NoContention left utilization %v at %s", lv.Utilization, lv.Name)
+		}
+	}
+}
+
+func TestBarrierAblation(t *testing.T) {
+	cfg, _ := machine.ByName("C5")
+	with, err := Evaluate(cfg, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Evaluate(cfg, fft(), Options{NoBarrier: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Barrier <= 0 || without.Barrier != 0 {
+		t.Errorf("barrier terms: with=%v without=%v", with.Barrier, without.Barrier)
+	}
+	if with.T <= without.T {
+		t.Errorf("barrier should raise T: with=%v without=%v", with.T, without.T)
+	}
+	// The folded term is (1/2+1/3+1/4)/γ for four processors.
+	want := (0.5 + 1.0/3 + 0.25) / fft().Locality.Gamma
+	if math.Abs(with.Barrier-want) > 1e-9 {
+		t.Errorf("barrier = %v, want %v", with.Barrier, want)
+	}
+}
+
+func TestCoherenceAdjustAblation(t *testing.T) {
+	cfg := machine.Config{Name: "ws", Kind: machine.ClusterWS, N: 4, Procs: 1,
+		CacheBytes: 256 << 10, MemoryBytes: 64 << 20, Net: machine.NetBus100, ClockMHz: 200}
+	with, err := Evaluate(cfg, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Evaluate(cfg, fft(), Options{CoherenceAdjust: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.T <= without.T {
+		t.Errorf("12.4%% adjustment should raise T: with=%v without=%v", with.T, without.T)
+	}
+	// On a single SMP the adjustment never applies.
+	smp, _ := machine.ByName("C1")
+	a, err := Evaluate(smp, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(smp, fft(), Options{CoherenceAdjust: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.T-b.T) > 1e-12 {
+		t.Errorf("coherence adjustment leaked into SMP model: %v vs %v", a.T, b.T)
+	}
+}
+
+func TestMVAContentionOption(t *testing.T) {
+	cfg, _ := machine.ByName("C5") // 4-processor SMP
+	md1, err := Evaluate(cfg, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mva, err := Evaluate(cfg, fft(), Options{UseMVA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both models add contention over the uncontended baseline …
+	base, err := Evaluate(cfg, fft(), Options{NoContention: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mva.T <= base.T || md1.T <= base.T {
+		t.Errorf("contention missing: base=%v md1=%v mva=%v", base.T, md1.T, mva.T)
+	}
+	// … and the closed model is bounded: the memory level's contended
+	// response cannot exceed customers × service.
+	for _, lv := range mva.Levels {
+		limit := lv.Uncontended * 4 // n = 4 customers
+		if lv.Name == "memory" && lv.Contended > limit+1e-9 {
+			t.Errorf("MVA response %v exceeds closed bound %v", lv.Contended, limit)
+		}
+	}
+	// Agreement at the uniprocessor limit: no competitors, both equal.
+	uni := uniproc(256<<10, 64<<20)
+	a, err := Evaluate(uni, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(uni, fft(), Options{UseMVA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.T-b.T) > 1e-9 {
+		t.Errorf("uniprocessor: MD1 %v vs MVA %v", a.T, b.T)
+	}
+}
+
+func TestRescaleAblation(t *testing.T) {
+	cfg, _ := machine.ByName("C5")
+	with, err := Evaluate(cfg, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Evaluate(cfg, fft(), Options{NoRescale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rescaling shrinks per-process distances, so misses drop.
+	if with.Levels[0].MissFraction >= without.Levels[0].MissFraction {
+		t.Errorf("rescale should reduce misses: with=%v without=%v",
+			with.Levels[0].MissFraction, without.Levels[0].MissFraction)
+	}
+}
+
+func TestHitMassScalesMisses(t *testing.T) {
+	cfg := uniproc(256<<10, 64<<20)
+	plain := fft()
+	damped := plain
+	damped.HitMass = 0.5
+	r1, err := Evaluate(cfg, plain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Evaluate(cfg, damped, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Levels {
+		want := r1.Levels[i].MissFraction / 2
+		if math.Abs(r2.Levels[i].MissFraction-want) > 1e-12 {
+			t.Errorf("level %d: HitMass=0.5 miss %v, want %v", i, r2.Levels[i].MissFraction, want)
+		}
+	}
+}
+
+func TestBytesPerItemScaling(t *testing.T) {
+	cfg := uniproc(256<<10, 64<<20)
+	w8 := fft()
+	w16 := fft()
+	w16.BytesPerItem = 16
+	r8, err := Evaluate(cfg, w8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := Evaluate(cfg, w16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger items mean fewer fit in the same cache: misses rise.
+	if r16.Levels[0].MissFraction <= r8.Levels[0].MissFraction {
+		t.Errorf("16-byte items should miss more: %v vs %v",
+			r16.Levels[0].MissFraction, r8.Levels[0].MissFraction)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	good := fft()
+	cfg := uniproc(256<<10, 64<<20)
+
+	bad := good
+	bad.Locality.Alpha = 0.5
+	if _, err := Evaluate(cfg, bad, Options{}); err == nil {
+		t.Error("bad alpha accepted")
+	}
+	bad = good
+	bad.HitMass = 1.5
+	if _, err := Evaluate(cfg, bad, Options{}); err == nil {
+		t.Error("bad HitMass accepted")
+	}
+	bad = good
+	bad.Locality.Gamma = 0
+	if _, err := Evaluate(cfg, bad, Options{}); err == nil {
+		t.Error("gamma=0 accepted")
+	}
+	badCfg := cfg
+	badCfg.CacheBytes = 0
+	if _, err := Evaluate(badCfg, good, Options{}); err == nil {
+		t.Error("bad config accepted")
+	}
+	noNet := machine.Config{Name: "x", Kind: machine.ClusterWS, N: 4, Procs: 1,
+		CacheBytes: 1 << 18, MemoryBytes: 1 << 26, Net: machine.NetNone, ClockMHz: 200}
+	if _, err := Evaluate(noNet, good, Options{}); err == nil || !strings.Contains(err.Error(), "network") {
+		t.Errorf("cluster without network: err=%v", err)
+	}
+}
+
+func TestSingleMachineClusterDegenerations(t *testing.T) {
+	// A 1-machine cluster of SMPs must equal the SMP model.
+	smp := machine.Config{Name: "s", Kind: machine.SMP, N: 1, Procs: 2,
+		CacheBytes: 256 << 10, MemoryBytes: 64 << 20, Net: machine.NetNone, ClockMHz: 200}
+	csmp := smp
+	csmp.Kind = machine.ClusterSMP
+	a, err := Evaluate(smp, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(csmp, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.T-b.T) > 1e-9 {
+		t.Errorf("1-machine cluster-of-SMPs T=%v differs from SMP T=%v", b.T, a.T)
+	}
+	// A 1-machine "cluster" of workstations is a uniprocessor.
+	ws := machine.Config{Name: "w", Kind: machine.ClusterWS, N: 1, Procs: 1,
+		CacheBytes: 256 << 10, MemoryBytes: 64 << 20, Net: machine.NetNone, ClockMHz: 200}
+	uni := uniproc(256<<10, 64<<20)
+	c, err := Evaluate(ws, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Evaluate(uni, fft(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.T-d.T) > 1e-9 {
+		t.Errorf("1-node WS cluster T=%v differs from uniprocessor T=%v", c.T, d.T)
+	}
+}
+
+// TestFixedPointConsistency verifies the solved T satisfies its own
+// equation: recomputing the right-hand side at the achieved rate
+// reproduces T.
+func TestFixedPointConsistency(t *testing.T) {
+	for _, name := range []string{"C5", "C8", "C14"} {
+		cfg, err := machine.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Evaluate(cfg, fft(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild T from the reported level stats plus cache and barrier.
+		sum := 1.0 + res.Barrier
+		for _, lv := range res.Levels {
+			sum += lv.CyclesPerRef
+		}
+		if math.Abs(sum-res.T) > 1e-6*res.T {
+			t.Errorf("%s: level stats sum to %v, T = %v", name, sum, res.T)
+		}
+	}
+}
+
+// TestPaperWorkloadOrdering reproduces a core qualitative claim: on the
+// same SMP, the workload with the worst locality (Radix) has the highest
+// per-instruction time of the scientific codes once weighted by γ.
+func TestPaperWorkloadOrdering(t *testing.T) {
+	cfg, _ := machine.ByName("C5")
+	results := map[string]float64{}
+	for _, wl := range PaperWorkloads() {
+		res, err := Evaluate(cfg, wl, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[wl.Name] = res.EInstr
+	}
+	if results["Radix"] <= results["LU"] || results["Radix"] <= results["FFT"] {
+		t.Errorf("Radix should be slowest per instruction: %+v", results)
+	}
+}
+
+func TestPaperWorkloadLookup(t *testing.T) {
+	for _, name := range []string{"FFT", "LU", "Radix", "EDGE", "TPC-C"} {
+		w, ok := PaperWorkload(name)
+		if !ok || w.Name != name {
+			t.Errorf("PaperWorkload(%q) = %+v, %v", name, w, ok)
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, ok := PaperWorkload("nope"); ok {
+		t.Error("unknown workload found")
+	}
+}
+
+// TestEvaluatePropertyStability fuzzes workload parameters within the
+// model's domain and checks Evaluate never returns garbage.
+func TestEvaluatePropertyStability(t *testing.T) {
+	cfg, _ := machine.ByName("C8")
+	f := func(aRaw, bRaw, gRaw uint16) bool {
+		wl := Workload{
+			Name: "fuzz",
+			Locality: locality.Params{
+				Alpha: 1.02 + float64(aRaw%300)/100,
+				Beta:  1 + float64(bRaw%5000),
+				Gamma: 0.05 + float64(gRaw%90)/100,
+			},
+		}
+		res, err := Evaluate(cfg, wl, Options{})
+		if err != nil {
+			return false
+		}
+		return res.T >= 1 && !math.IsNaN(res.T) && !math.IsInf(res.T, 0) &&
+			res.EInstr > 0 && res.EInstr < 1e9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	cfg, _ := machine.ByName("C14")
+	wl := fft()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(cfg, wl, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestConflictCurveInterpolation(t *testing.T) {
+	cfg := uniproc(256<<10, 64<<20) // cache = 32768 items
+	wl := fft()
+	wl.ConflictCurve = []ConflictPoint{
+		{CapacityItems: 1 << 10, Kappa: 4},
+		{CapacityItems: 1 << 15, Kappa: 2}, // exactly the cache capacity
+		{CapacityItems: 1 << 20, Kappa: 1},
+	}
+	res, err := Evaluate(cfg, wl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := fft()
+	base, err := Evaluate(cfg, plain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the knot the curve applies exactly kappa = 2.
+	want := base.Levels[0].MissFraction * 2
+	if math.Abs(res.Levels[0].MissFraction-want) > 1e-9 {
+		t.Errorf("curve at knot: miss %v, want %v", res.Levels[0].MissFraction, want)
+	}
+	// Below the first knot and above the last, kappa clamps. A light tail
+	// keeps the κ-scaled miss under the 1−HitMass cap.
+	light := Workload{Name: "light",
+		Locality:      locality.Params{Alpha: 2.5, Beta: 20, Gamma: 0.3},
+		ConflictCurve: wl.ConflictCurve}
+	lightPlain := light
+	lightPlain.ConflictCurve = nil
+	small := uniproc(4<<10, 64<<20) // 512 items < first knot
+	resSmall, err := Evaluate(small, light, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSmall, err := Evaluate(small, lightPlain, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := resSmall.Levels[0].MissFraction / baseSmall.Levels[0].MissFraction
+	if math.Abs(ratio-4) > 1e-9 {
+		t.Errorf("clamp below first knot: kappa %v, want 4", ratio)
+	}
+	// Interpolation is monotone between knots and the curve wins over the
+	// scalar factor.
+	wl.ConflictFactor = 100
+	resAgain, err := Evaluate(cfg, wl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resAgain.Levels[0].MissFraction-want) > 1e-9 {
+		t.Error("scalar ConflictFactor overrode the curve")
+	}
+}

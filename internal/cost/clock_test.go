@@ -1,0 +1,127 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"memhier/internal/core"
+	"memhier/internal/machine"
+)
+
+func TestClockOptionsEnumeration(t *testing.T) {
+	space := DefaultSpace()
+	single := len(space.Enumerate())
+	space.ClockOptions = []float64{200, 400}
+	double := space.Enumerate()
+	if len(double) != 2*single {
+		t.Errorf("two clocks should double the space: %d vs %d", len(double), single)
+	}
+	seen := map[float64]bool{}
+	for _, c := range double {
+		seen[c.ClockMHz] = true
+		if c.ClockMHz == 400 && c.Name == "" {
+			t.Error("unnamed 400MHz config")
+		}
+	}
+	if !seen[200] || !seen[400] {
+		t.Errorf("clocks missing from enumeration: %+v", seen)
+	}
+}
+
+func TestFasterCPUCostsMore(t *testing.T) {
+	cat := DefaultCatalog()
+	base := ws(1, 256<<10, 32<<20, machine.NetNone)
+	fast := base
+	fast.ClockMHz = 400
+	pBase, err := cat.MachineCost(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFast, err := cat.MachineCost(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pFast != pBase+2*500 {
+		t.Errorf("400MHz premium wrong: %v vs %v", pFast, pBase)
+	}
+	// SMPs pay per processor.
+	s := smp(4, 256<<10, 64<<20)
+	s.ClockMHz = 300
+	pSMP, err := cat.MachineCost(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ClockMHz = 200
+	pSMP200, err := cat.MachineCost(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pSMP != pSMP200+4*500 {
+		t.Errorf("SMP clock premium wrong: %v vs %v", pSMP, pSMP200)
+	}
+	// No refund below the baseline.
+	slow := base
+	slow.ClockMHz = 100
+	pSlow, err := cat.MachineCost(slow)
+	if err != nil || pSlow != pBase {
+		t.Errorf("slow clock priced %v, want %v", pSlow, pBase)
+	}
+}
+
+// TestOptimizeRanksBySeconds: with mixed clocks, cycle counts are not
+// comparable; the winner must be the wall-time best.
+func TestOptimizeRanksBySeconds(t *testing.T) {
+	wl, _ := core.PaperWorkload("LU")
+	space := DefaultSpace()
+	space.ClockOptions = []float64{200, 400}
+	best, all, err := Optimize(30000, wl, DefaultCatalog(), space, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range all {
+		if s.Seconds < best.Seconds-1e-18 {
+			t.Errorf("ranking broken: %v s beats winner's %v s", s.Seconds, best.Seconds)
+		}
+		if s.Seconds <= 0 {
+			t.Errorf("missing Seconds on %+v", s)
+		}
+	}
+}
+
+// TestSpeedGapInOptimizer: because memory and network are wall-time
+// devices, doubling the clock must *not* halve wall time — the model's
+// diminishing return that makes "more machines" competitive with "faster
+// machines".
+func TestSpeedGapInOptimizer(t *testing.T) {
+	wl, _ := core.PaperWorkload("Radix") // memory bound: the wall bites hardest
+	cfg := smp(4, 256<<10, 128<<20)
+	r200, err := core.Evaluate(cfg, wl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ClockMHz = 400
+	r400, err := core.Evaluate(cfg, wl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := r200.Seconds / r400.Seconds
+	if speedup >= 1.9 {
+		t.Errorf("2x clock gave %vx on a memory-bound code — wall missing", speedup)
+	}
+	if speedup <= 1 {
+		t.Errorf("faster clock should still help some: %vx", speedup)
+	}
+	if math.IsNaN(speedup) {
+		t.Fatal("NaN speedup")
+	}
+}
+
+func TestUpgradeRejectsClockChange(t *testing.T) {
+	cat := DefaultCatalog()
+	old := ws(2, 256<<10, 32<<20, machine.NetBus10)
+	next := old
+	next.ClockMHz = 400
+	if _, err := cat.UpgradeCost(old, next); err == nil {
+		t.Error("clock change accepted in an upgrade")
+	}
+}

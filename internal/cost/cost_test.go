@@ -1,0 +1,375 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"memhier/internal/core"
+	"memhier/internal/machine"
+)
+
+func ws(n int, cache, mem int64, net machine.NetworkKind) machine.Config {
+	return machine.Config{Name: "ws", Kind: machine.ClusterWS, N: n, Procs: 1,
+		CacheBytes: cache, MemoryBytes: mem, Net: net, ClockMHz: 200}
+}
+
+func smp(n int, cache, mem int64) machine.Config {
+	return machine.Config{Name: "smp", Kind: machine.SMP, N: 1, Procs: n,
+		CacheBytes: cache, MemoryBytes: mem, Net: machine.NetNone, ClockMHz: 200}
+}
+
+func TestMachineCost(t *testing.T) {
+	cat := DefaultCatalog()
+	// Base workstation.
+	got, err := cat.MachineCost(ws(1, 256<<10, 32<<20, machine.NetNone))
+	if err != nil || got != 950 {
+		t.Errorf("base WS = %v, %v; want 950", got, err)
+	}
+	// 64 MB workstation: +150.
+	got, err = cat.MachineCost(ws(1, 256<<10, 64<<20, machine.NetNone))
+	if err != nil || got != 1100 {
+		t.Errorf("64MB WS = %v, %v; want 1100", got, err)
+	}
+	// 512 KB cache: +300.
+	got, err = cat.MachineCost(ws(1, 512<<10, 32<<20, machine.NetNone))
+	if err != nil || got != 1250 {
+		t.Errorf("512KB WS = %v, %v; want 1250", got, err)
+	}
+	// 2-processor SMP base (64 MB): 6000; cache upgrade counts per CPU.
+	got, err = cat.MachineCost(smp(2, 512<<10, 64<<20))
+	if err != nil || got != 6600 {
+		t.Errorf("2-proc SMP 512KB = %v, %v; want 6600", got, err)
+	}
+	// Unknown SMP size.
+	if _, err := cat.MachineCost(smp(3, 256<<10, 64<<20)); err == nil {
+		t.Error("3-processor SMP priced")
+	}
+}
+
+func TestClusterCost(t *testing.T) {
+	cat := DefaultCatalog()
+	// Four 64MB workstations on 10Mb Ethernet: 4×(1100+75).
+	got, err := cat.ClusterCost(ws(4, 256<<10, 64<<20, machine.NetBus10))
+	if err != nil || got != 4*(1100+75) {
+		t.Errorf("Ethernet cluster = %v, %v; want %v", got, err, 4*(1100+75))
+	}
+	// Three 32MB workstations on ATM: 3×(950+650).
+	got, err = cat.ClusterCost(ws(3, 256<<10, 32<<20, machine.NetSwitch155))
+	if err != nil || got != 3*(950+650) {
+		t.Errorf("ATM cluster = %v, %v; want %v", got, err, 3*(950+650))
+	}
+	// Single machine pays no network.
+	got, err = cat.ClusterCost(smp(2, 256<<10, 64<<20))
+	if err != nil || got != 6000 {
+		t.Errorf("single SMP = %v, %v; want 6000", got, err)
+	}
+}
+
+// TestCaseStudyBudgetBoundaries verifies the catalog reproduces the paper's
+// narrative: both §6 candidate clusters fit in $5,000, no SMP does, and
+// $20,000 admits SMPs.
+func TestCaseStudyBudgetBoundaries(t *testing.T) {
+	cat := DefaultCatalog()
+	eth, err := cat.ClusterCost(ws(4, 256<<10, 64<<20, machine.NetBus10))
+	if err != nil || eth > 5000 {
+		t.Errorf("4-node Ethernet cluster costs %v (err %v), must fit $5,000", eth, err)
+	}
+	atm, err := cat.ClusterCost(ws(3, 256<<10, 32<<20, machine.NetSwitch155))
+	if err != nil || atm > 5000 {
+		t.Errorf("3-node ATM cluster costs %v (err %v), must fit $5,000", atm, err)
+	}
+	cheapSMP, err := cat.ClusterCost(smp(2, 256<<10, 64<<20))
+	if err != nil || cheapSMP <= 5000 {
+		t.Errorf("cheapest SMP costs %v (err %v), must exceed $5,000", cheapSMP, err)
+	}
+	if cheapSMP > 20000 {
+		t.Errorf("cheapest SMP costs %v, must fit $20,000", cheapSMP)
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	space := DefaultSpace()
+	cfgs := space.Enumerate()
+	if len(cfgs) == 0 {
+		t.Fatal("empty enumeration")
+	}
+	kinds := map[machine.PlatformKind]int{}
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("enumerated invalid config %+v: %v", c, err)
+		}
+		kinds[c.Kind]++
+		if c.N > space.MaxMachines {
+			t.Errorf("config exceeds MaxMachines: %+v", c)
+		}
+	}
+	for _, k := range []machine.PlatformKind{machine.SMP, machine.ClusterWS, machine.ClusterSMP} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v configurations enumerated", k)
+		}
+	}
+}
+
+func TestOptimizeRespectsBudget(t *testing.T) {
+	wl, _ := core.PaperWorkload("FFT")
+	best, all, err := Optimize(5000, wl, DefaultCatalog(), DefaultSpace(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Cost > 5000 {
+		t.Errorf("winner over budget: %+v", best)
+	}
+	for _, s := range all {
+		if s.Cost > 5000 {
+			t.Errorf("feasible set contains over-budget config: %+v", s)
+		}
+		if s.EInstr < best.EInstr {
+			t.Errorf("ranking broken: %v beats winner %v", s.EInstr, best.EInstr)
+		}
+	}
+	// $5,000 cannot buy an SMP.
+	for _, s := range all {
+		if s.Config.Kind != machine.ClusterWS {
+			t.Errorf("non-workstation platform feasible at $5,000: %+v", s.Config)
+		}
+	}
+}
+
+func TestOptimizeMoreBudgetNeverWorse(t *testing.T) {
+	wl, _ := core.PaperWorkload("Radix")
+	small, _, err := Optimize(5000, wl, DefaultCatalog(), DefaultSpace(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, _, err := Optimize(20000, wl, DefaultCatalog(), DefaultSpace(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.EInstr > small.EInstr {
+		t.Errorf("larger budget worse: %v vs %v", large.EInstr, small.EInstr)
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	wl, _ := core.PaperWorkload("FFT")
+	if _, _, err := Optimize(0, wl, DefaultCatalog(), DefaultSpace(), core.Options{}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, _, err := Optimize(10, wl, DefaultCatalog(), DefaultSpace(), core.Options{}); err == nil {
+		t.Error("infeasible budget produced a result")
+	}
+}
+
+func TestUpgradeCost(t *testing.T) {
+	cat := DefaultCatalog()
+	old := ws(4, 256<<10, 32<<20, machine.NetBus10)
+
+	// Add memory only: 4 machines × 32MB × 150.
+	next := old
+	next.MemoryBytes = 64 << 20
+	got, err := cat.UpgradeCost(old, next)
+	if err != nil || got != 4*150 {
+		t.Errorf("memory upgrade = %v, %v; want 600", got, err)
+	}
+	// Add two machines on the same network: 2×(950+75).
+	next = old
+	next.N = 6
+	got, err = cat.UpgradeCost(old, next)
+	if err != nil || got != 2*(950+75) {
+		t.Errorf("machine add = %v, %v; want %v", got, err, 2*(950+75))
+	}
+	// Network change re-equips every node.
+	next = old
+	next.Net = machine.NetSwitch155
+	got, err = cat.UpgradeCost(old, next)
+	if err != nil || got != 4*650 {
+		t.Errorf("net change = %v, %v; want 2600", got, err)
+	}
+	// Class changes are rejected.
+	bad := old
+	bad.Kind = machine.ClusterSMP
+	bad.Procs = 2
+	if _, err := cat.UpgradeCost(old, bad); err == nil {
+		t.Error("class change accepted")
+	}
+	shrink := old
+	shrink.N = 2
+	if _, err := cat.UpgradeCost(old, shrink); err == nil {
+		t.Error("machine removal accepted")
+	}
+	// No-op upgrade is free.
+	got, err = cat.UpgradeCost(old, old)
+	if err != nil || got != 0 {
+		t.Errorf("no-op upgrade = %v, %v; want 0", got, err)
+	}
+}
+
+func TestUpgradeImproves(t *testing.T) {
+	wl, _ := core.PaperWorkload("FFT")
+	existing := ws(2, 256<<10, 32<<20, machine.NetBus10)
+	plan, err := Upgrade(existing, 3000, wl, DefaultCatalog(), DefaultSpace(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.UpgradeCost > 3000 {
+		t.Errorf("plan over budget: %+v", plan)
+	}
+	if plan.NewEInstr > plan.OldEInstr {
+		t.Errorf("upgrade made things worse: %+v", plan)
+	}
+	if plan.Speedup < 1 {
+		t.Errorf("speedup %v < 1", plan.Speedup)
+	}
+	// With zero budget the plan is a no-op.
+	noop, err := Upgrade(existing, 0, wl, DefaultCatalog(), DefaultSpace(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noop.To != existing || noop.UpgradeCost != 0 || noop.Speedup != 1 {
+		t.Errorf("zero-budget plan not a no-op: %+v", noop)
+	}
+	if _, err := Upgrade(existing, -5, wl, DefaultCatalog(), DefaultSpace(), core.Options{}); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+// TestRecommendPaperExamples reproduces the §6 classification of the
+// paper's five example workloads.
+func TestRecommendPaperExamples(t *testing.T) {
+	want := map[string]Principle{
+		"LU":    PrincipleManyWSSlowNet,
+		"FFT":   PrincipleFewWSFastNet,
+		"EDGE":  PrincipleBigMemorySlowNet,
+		"Radix": PrincipleSMP,
+		"TPC-C": PrincipleSMPOrFastSMPCluster,
+	}
+	for name, principle := range want {
+		wl, ok := core.PaperWorkload(name)
+		if !ok {
+			t.Fatalf("missing workload %s", name)
+		}
+		if got := Recommend(wl); got != principle {
+			t.Errorf("Recommend(%s) = %v, want %v", name, got, principle)
+		}
+	}
+}
+
+func TestPrincipleStrings(t *testing.T) {
+	for p := Principle(0); p <= PrincipleSMPOrFastSMPCluster; p++ {
+		if p.String() == "" {
+			t.Errorf("principle %d unnamed", int(p))
+		}
+	}
+	if !strings.Contains(Principle(42).String(), "42") {
+		t.Error("unknown principle should include its value")
+	}
+}
+
+func TestUpgradeAdvice(t *testing.T) {
+	wl, _ := core.PaperWorkload("EDGE")
+	advice, err := UpgradeAdvice(ws(4, 256<<10, 32<<20, machine.NetBus100), wl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(advice, "capacity") && !strings.Contains(advice, "network") {
+		t.Errorf("advice %q names neither lever", advice)
+	}
+	// A workload whose remote traffic is pure coherence (steep capacity
+	// tail, measured coherence misses) is insensitive to memory capacity:
+	// the paper's rule says upgrade the network first.
+	coherent := wl
+	coherent.Locality.Alpha = 3.5 // capacity tail vanishes fast
+	coherent.CoherenceMissRate = 0.05
+	advice, err = UpgradeAdvice(ws(4, 256<<10, 32<<20, machine.NetBus100), coherent, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(advice, "network bandwidth") {
+		t.Errorf("coherence-bound workload should get network-first advice, got %q", advice)
+	}
+	// Capacity-sensitive workload (heavy tail): capacity-first advice.
+	advice, err = UpgradeAdvice(ws(4, 256<<10, 32<<20, machine.NetBus100), wl, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(advice, "capacity") {
+		t.Errorf("capacity-sensitive workload should get capacity-first advice, got %q", advice)
+	}
+}
+
+func TestEnumeratePricingTotal(t *testing.T) {
+	// Every enumerated configuration must be priceable and cost more with
+	// more machines, all else equal.
+	cat := DefaultCatalog()
+	for _, cfg := range DefaultSpace().Enumerate() {
+		price, err := cat.ClusterCost(cfg)
+		if err != nil {
+			t.Fatalf("unpriceable config %+v: %v", cfg, err)
+		}
+		if price <= 0 {
+			t.Fatalf("free config %+v", cfg)
+		}
+		if cfg.N > 1 {
+			smaller := cfg
+			smaller.N--
+			if smaller.Validate() == nil {
+				ps, err := cat.ClusterCost(smaller)
+				if err == nil && ps >= price {
+					t.Errorf("removing a machine did not lower cost: %+v", cfg)
+				}
+			}
+		}
+	}
+}
+
+func TestUpgradeCostMonotoneInBudgetTargets(t *testing.T) {
+	cat := DefaultCatalog()
+	old := ws(2, 256<<10, 32<<20, machine.NetBus10)
+	// Combined upgrade = at least each single-dimension upgrade.
+	combo := old
+	combo.N = 4
+	combo.MemoryBytes = 64 << 20
+	combo.Net = machine.NetSwitch155
+	comboCost, err := cat.UpgradeCost(old, combo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := old
+	single.Net = machine.NetSwitch155
+	netOnly, err := cat.UpgradeCost(old, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comboCost <= netOnly {
+		t.Errorf("combined upgrade (%v) should exceed network-only (%v)", comboCost, netOnly)
+	}
+}
+
+func TestOptimizeRanksNetworkSensitivity(t *testing.T) {
+	// The paper's FFT claim: with poor locality and cheap nodes, a fast
+	// network beats more nodes. Verify the $5,000 FFT winner uses a faster
+	// network than 10Mb Ethernet or is otherwise strictly better than the
+	// best 10Mb option.
+	wl, _ := core.PaperWorkload("FFT")
+	best, all, err := Optimize(5000, wl, DefaultCatalog(), DefaultSpace(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best10 *Scored
+	for i := range all {
+		if all[i].Config.Net == machine.NetBus10 {
+			best10 = &all[i]
+			break
+		}
+	}
+	if best10 == nil {
+		t.Skip("no 10Mb configuration feasible")
+	}
+	if best.Config.Net == machine.NetBus10 {
+		t.Errorf("FFT winner uses 10Mb Ethernet: %+v", best)
+	}
+	if math.IsNaN(best.EInstr) || best.EInstr > best10.EInstr {
+		t.Errorf("winner (%v) not better than best 10Mb option (%v)", best.EInstr, best10.EInstr)
+	}
+}

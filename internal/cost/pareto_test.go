@@ -1,0 +1,81 @@
+package cost
+
+import (
+	"testing"
+
+	"memhier/internal/core"
+)
+
+func TestParetoFrontProperties(t *testing.T) {
+	wl, _ := core.PaperWorkload("FFT")
+	front, err := ParetoFront(wl, DefaultCatalog(), DefaultSpace(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 3 {
+		t.Fatalf("suspiciously small front: %d points", len(front))
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Cost <= front[i-1].Cost {
+			t.Errorf("front not strictly increasing in cost at %d: %v <= %v",
+				i, front[i].Cost, front[i-1].Cost)
+		}
+		if front[i].EInstr >= front[i-1].EInstr {
+			t.Errorf("front not strictly decreasing in E at %d: %v >= %v",
+				i, front[i].EInstr, front[i-1].EInstr)
+		}
+	}
+	// Non-domination against the whole space: the eq. 6 winner at any
+	// budget must match a front point's E(Instr).
+	for _, budget := range []float64{3000, 8000, 25000} {
+		best, _, err := Optimize(budget, wl, DefaultCatalog(), DefaultSpace(), core.Options{})
+		if err != nil {
+			continue
+		}
+		var frontBestE float64
+		found := false
+		for _, p := range front {
+			if p.Cost <= budget {
+				frontBestE = p.EInstr
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("budget %v: no front point within budget", budget)
+			continue
+		}
+		if best.EInstr < frontBestE-1e-9 {
+			t.Errorf("budget %v: optimizer found %v better than front's %v", budget, best.EInstr, frontBestE)
+		}
+	}
+}
+
+func TestKneePoint(t *testing.T) {
+	wl, _ := core.PaperWorkload("EDGE")
+	front, err := ParetoFront(wl, DefaultCatalog(), DefaultSpace(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knee, err := KneePoint(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onFront := false
+	for _, p := range front {
+		if p.Config == knee.Config {
+			onFront = true
+		}
+	}
+	if !onFront {
+		t.Error("knee not on the front")
+	}
+	// Degenerate inputs.
+	if _, err := KneePoint(nil); err == nil {
+		t.Error("empty front accepted")
+	}
+	single := front[:1]
+	k, err := KneePoint(single)
+	if err != nil || k.Config != single[0].Config {
+		t.Errorf("single-point knee: %+v, %v", k, err)
+	}
+}

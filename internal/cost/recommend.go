@@ -1,0 +1,107 @@
+package cost
+
+import (
+	"fmt"
+
+	"memhier/internal/core"
+	"memhier/internal/machine"
+)
+
+// Principle is one of the paper's §6 workload-class recommendations for
+// building a cost-effective cluster.
+type Principle int
+
+// The five §6 principles, in the paper's order.
+const (
+	// PrincipleManyWSSlowNet: CPU bound with good locality → a slow network
+	// of a large number of high-speed workstations (example: LU).
+	PrincipleManyWSSlowNet Principle = iota
+	// PrincipleFewWSFastNet: CPU bound with poor locality → a fast network
+	// of a small number of high-speed workstations (example: FFT).
+	PrincipleFewWSFastNet
+	// PrincipleBigMemorySlowNet: memory bound with good locality → a slow
+	// network of workstations with large memories (example: EDGE).
+	PrincipleBigMemorySlowNet
+	// PrincipleSMP: memory bound with poor locality → an SMP (example:
+	// Radix).
+	PrincipleSMP
+	// PrincipleSMPOrFastSMPCluster: memory and I/O bound with a very large
+	// β → an SMP or a fast cluster of SMPs (example: TPC-C).
+	PrincipleSMPOrFastSMPCluster
+)
+
+// String returns the recommendation text.
+func (p Principle) String() string {
+	switch p {
+	case PrincipleManyWSSlowNet:
+		return "slow network of a large number of high-speed workstations"
+	case PrincipleFewWSFastNet:
+		return "fast network of a small number of high-speed workstations"
+	case PrincipleBigMemorySlowNet:
+		return "slow network of workstations with a large capacity of memories"
+	case PrincipleSMP:
+		return "an SMP (processor count may be limited)"
+	case PrincipleSMPOrFastSMPCluster:
+		return "an SMP or a fast cluster of SMPs"
+	}
+	return fmt.Sprintf("Principle(%d)", int(p))
+}
+
+// Classification thresholds, from the paper's examples: γ below ~0.35 reads
+// as CPU bound (FFT 0.20, LU 0.31) and above as memory bound (Radix 0.37,
+// EDGE 0.45); β under 100 is good locality, over 100 poor; TPC-C's β over
+// 1000 is "very large".
+const (
+	gammaMemoryBound = 0.35
+	betaPoorLocality = 100
+	betaVeryLarge    = 1000
+)
+
+// Recommend classifies a workload into the paper's §6 principles.
+func Recommend(wl core.Workload) Principle {
+	gamma := wl.Locality.Gamma
+	beta := wl.Locality.Beta
+	switch {
+	case gamma >= gammaMemoryBound && beta >= betaVeryLarge:
+		return PrincipleSMPOrFastSMPCluster
+	case gamma < gammaMemoryBound && beta < betaPoorLocality:
+		return PrincipleManyWSSlowNet
+	case gamma < gammaMemoryBound:
+		return PrincipleFewWSFastNet
+	case beta < betaPoorLocality:
+		return PrincipleBigMemorySlowNet
+	default:
+		return PrincipleSMP
+	}
+}
+
+// UpgradeAdvice is the paper's final §6 recommendation: spend first on
+// cache/memory capacity to cut network usage; if network traffic is
+// insensitive to capacity, upgrade the network bandwidth first. The
+// decision probe compares the modeled remote traffic before and after a
+// hypothetical memory doubling.
+func UpgradeAdvice(cfg machine.Config, wl core.Workload, opts core.Options) (string, error) {
+	base, err := core.Evaluate(cfg, wl, opts)
+	if err != nil {
+		return "", err
+	}
+	bigger := cfg
+	bigger.MemoryBytes *= 2
+	grown, err := core.Evaluate(bigger, wl, opts)
+	if err != nil {
+		return "", err
+	}
+	remote := func(r core.Result) float64 {
+		for _, lv := range r.Levels {
+			if lv.Name == "remote memory" {
+				return lv.MissFraction
+			}
+		}
+		return 0
+	}
+	b, g := remote(base), remote(grown)
+	if b > 0 && (b-g)/b < 0.05 {
+		return "network activity is nearly independent of memory capacity: upgrade the cluster network bandwidth first", nil
+	}
+	return "spend first on increasing cache/memory capacity to reduce network usage", nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memhier/internal/core"
+	"memhier/internal/machine"
+	"memhier/internal/netmodel"
+	"memhier/internal/tabulate"
+)
+
+// ModernRow is one point of the beyond-1999 network extension experiment.
+type ModernRow struct {
+	Workload string
+	Network  string
+	EInstr   float64
+	VsSMP    float64 // E(cluster) / E(best 4-way SMP)
+}
+
+// CaseModernNetworks is an extension experiment the 1999 paper could not
+// run: it re-asks the §6 question — cluster of workstations or SMP? — with
+// post-1999 interconnects derived by the netmodel package. The paper's
+// conclusion steers memory-bound, poor-locality workloads (Radix) to SMPs
+// because 1999 cluster networks cost thousands of cycles per remote access;
+// as the derived remote latency falls toward memory latency, the
+// recommendation flips and the cluster's aggregate cache/memory wins.
+func CaseModernNetworks(opts core.Options) ([]ModernRow, *tabulate.Table, error) {
+	links := []netmodel.Link{netmodel.Ethernet10, netmodel.Ethernet100,
+		netmodel.ATM155, netmodel.Gigabit, netmodel.SAN2G}
+	t := tabulate.New("Extension: 4-node clusters vs a 4-way SMP as networks improve (E(Instr), cycles)",
+		"Program", "Network", "Cluster E", "SMP E", "cluster/SMP")
+	var rows []ModernRow
+	for _, wl := range append(core.PaperWorkloads(), core.PaperTPCC()) {
+		// Reference machine: the best 4-way SMP of the catalog space.
+		smp := machine.Config{Name: "SMP4", Kind: machine.SMP, N: 1, Procs: 4,
+			CacheBytes: 512 << 10, MemoryBytes: 128 << 20, Net: machine.NetNone, ClockMHz: 200}
+		smpRes, err := core.Evaluate(smp, wl, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: modern: SMP/%s: %w", wl.Name, err)
+		}
+		for _, link := range links {
+			cfg := machine.Config{Name: "WSx4/" + link.Name, Kind: machine.ClusterWS,
+				N: 4, Procs: 1, CacheBytes: 512 << 10, MemoryBytes: 128 << 20,
+				Net: link.NetKind(), ClockMHz: 200}
+			lat := netmodel.Latencies(cfg.Kind, link, cfg.ClockMHz)
+			o := opts
+			o.Latencies = &lat
+			res, err := core.Evaluate(cfg, wl, o)
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiments: modern: %s/%s: %w", link.Name, wl.Name, err)
+			}
+			row := ModernRow{Workload: wl.Name, Network: link.Name,
+				EInstr: res.EInstr, VsSMP: res.EInstr / smpRes.EInstr}
+			rows = append(rows, row)
+			t.AddRow(wl.Name, link.Name,
+				fmt.Sprintf("%.3f", res.EInstr),
+				fmt.Sprintf("%.3f", smpRes.EInstr),
+				fmt.Sprintf("%.2f", row.VsSMP))
+		}
+	}
+	return rows, t, nil
+}

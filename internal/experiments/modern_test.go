@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"memhier/internal/core"
+)
+
+func TestCaseModernNetworks(t *testing.T) {
+	rows, tab, err := CaseModernNetworks(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 25 { // 5 workloads x 5 links
+		t.Fatalf("got %d rows, want 25", len(rows))
+	}
+	// Per workload, the cluster/SMP ratio must fall monotonically as the
+	// network improves (the links are listed slowest first).
+	prev := map[string]float64{}
+	for _, r := range rows {
+		if p, ok := prev[r.Workload]; ok && r.VsSMP > p+1e-9 {
+			t.Errorf("%s: ratio rose from %v to %v at %s", r.Workload, p, r.VsSMP, r.Network)
+		}
+		prev[r.Workload] = r.VsSMP
+		if r.EInstr <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	// The §6 recommendation flips with modern fabrics: on the 2Gb SAN the
+	// I/O-bound TPC-C prefers the cluster's aggregated memory over the SMP.
+	for _, r := range rows {
+		if r.Workload == "TPC-C" && r.Network == "2Gb SAN" && r.VsSMP >= 1 {
+			t.Errorf("TPC-C on a SAN should beat the SMP, ratio %v", r.VsSMP)
+		}
+		if r.Workload == "Radix" && r.Network == "10Mb Ethernet" && r.VsSMP < 10 {
+			t.Errorf("Radix on 10Mb Ethernet should lose badly to the SMP, ratio %v", r.VsSMP)
+		}
+	}
+	if !strings.Contains(tab.String(), "2Gb SAN") {
+		t.Error("table missing the SAN rows")
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memhier/internal/core"
+	"memhier/internal/cost"
+	"memhier/internal/locality"
+	"memhier/internal/machine"
+	"memhier/internal/tabulate"
+)
+
+// PrincipleCell is one point of the (γ, β) sweep: what the §6 classifier
+// recommends versus what the eq. 6 optimizer actually picks.
+type PrincipleCell struct {
+	Gamma, Beta float64
+	Principle   cost.Principle
+	WinnerKind  machine.PlatformKind
+	WinnerNet   machine.NetworkKind
+	Agree       bool
+}
+
+// PrincipleMap sweeps synthetic workloads over the (γ, β) plane at a fixed
+// α and asks, for each cell, whether the optimizer's $20,000 winner matches
+// the platform family the §6 principle predicts. It is the quantitative
+// backing for the paper's principle list: the classifier is only useful
+// where it agrees with the model it summarizes.
+func PrincipleMap(alpha float64, gammas, betas []float64, budget float64, opts core.Options) ([]PrincipleCell, *tabulate.Table, error) {
+	if len(gammas) == 0 {
+		gammas = []float64{0.15, 0.25, 0.35, 0.45}
+	}
+	if len(betas) == 0 {
+		betas = []float64{30, 80, 150, 400, 1500}
+	}
+	if alpha <= 1 {
+		alpha = 1.3
+	}
+	if budget <= 0 {
+		budget = 20000
+	}
+	t := tabulate.New(
+		fmt.Sprintf("Principle map at alpha=%.2f, $%.0f: optimizer winner (— = agrees with §6 class)", alpha, budget),
+		append([]string{"gamma \\ beta"}, betaHeaders(betas)...)...)
+	var cells []PrincipleCell
+	for _, g := range gammas {
+		row := []string{fmt.Sprintf("%.2f", g)}
+		for _, b := range betas {
+			wl := core.Workload{
+				Name:     fmt.Sprintf("synthetic g%.2f b%.0f", g, b),
+				Locality: locality.Params{Alpha: alpha, Beta: b, Gamma: g},
+				// A paper-scale footprint keeps the disk level honest.
+				FootprintItems: 1 << 20,
+			}
+			principle := cost.Recommend(wl)
+			best, _, err := cost.Optimize(budget, wl, cost.DefaultCatalog(), cost.DefaultSpace(), opts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiments: principle map (γ=%v, β=%v): %w", g, b, err)
+			}
+			cell := PrincipleCell{Gamma: g, Beta: b, Principle: principle,
+				WinnerKind: best.Config.Kind, WinnerNet: best.Config.Net,
+				Agree: agrees(principle, best.Config)}
+			cells = append(cells, cell)
+			label := shortKind(best.Config)
+			if cell.Agree {
+				label += " —"
+			}
+			row = append(row, label)
+		}
+		t.AddRow(row...)
+	}
+	return cells, t, nil
+}
+
+func betaHeaders(betas []float64) []string {
+	out := make([]string, len(betas))
+	for i, b := range betas {
+		out[i] = fmt.Sprintf("β=%.0f", b)
+	}
+	return out
+}
+
+func shortKind(c machine.Config) string {
+	switch c.Kind {
+	case machine.SMP:
+		return fmt.Sprintf("SMP%d", c.Procs)
+	case machine.ClusterWS:
+		return fmt.Sprintf("WSx%d/%s", c.N, netShort(c.Net))
+	default:
+		return fmt.Sprintf("SMP%dx%d/%s", c.Procs, c.N, netShort(c.Net))
+	}
+}
+
+func netShort(n machine.NetworkKind) string {
+	switch n {
+	case machine.NetBus10:
+		return "10"
+	case machine.NetBus100:
+		return "100"
+	case machine.NetSwitch155:
+		return "atm"
+	}
+	return "-"
+}
+
+// agrees maps a principle to the platform families it endorses and checks
+// the winner belongs to one of them.
+func agrees(p cost.Principle, winner machine.Config) bool {
+	switch p {
+	case cost.PrincipleManyWSSlowNet:
+		return winner.Kind == machine.ClusterWS
+	case cost.PrincipleFewWSFastNet:
+		// "fast network of a small number of workstations" — accept any
+		// workstation platform on the fastest network, or a single machine
+		// (the degenerate small cluster).
+		return winner.Kind == machine.ClusterWS &&
+			(winner.Net == machine.NetSwitch155 || winner.N <= 2)
+	case cost.PrincipleBigMemorySlowNet:
+		return winner.Kind == machine.ClusterWS
+	case cost.PrincipleSMP:
+		return winner.Kind == machine.SMP
+	case cost.PrincipleSMPOrFastSMPCluster:
+		return winner.Kind == machine.SMP ||
+			(winner.Kind == machine.ClusterSMP && winner.Net == machine.NetSwitch155) ||
+			// the optimizer may find a fast workstation cluster whose
+			// aggregate memory serves the same end; count the fabric
+			(winner.Net == machine.NetSwitch155)
+	}
+	return false
+}
+
+// AgreementRate returns the fraction of cells where classifier and
+// optimizer agree.
+func AgreementRate(cells []PrincipleCell) float64 {
+	if len(cells) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range cells {
+		if c.Agree {
+			n++
+		}
+	}
+	return float64(n) / float64(len(cells))
+}

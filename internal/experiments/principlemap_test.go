@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"memhier/internal/core"
+	"memhier/internal/machine"
+)
+
+// TestPrincipleMapAlphaTransition pins the sweep's central finding: the
+// platform frontier moves with the locality decay α, which the paper's §6
+// classification (based on β and γ alone) does not capture. At a heavy
+// tail (α=1.15) the optimizer picks SMPs across the whole (γ, β) plane; at
+// a light tail (α=1.8) it picks workstation clusters nearly everywhere;
+// in between, both families appear.
+func TestPrincipleMapAlphaTransition(t *testing.T) {
+	kindCounts := func(alpha float64) (smp, ws int) {
+		cells, _, err := PrincipleMap(alpha, nil, nil, 20000, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cells {
+			switch c.WinnerKind {
+			case machine.SMP:
+				smp++
+			case machine.ClusterWS:
+				ws++
+			}
+		}
+		return smp, ws
+	}
+	smpHeavy, wsHeavy := kindCounts(1.15)
+	if wsHeavy != 0 || smpHeavy == 0 {
+		t.Errorf("alpha=1.15: want all-SMP plane, got smp=%d ws=%d", smpHeavy, wsHeavy)
+	}
+	smpLight, wsLight := kindCounts(1.8)
+	if smpLight != 0 || wsLight == 0 {
+		t.Errorf("alpha=1.8: want all-cluster plane, got smp=%d ws=%d", smpLight, wsLight)
+	}
+	smpMid, wsMid := kindCounts(1.5)
+	if smpMid == 0 || wsMid == 0 {
+		t.Errorf("alpha=1.5: want a mixed plane, got smp=%d ws=%d", smpMid, wsMid)
+	}
+}
+
+func TestPrincipleMapDefaultsAndTable(t *testing.T) {
+	cells, tab, err := PrincipleMap(0, nil, nil, 0, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 20 { // 4 gammas x 5 betas
+		t.Fatalf("cells = %d, want 20", len(cells))
+	}
+	out := tab.String()
+	if !strings.Contains(out, "gamma") || !strings.Contains(out, "β=1500") {
+		t.Errorf("map table malformed:\n%s", out)
+	}
+	rate := AgreementRate(cells)
+	if rate < 0 || rate > 1 {
+		t.Errorf("agreement rate %v out of range", rate)
+	}
+	if AgreementRate(nil) != 0 {
+		t.Error("empty agreement should be 0")
+	}
+}

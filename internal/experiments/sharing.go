@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"memhier/internal/sim/backend"
+	"memhier/internal/trace"
+)
+
+// SharingStats summarizes the cross-machine data sharing of a
+// multiprocessor address stream, measured without any timing simulation —
+// the model inputs that reconstruct the communication term of the paper's
+// cluster formulas (DESIGN.md §4).
+type SharingStats struct {
+	// RemoteShare is the fraction of references touching DSM blocks homed
+	// (first touched) on a different machine.
+	RemoteShare float64
+	// CoherenceMissRate is the fraction of references that re-touch a
+	// block another machine wrote since this machine's previous access:
+	// an invalidation-induced miss under write-invalidate coherence,
+	// independent of cache capacity.
+	CoherenceMissRate float64
+}
+
+// MeasureSharing analyzes the trace with streams merged round-robin (the
+// simulators' first-touch placement emerges from each process initializing
+// its own partition first). procsPerNode groups the trace's CPUs into
+// machines.
+func MeasureSharing(tr *trace.Trace, procsPerNode int) SharingStats {
+	if procsPerNode < 1 {
+		procsPerNode = 1
+	}
+	type blockState struct {
+		home  int
+		valid uint64 // nodes whose copy survived the last foreign write
+		seen  uint64 // nodes that ever touched the block
+	}
+	blocks := make(map[uint64]*blockState)
+	var refs, remote, coherence uint64
+	idx := make([]int, len(tr.Streams))
+	for {
+		progressed := false
+		for cpu, s := range tr.Streams {
+			if idx[cpu] >= len(s.Events) {
+				continue
+			}
+			e := s.Events[idx[cpu]]
+			idx[cpu]++
+			progressed = true
+			if e.Kind != trace.Read && e.Kind != trace.Write {
+				continue
+			}
+			node := cpu / procsPerNode
+			bit := uint64(1) << uint(node%64)
+			block := e.Addr / backend.DSMBlockSize
+			st, ok := blocks[block]
+			if !ok {
+				st = &blockState{home: node}
+				blocks[block] = st
+			}
+			refs++
+			if st.home != node {
+				remote++
+			}
+			// A re-reference by a node whose copy was invalidated by a
+			// foreign write is a coherence miss.
+			if st.seen&bit != 0 && st.valid&bit == 0 {
+				coherence++
+			}
+			st.seen |= bit
+			if e.Kind == trace.Write {
+				st.valid = bit
+			} else {
+				st.valid |= bit
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if refs == 0 {
+		return SharingStats{}
+	}
+	return SharingStats{
+		RemoteShare:       float64(remote) / float64(refs),
+		CoherenceMissRate: float64(coherence) / float64(refs),
+	}
+}
+
+// RemoteShareOf returns only the remote-home share; see MeasureSharing.
+func RemoteShareOf(tr *trace.Trace, procsPerNode int) float64 {
+	return MeasureSharing(tr, procsPerNode).RemoteShare
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"memhier/internal/core"
+)
+
+func TestCaseSizeScaling(t *testing.T) {
+	rows, tab, err := CaseSizeScaling(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		// The paper's claim: β grows with the data set (as does the
+		// footprint).
+		if rows[i].Beta <= rows[i-1].Beta {
+			t.Errorf("beta did not grow: %v after %v (points %d)", rows[i].Beta, rows[i-1].Beta, rows[i].Points)
+		}
+		if rows[i].Footprint <= rows[i-1].Footprint {
+			t.Errorf("footprint did not grow at %d points", rows[i].Points)
+		}
+	}
+	// The cost per instruction rises from the cache-resident size to the
+	// cache-saturating one in both model and simulator (between the two
+	// saturated sizes E plateaus, so only the endpoints are ordered).
+	first, last := rows[0], rows[len(rows)-1]
+	if last.SimE <= first.SimE {
+		t.Errorf("sim E did not grow from %d to %d points: %v vs %v",
+			first.Points, last.Points, first.SimE, last.SimE)
+	}
+	if last.ModelE <= first.ModelE {
+		t.Errorf("model E did not grow from %d to %d points: %v vs %v",
+			first.Points, last.Points, first.ModelE, last.ModelE)
+	}
+	if !strings.Contains(tab.String(), "fitted beta") {
+		t.Error("table missing beta column")
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memhier/internal/core"
+	"memhier/internal/machine"
+	"memhier/internal/tabulate"
+)
+
+// SpeedGapRow is one clock point of the processor–memory gap sweep.
+type SpeedGapRow struct {
+	ClockMHz float64
+	Seconds  float64 // modeled E(Instr) in seconds
+	Speedup  float64 // vs the 100 MHz baseline
+	// HierarchyShare is the fraction of each instruction's time spent
+	// beyond the cache (γ·(T−τ1)/E in cycles): the memory wall.
+	HierarchyShare float64
+}
+
+// machineConfigAt returns the reference 2-processor SMP at the given clock
+// (helper shared with the clock-scaling consistency test).
+func machineConfigAt(clockMHz float64) machine.Config {
+	return machine.Config{Name: fmt.Sprintf("SMP2@%g", clockMHz), Kind: machine.SMP,
+		N: 1, Procs: 2, CacheBytes: 256 << 10, MemoryBytes: 64 << 20,
+		Net: machine.NetNone, ClockMHz: clockMHz}
+}
+
+// CaseSpeedGap quantifies the claim of the paper's conclusions that the
+// memory-hierarchy factor "is playing a more important role as the speed
+// gap between processors and memory hierarchy access continues to widen":
+// sweeping the processor clock with wall-time-constant memory and network
+// devices (machine.LatenciesAt), the useful speedup from faster processors
+// saturates and the hierarchy's share of execution time climbs toward 1.
+func CaseSpeedGap(wl core.Workload, opts core.Options) ([]SpeedGapRow, *tabulate.Table, error) {
+	clocks := []float64{100, 200, 400, 800, 1600, 3200}
+	t := tabulate.New(
+		fmt.Sprintf("Extension: the processor-memory speed gap (%s on a 4-processor SMP)", wl.Name),
+		"Clock MHz", "E(Instr) ns", "Speedup vs 100MHz", "Hierarchy share")
+	var rows []SpeedGapRow
+	var base float64
+	for _, clock := range clocks {
+		cfg := machine.Config{Name: fmt.Sprintf("SMP4@%g", clock), Kind: machine.SMP,
+			N: 1, Procs: 4, CacheBytes: 512 << 10, MemoryBytes: 128 << 20,
+			Net: machine.NetNone, ClockMHz: clock}
+		res, err := core.Evaluate(cfg, wl, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: speed gap at %g MHz: %w", clock, err)
+		}
+		row := SpeedGapRow{ClockMHz: clock, Seconds: res.Seconds}
+		if base == 0 {
+			base = res.Seconds
+		}
+		row.Speedup = base / res.Seconds
+		// Per instruction: 1/S compute + γ·τ1 cache + γ·(T−τ1) hierarchy.
+		gamma := wl.Locality.Gamma
+		perInstr := 1 + gamma*res.T
+		row.HierarchyShare = gamma * (res.T - 1) / perInstr
+		rows = append(rows, row)
+		t.AddRow(fmt.Sprintf("%g", clock),
+			fmt.Sprintf("%.2f", res.Seconds*1e9),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%.1f%%", row.HierarchyShare*100))
+	}
+	return rows, t, nil
+}

@@ -1,0 +1,133 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables 1–5, Figures 2–4) and the §6 case studies, comparing
+// the analytical model of internal/core against the execution-driven
+// simulators of internal/sim/backend.
+//
+// Scaling: the validation experiments run the workloads at a reduced
+// problem scale with proportionally reduced cache/memory capacities
+// (machine.Config.Scaled), so every hierarchy level carries real traffic
+// while the whole matrix completes in seconds; EXPERIMENTS.md records the
+// paper-scale knobs. Model inputs for the validation come from a
+// cache-line-granularity characterization of the same traces the
+// simulators consume, which keeps the two sides' units consistent.
+package experiments
+
+import (
+	"fmt"
+
+	"memhier/internal/core"
+	"memhier/internal/machine"
+	"memhier/internal/trace"
+	"memhier/internal/workloads"
+)
+
+// Options configures a reproduction run.
+type Options struct {
+	// Scale selects workload problem sizes (default ScaleSmall).
+	Scale workloads.Scale
+	// Divisor scales down the catalog configurations' cache and memory
+	// capacities to match the reduced problem sizes. Zero means 16.
+	Divisor int
+	// Model passes through analytical-model options (ablations,
+	// calibration).
+	Model core.Options
+}
+
+func (o Options) divisor() int {
+	if o.Divisor <= 0 {
+		return 16
+	}
+	return o.Divisor
+}
+
+// Suite caches workload traces and characterizations across experiments.
+type Suite struct {
+	opts   Options
+	wls    []workloads.Workload
+	chars  map[string]workloads.Characterization // line-granularity (model inputs)
+	traces map[string]*trace.Trace               // keyed name/nproc
+	shares map[string]SharingStats               // keyed name/nproc/perNode
+}
+
+// NewSuite returns a reproduction suite for the paper's four applications.
+func NewSuite(opts Options) *Suite {
+	return &Suite{
+		opts:   opts,
+		wls:    workloads.Suite(opts.Scale),
+		chars:  make(map[string]workloads.Characterization),
+		traces: make(map[string]*trace.Trace),
+		shares: make(map[string]SharingStats),
+	}
+}
+
+// sharing caches MeasureSharing per (workload, trace shape, node grouping).
+func (s *Suite) sharing(name string, tr *trace.Trace, perNode int) SharingStats {
+	key := fmt.Sprintf("%s/%d/%d", name, tr.NumCPU(), perNode)
+	if v, ok := s.shares[key]; ok {
+		return v
+	}
+	v := MeasureSharing(tr, perNode)
+	s.shares[key] = v
+	return v
+}
+
+// Workloads returns the suite's applications in the paper's order.
+func (s *Suite) Workloads() []workloads.Workload { return s.wls }
+
+// Trace returns (and caches) the workload's trace for nproc processors.
+func (s *Suite) Trace(w workloads.Workload, nproc int) (*trace.Trace, error) {
+	key := fmt.Sprintf("%s/%d", w.Name(), nproc)
+	if tr, ok := s.traces[key]; ok {
+		return tr, nil
+	}
+	tr, err := workloads.GenerateTrace(w, nproc)
+	if err != nil {
+		return nil, err
+	}
+	s.traces[key] = tr
+	return tr, nil
+}
+
+// characterize returns (and caches) the line-granularity characterization
+// used as the model's input for validation experiments.
+func (s *Suite) characterize(w workloads.Workload) (workloads.Characterization, error) {
+	if c, ok := s.chars[w.Name()]; ok {
+		return c, nil
+	}
+	c, err := workloads.Characterize(w, workloads.CharacterizeOptions{LineSize: 64})
+	if err != nil {
+		return workloads.Characterization{}, err
+	}
+	s.chars[w.Name()] = c
+	return c, nil
+}
+
+// ModelWorkload converts a characterization into the analytical model's
+// workload description.
+func ModelWorkload(c workloads.Characterization) core.Workload {
+	bpi := float64(c.LineSize)
+	if bpi < 8 {
+		bpi = 8 // item-granularity characterizations use 8-byte items
+	}
+	wl := core.Workload{
+		Name:           c.Workload,
+		Locality:       c.Params,
+		HitMass:        c.HitMass,
+		BytesPerItem:   bpi,
+		FootprintItems: float64(c.Distinct),
+		ConflictFactor: c.Conflict,
+	}
+	for _, p := range c.ConflictCurve {
+		wl.ConflictCurve = append(wl.ConflictCurve, core.ConflictPoint{
+			CapacityItems: float64(p.Bytes) / bpi,
+			Kappa:         p.Kappa,
+		})
+	}
+	return wl
+}
+
+// scaledConfig shrinks a catalog configuration's capacities for the
+// reduced-scale validation runs.
+func (s *Suite) scaledConfig(cfg machine.Config) machine.Config {
+	return cfg.Scaled(s.opts.divisor())
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"memhier/internal/core"
+)
+
+// WriteAll renders the complete reproduction — every table, every figure,
+// and the §6 case studies — to w. It is what `chc-repro -all` runs.
+func WriteAll(w io.Writer, opts Options) error {
+	s := NewSuite(opts)
+
+	Table1().Render(w)
+	fmt.Fprintln(w)
+
+	if _, t2, err := s.Table2(); err != nil {
+		return err
+	} else {
+		t2.Render(w)
+	}
+	fmt.Fprintln(w)
+	PaperTable2().Render(w)
+	fmt.Fprintln(w)
+
+	Table3().Render(w)
+	fmt.Fprintln(w)
+	Table4().Render(w)
+	fmt.Fprintln(w)
+	Table5().Render(w)
+	fmt.Fprintln(w)
+
+	for _, fig := range []func() (Validation, error){s.Figure2, s.Figure3, s.Figure4} {
+		v, err := fig()
+		if err != nil {
+			return err
+		}
+		v.Table().Render(w)
+		fmt.Fprintln(w)
+	}
+
+	if _, t, err := Case1(opts.Model); err != nil {
+		return err
+	} else {
+		t.Render(w)
+	}
+	fmt.Fprintln(w)
+	if _, t, err := Case2(opts.Model); err != nil {
+		return err
+	} else {
+		t.Render(w)
+	}
+	fmt.Fprintln(w)
+	if _, t, err := Case3(2000, opts.Model); err != nil {
+		return err
+	} else {
+		t.Render(w)
+	}
+	fmt.Fprintln(w)
+	if _, t, err := CaseFFT4x(opts.Model); err != nil {
+		return err
+	} else {
+		t.Render(w)
+	}
+	fmt.Fprintln(w)
+	Principles().Render(w)
+	fmt.Fprintln(w)
+	if _, t, err := CaseModernNetworks(opts.Model); err != nil {
+		return err
+	} else {
+		t.Render(w)
+	}
+	fmt.Fprintln(w)
+	if fft, ok := core.PaperWorkload("FFT"); ok {
+		if _, t, err := CaseSpeedGap(fft, opts.Model); err != nil {
+			return err
+		} else {
+			t.Render(w)
+		}
+		fmt.Fprintln(w)
+	}
+
+	sc, err := s.ModelVsSimSpeed()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "§5.3 cost of prediction: model %v per evaluation vs simulation %v (%.0fx)\n",
+		sc.ModelTime, sc.SimTime, sc.Ratio)
+	return nil
+}

@@ -1,0 +1,165 @@
+package locality
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FitDensity estimates (α, β) from empirical density points: ds[i] is the
+// probability mass observed at stack distance xs[i] (paper eq. 2; the paper
+// fits both the cumulative and the density forms, §5.2). Masses must be
+// nonnegative; at least two points with distinct xs are required.
+//
+// The optimizer is the same damped Gauss–Newton over α = 1+e^a, β = e^b as
+// Fit, with residuals against p(x) = (α−1)/β · (x/β+1)^−α. Residuals are
+// taken in log space (log densities span many decades, and multiplicative
+// accuracy is what matters for a power law); zero-mass points are skipped.
+func FitDensity(xs, ds []float64, opts FitOptions) (Params, FitStats, error) {
+	if len(xs) != len(ds) {
+		return Params{}, FitStats{}, fmt.Errorf("locality: len(xs)=%d != len(ds)=%d", len(xs), len(ds))
+	}
+	w := opts.Weights
+	if w != nil && len(w) != len(xs) {
+		return Params{}, FitStats{}, fmt.Errorf("locality: len(weights)=%d != len(xs)=%d", len(w), len(xs))
+	}
+	// Keep the positive-mass points.
+	var fx, fy, fw []float64
+	for i := range xs {
+		if math.IsNaN(xs[i]) || xs[i] < 0 {
+			return Params{}, FitStats{}, fmt.Errorf("locality: invalid x[%d]=%v", i, xs[i])
+		}
+		if math.IsNaN(ds[i]) || ds[i] < 0 {
+			return Params{}, FitStats{}, fmt.Errorf("locality: invalid density[%d]=%v", i, ds[i])
+		}
+		if ds[i] == 0 {
+			continue
+		}
+		fx = append(fx, xs[i])
+		fy = append(fy, math.Log(ds[i]))
+		if w != nil {
+			fw = append(fw, w[i])
+		} else {
+			fw = append(fw, 1)
+		}
+	}
+	if len(fx) < 2 {
+		return Params{}, FitStats{}, errors.New("locality: need at least two positive-mass points")
+	}
+	distinct := false
+	for i := 1; i < len(fx); i++ {
+		if fx[i] != fx[0] {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		return Params{}, FitStats{}, errors.New("locality: all x values identical")
+	}
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+
+	logModel := func(a, b, x float64) float64 {
+		alpha := 1 + math.Exp(a)
+		beta := math.Exp(b)
+		return math.Log(alpha-1) - math.Log(beta) - alpha*math.Log(x/beta+1)
+	}
+	sse := func(a, b float64) float64 {
+		var s float64
+		for i := range fx {
+			r := fy[i] - logModel(a, b, fx[i])
+			s += fw[i] * r * r
+		}
+		return s
+	}
+
+	betaSeed := median(fx)
+	if betaSeed < 1 {
+		betaSeed = 1
+	}
+	type start struct{ alpha, beta float64 }
+	starts := []start{
+		{1.2, betaSeed}, {1.5, betaSeed}, {2.5, betaSeed},
+		{1.2, betaSeed / 8}, {1.5, betaSeed * 8},
+	}
+	best := Params{Alpha: math.NaN()}
+	bestSSE := math.Inf(1)
+	bestIter := 0
+	for _, s0 := range starts {
+		a := math.Log(s0.alpha - 1)
+		b := math.Log(s0.beta)
+		cur := sse(a, b)
+		lambda := 1e-3
+		iters := 0
+		for ; iters < maxIter; iters++ {
+			var jtj00, jtj01, jtj11, jtr0, jtr1 float64
+			alpha := 1 + math.Exp(a)
+			beta := math.Exp(b)
+			for i := range fx {
+				u := fx[i]/beta + 1
+				r := fy[i] - logModel(a, b, fx[i])
+				// d(log p)/da = e^a·[1/(α−1) − ln u]
+				dA := math.Exp(a) * (1/(alpha-1) - math.Log(u))
+				// d(log p)/db = β·[−1/β + α·x/(β²·u)] = −1 + α·x/(β·u)
+				dB := -1 + alpha*fx[i]/(beta*u)
+				jtj00 += fw[i] * dA * dA
+				jtj01 += fw[i] * dA * dB
+				jtj11 += fw[i] * dB * dB
+				jtr0 += fw[i] * dA * r
+				jtr1 += fw[i] * dB * r
+			}
+			improved := false
+			for try := 0; try < 8; try++ {
+				m00 := jtj00 + lambda*(jtj00+1e-12)
+				m11 := jtj11 + lambda*(jtj11+1e-12)
+				det := m00*m11 - jtj01*jtj01
+				if det == 0 || math.IsNaN(det) {
+					lambda *= 10
+					continue
+				}
+				na := clamp(a+(jtr0*m11-jtr1*jtj01)/det, -20, 20)
+				nb := clamp(b+(jtr1*m00-jtr0*jtj01)/det, -20, 40)
+				if ns := sse(na, nb); ns < cur {
+					a, b, cur = na, nb, ns
+					lambda = math.Max(lambda/4, 1e-12)
+					improved = true
+					break
+				}
+				lambda *= 10
+			}
+			if !improved || cur <= 1e-16 {
+				break
+			}
+		}
+		if cur < bestSSE {
+			bestSSE = cur
+			best = Params{Alpha: 1 + math.Exp(a), Beta: math.Exp(b)}
+			bestIter = iters
+		}
+	}
+	if math.IsNaN(best.Alpha) {
+		return Params{}, FitStats{}, errors.New("locality: density fit failed to converge")
+	}
+
+	stats := FitStats{Iterations: bestIter, Points: len(fx)}
+	var tw, mean float64
+	for i := range fy {
+		mean += fw[i] * fy[i]
+		tw += fw[i]
+	}
+	mean /= tw
+	var sst float64
+	for i := range fy {
+		d := fy[i] - mean
+		sst += fw[i] * d * d
+	}
+	stats.RMSE = math.Sqrt(bestSSE / tw)
+	if sst > 0 {
+		stats.R2 = 1 - bestSSE/sst
+	} else {
+		stats.R2 = 1
+	}
+	return best, stats, nil
+}

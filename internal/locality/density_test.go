@@ -1,0 +1,99 @@
+package locality
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitDensityRecoversKnownParams(t *testing.T) {
+	cases := []Params{
+		{Alpha: 1.21, Beta: 103.26},
+		{Alpha: 1.71, Beta: 85.03},
+		{Alpha: 1.73, Beta: 1222.66},
+		{Alpha: 2.5, Beta: 20},
+	}
+	for _, truth := range cases {
+		var xs, ds []float64
+		for x := 1.0; x < 1e6; x *= 1.5 {
+			xs = append(xs, x)
+			ds = append(ds, truth.Density(x))
+		}
+		got, stats, err := FitDensity(xs, ds, FitOptions{})
+		if err != nil {
+			t.Fatalf("FitDensity(%+v): %v", truth, err)
+		}
+		if math.Abs(got.Alpha-truth.Alpha) > 0.02 || math.Abs(got.Beta-truth.Beta)/truth.Beta > 0.05 {
+			t.Errorf("recovered %+v for truth %+v (R2 %v)", got, truth, stats.R2)
+		}
+		if stats.R2 < 0.999 {
+			t.Errorf("R2 %v too low for exact data", stats.R2)
+		}
+	}
+}
+
+func TestFitDensityAgreesWithCDFFit(t *testing.T) {
+	// Both forms fitted to data generated from the same truth should give
+	// compatible parameters (the paper fits equations (1) and (2)).
+	truth := Params{Alpha: 1.4, Beta: 150}
+	var xs, ps, ds []float64
+	for x := 1.0; x < 1e5; x *= 1.4 {
+		xs = append(xs, x)
+		ps = append(ps, truth.CDF(x))
+		ds = append(ds, truth.Density(x))
+	}
+	cdfFit, _, err := Fit(xs, ps, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	denFit, _, err := FitDensity(xs, ds, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cdfFit.Alpha-denFit.Alpha) > 0.05 {
+		t.Errorf("alpha disagreement: CDF %v vs density %v", cdfFit.Alpha, denFit.Alpha)
+	}
+	if math.Abs(cdfFit.Beta-denFit.Beta)/truth.Beta > 0.1 {
+		t.Errorf("beta disagreement: CDF %v vs density %v", cdfFit.Beta, denFit.Beta)
+	}
+}
+
+func TestFitDensitySkipsZeroMass(t *testing.T) {
+	truth := Params{Alpha: 1.5, Beta: 50}
+	xs := []float64{1, 2, 4, 8, 16, 32, 64}
+	ds := make([]float64, len(xs))
+	for i, x := range xs {
+		ds[i] = truth.Density(x)
+	}
+	ds[3] = 0 // hole in the histogram
+	got, _, err := FitDensity(xs, ds, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Alpha-truth.Alpha) > 0.05 {
+		t.Errorf("fit with a hole: %+v vs %+v", got, truth)
+	}
+}
+
+func TestFitDensityValidation(t *testing.T) {
+	if _, _, err := FitDensity([]float64{1}, []float64{0.1, 0.2}, FitOptions{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := FitDensity([]float64{1, 2}, []float64{0.1, -0.2}, FitOptions{}); err == nil {
+		t.Error("negative density accepted")
+	}
+	if _, _, err := FitDensity([]float64{-1, 2}, []float64{0.1, 0.2}, FitOptions{}); err == nil {
+		t.Error("negative x accepted")
+	}
+	if _, _, err := FitDensity([]float64{1, 2}, []float64{0, 0}, FitOptions{}); err == nil {
+		t.Error("all-zero mass accepted")
+	}
+	if _, _, err := FitDensity([]float64{3, 3}, []float64{0.1, 0.1}, FitOptions{}); err == nil {
+		t.Error("identical xs accepted")
+	}
+	if _, _, err := FitDensity([]float64{1, 2}, []float64{0.1, 0.2}, FitOptions{Weights: []float64{1}}); err == nil {
+		t.Error("weight length mismatch accepted")
+	}
+	if _, _, err := FitDensity([]float64{math.NaN(), 2}, []float64{0.1, 0.2}, FitOptions{}); err == nil {
+		t.Error("NaN x accepted")
+	}
+}

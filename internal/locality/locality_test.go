@@ -1,0 +1,291 @@
+package locality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestValidate(t *testing.T) {
+	good := Params{Alpha: 1.21, Beta: 103.26, Gamma: 0.2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Alpha: 1, Beta: 10, Gamma: 0.5},
+		{Alpha: 0.5, Beta: 10, Gamma: 0.5},
+		{Alpha: math.NaN(), Beta: 10, Gamma: 0.5},
+		{Alpha: 2, Beta: 0, Gamma: 0.5},
+		{Alpha: 2, Beta: -3, Gamma: 0.5},
+		{Alpha: 2, Beta: math.NaN(), Gamma: 0.5},
+		{Alpha: 2, Beta: 10, Gamma: -0.1},
+		{Alpha: 2, Beta: 10, Gamma: 1.1},
+		{Alpha: 2, Beta: 10, Gamma: math.NaN()},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d (%+v) accepted", i, p)
+		}
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	p := Params{Alpha: 1.3, Beta: 90}
+	if got := p.CDF(0); got != 0 {
+		t.Errorf("CDF(0) = %v, want 0", got)
+	}
+	if got := p.CDF(-5); got != 0 {
+		t.Errorf("CDF(-5) = %v, want 0", got)
+	}
+	if got := p.CDF(1e12); got < 0.999 {
+		t.Errorf("CDF(1e12) = %v, want ~1", got)
+	}
+	prev := 0.0
+	for x := 0.0; x < 1e4; x += 37 {
+		c := p.CDF(x)
+		if c < prev-1e-15 || c < 0 || c > 1 {
+			t.Fatalf("CDF(%v)=%v violates monotonicity/range (prev %v)", x, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestCDFPlusMissBeyondIsOne(t *testing.T) {
+	f := func(aRaw, bRaw, xRaw uint16) bool {
+		p := Params{Alpha: 1.01 + float64(aRaw%300)/100, Beta: 1 + float64(bRaw%2000)}
+		x := float64(xRaw)
+		return almostEq(p.CDF(x)+p.MissBeyond(x), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDensityIntegratesToCDF(t *testing.T) {
+	// Numerically integrate p(x) and compare with the closed-form CDF.
+	p := Params{Alpha: 1.5, Beta: 50}
+	const dx = 0.01
+	acc := 0.0
+	for x := 0.0; x < 2000; x += dx {
+		acc += p.Density(x+dx/2) * dx
+		if int(x)%500 == 0 && x > 0 {
+			want := p.CDF(x + dx)
+			if !almostEq(acc, want, 1e-3) {
+				t.Fatalf("∫p up to %v = %v, CDF = %v", x, acc, want)
+			}
+		}
+	}
+}
+
+func TestDensityNonnegativeAndDecreasing(t *testing.T) {
+	p := Params{Alpha: 1.71, Beta: 85.03}
+	if p.Density(-1) != 0 {
+		t.Error("Density(-1) should be 0")
+	}
+	prev := math.Inf(1)
+	for x := 0.0; x < 1e4; x += 13 {
+		d := p.Density(x)
+		if d < 0 || d > prev+1e-15 {
+			t.Fatalf("density at %v = %v not nonincreasing (prev %v)", x, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestMissBeyond(t *testing.T) {
+	p := Params{Alpha: 2, Beta: 100}
+	if got := p.MissBeyond(0); got != 1 {
+		t.Errorf("MissBeyond(0) = %v, want 1", got)
+	}
+	if got := p.MissBeyond(-10); got != 1 {
+		t.Errorf("MissBeyond(-10) = %v, want 1", got)
+	}
+	// alpha=2: (s/100+1)^-1; at s=100 → 0.5
+	if got := p.MissBeyond(100); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("MissBeyond(100) = %v, want 0.5", got)
+	}
+}
+
+func TestMissBeyondOrdering(t *testing.T) {
+	// Better locality (higher alpha, lower beta) must not miss more.
+	edge := Params{Alpha: 1.71, Beta: 85.03}   // best locality in Table 2
+	radix := Params{Alpha: 1.14, Beta: 120.84} // worst locality in Table 2
+	for _, s := range []float64{64, 256, 1024, 4096, 65536} {
+		if edge.MissBeyond(s) >= radix.MissBeyond(s) {
+			t.Errorf("s=%v: EDGE miss %v should be below Radix miss %v",
+				s, edge.MissBeyond(s), radix.MissBeyond(s))
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	p := Params{Alpha: 2, Beta: 100}
+	// P(x) = 1 - (x/100+1)^-1 = 0.5 at x = 100.
+	x, err := p.Coverage(0.5)
+	if err != nil || !almostEq(x, 100, 1e-9) {
+		t.Errorf("Coverage(0.5) = %v, %v; want 100", x, err)
+	}
+	// Round trip: CDF(Coverage(p)) == p.
+	for _, frac := range []float64{0.1, 0.5, 0.9, 0.99} {
+		x, err := p.Coverage(frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.CDF(x); !almostEq(got, frac, 1e-9) {
+			t.Errorf("CDF(Coverage(%v)) = %v", frac, got)
+		}
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := p.Coverage(bad); err == nil {
+			t.Errorf("Coverage(%v) accepted", bad)
+		}
+	}
+}
+
+func TestRescale(t *testing.T) {
+	p := Params{Alpha: 1.3, Beta: 90, Gamma: 0.31}
+	r := p.Rescale(4)
+	if r.Alpha != p.Alpha || r.Gamma != p.Gamma {
+		t.Errorf("Rescale changed alpha/gamma: %+v", r)
+	}
+	if !almostEq(r.Beta, 22.5, 1e-12) {
+		t.Errorf("Rescale(4).Beta = %v, want 22.5", r.Beta)
+	}
+	// P_n(x) == P(n x)
+	for _, x := range []float64{1, 10, 100} {
+		if !almostEq(r.CDF(x), p.CDF(4*x), 1e-12) {
+			t.Errorf("Rescale CDF mismatch at %v", x)
+		}
+	}
+	if got := p.Rescale(1); got != p {
+		t.Errorf("Rescale(1) changed params: %+v", got)
+	}
+	if got := p.Rescale(0); got != p {
+		t.Errorf("Rescale(0) changed params: %+v", got)
+	}
+}
+
+func TestFitRecoversKnownParams(t *testing.T) {
+	// Generate exact CDF points from known params across Table 2's range
+	// and check the fit recovers them.
+	cases := []Params{
+		{Alpha: 1.21, Beta: 103.26},  // FFT
+		{Alpha: 1.30, Beta: 90.27},   // LU
+		{Alpha: 1.14, Beta: 120.84},  // Radix
+		{Alpha: 1.71, Beta: 85.03},   // EDGE
+		{Alpha: 1.73, Beta: 1222.66}, // TPC-C
+	}
+	for _, truth := range cases {
+		var xs, ps []float64
+		for x := 1.0; x < 1e6; x *= 1.6 {
+			xs = append(xs, x)
+			ps = append(ps, truth.CDF(x))
+		}
+		got, stats, err := Fit(xs, ps, FitOptions{})
+		if err != nil {
+			t.Fatalf("Fit(%+v): %v", truth, err)
+		}
+		if !almostEq(got.Alpha, truth.Alpha, 0.02) || math.Abs(got.Beta-truth.Beta)/truth.Beta > 0.05 {
+			t.Errorf("Fit recovered %+v for truth %+v (rmse %v)", got, truth, stats.RMSE)
+		}
+		if stats.RMSE > 1e-3 {
+			t.Errorf("RMSE %v too high for exact data (%+v)", stats.RMSE, truth)
+		}
+		if stats.R2 < 0.999 {
+			t.Errorf("R2 %v too low for exact data (%+v)", stats.R2, truth)
+		}
+	}
+}
+
+func TestFitWithNoise(t *testing.T) {
+	truth := Params{Alpha: 1.4, Beta: 200}
+	rng := rand.New(rand.NewSource(42))
+	var xs, ps, ws []float64
+	for x := 1.0; x < 1e5; x *= 1.4 {
+		xs = append(xs, x)
+		noisy := truth.CDF(x) + rng.NormFloat64()*0.005
+		ps = append(ps, math.Max(0, math.Min(1, noisy)))
+		ws = append(ws, 1+float64(rng.Intn(10)))
+	}
+	got, stats, err := Fit(xs, ps, FitOptions{Weights: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Alpha-truth.Alpha) > 0.1 || math.Abs(got.Beta-truth.Beta)/truth.Beta > 0.25 {
+		t.Errorf("noisy fit %+v too far from truth %+v (rmse %v)", got, truth, stats.RMSE)
+	}
+}
+
+func TestFitInputValidation(t *testing.T) {
+	good := []float64{1, 2, 3}
+	if _, _, err := Fit([]float64{1, 2}, []float64{0.1}, FitOptions{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := Fit([]float64{1}, []float64{0.1}, FitOptions{}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, _, err := Fit([]float64{2, 2, 2}, []float64{0.1, 0.2, 0.3}, FitOptions{}); err == nil {
+		t.Error("identical xs accepted")
+	}
+	if _, _, err := Fit(good, []float64{0.1, -0.2, 0.3}, FitOptions{}); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if _, _, err := Fit(good, []float64{0.1, 1.2, 0.3}, FitOptions{}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, _, err := Fit([]float64{-1, 2, 3}, []float64{0.1, 0.2, 0.3}, FitOptions{}); err == nil {
+		t.Error("negative x accepted")
+	}
+	if _, _, err := Fit(good, []float64{0.1, 0.2, 0.3}, FitOptions{Weights: []float64{1}}); err == nil {
+		t.Error("weight length mismatch accepted")
+	}
+	if _, _, err := Fit([]float64{math.NaN(), 2, 3}, []float64{0.1, 0.2, 0.3}, FitOptions{}); err == nil {
+		t.Error("NaN x accepted")
+	}
+}
+
+func TestFitPropertyRoundTrip(t *testing.T) {
+	// Property: for random in-domain params, fitting exact samples recovers
+	// a CDF that is pointwise close to the original (even if alpha/beta
+	// trade off slightly).
+	f := func(aRaw, bRaw uint16) bool {
+		truth := Params{Alpha: 1.05 + float64(aRaw%250)/100, Beta: 5 + float64(bRaw%3000)}
+		var xs, ps []float64
+		for x := 1.0; x < 3e5; x *= 1.8 {
+			xs = append(xs, x)
+			ps = append(ps, truth.CDF(x))
+		}
+		got, _, err := Fit(xs, ps, FitOptions{})
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if math.Abs(got.CDF(xs[i])-ps[i]) > 0.01 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFit(b *testing.B) {
+	truth := Params{Alpha: 1.3, Beta: 90.27}
+	var xs, ps []float64
+	for x := 1.0; x < 1e6; x *= 1.3 {
+		xs = append(xs, x)
+		ps = append(ps, truth.CDF(x))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Fit(xs, ps, FitOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

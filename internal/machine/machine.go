@@ -1,0 +1,294 @@
+// Package machine defines the cluster platform descriptions of the paper:
+// the three platform classes (a single SMP, a cluster of workstations, a
+// cluster of SMPs), the two cluster network families (bus-based Ethernet
+// and a switch-based ATM), the configuration catalogs C1–C15 of Tables 3–5,
+// and the memory-hierarchy latency table of §5.1 (all in CPU cycles of a
+// 200 MHz processor).
+package machine
+
+import "fmt"
+
+// PlatformKind classifies the three parallel systems of Table 1.
+type PlatformKind int
+
+// The platform classes.
+const (
+	SMP        PlatformKind = iota // a single bus-based SMP (gray block A)
+	ClusterWS                      // a cluster of workstations (blocks B, C)
+	ClusterSMP                     // a cluster of SMPs (blocks A, B, C)
+)
+
+// String returns the paper's name for the platform class.
+func (k PlatformKind) String() string {
+	switch k {
+	case SMP:
+		return "SMP"
+	case ClusterWS:
+		return "cluster of workstations"
+	case ClusterSMP:
+		return "cluster of SMPs"
+	}
+	return fmt.Sprintf("PlatformKind(%d)", int(k))
+}
+
+// ExtraLevels returns the additional memory-hierarchy levels (Table 1's
+// gray blocks) the platform adds over a uniprocessor.
+func (k PlatformKind) ExtraLevels() []string {
+	switch k {
+	case SMP:
+		return []string{"A"}
+	case ClusterWS:
+		return []string{"B", "C"}
+	case ClusterSMP:
+		return []string{"A", "B", "C"}
+	}
+	return nil
+}
+
+// NetworkKind is the cluster interconnect family (Network 2/3 in Figure 1).
+type NetworkKind int
+
+// The cluster networks evaluated in the paper.
+const (
+	NetNone      NetworkKind = iota // single machine; no cluster network
+	NetBus10                        // 10 Mb Ethernet (bus)
+	NetBus100                       // 100 Mb Fast Ethernet (bus)
+	NetSwitch155                    // 155 Mb ATM (switch)
+)
+
+// String returns a short label for the network.
+func (n NetworkKind) String() string {
+	switch n {
+	case NetNone:
+		return "none"
+	case NetBus10:
+		return "10Mb bus"
+	case NetBus100:
+		return "100Mb bus"
+	case NetSwitch155:
+		return "155Mb switch"
+	}
+	return fmt.Sprintf("NetworkKind(%d)", int(n))
+}
+
+// IsBus reports whether the network is bus-based (a single shared medium).
+func (n NetworkKind) IsBus() bool { return n == NetBus10 || n == NetBus100 }
+
+// Config is one cluster platform configuration.
+type Config struct {
+	Name        string
+	Kind        PlatformKind
+	N           int   // machines in the cluster
+	Procs       int   // processors per machine (n)
+	CacheBytes  int64 // per-processor cache capacity
+	MemoryBytes int64 // per-machine memory capacity
+	Net         NetworkKind
+	ClockMHz    float64 // processor clock; instruction rate is 1/cycle
+}
+
+// TotalProcs returns n·N, the processor count of the whole platform.
+func (c Config) TotalProcs() int { return c.N * c.Procs }
+
+// Validate checks structural consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 1:
+		return fmt.Errorf("machine: %s: need at least one machine, got %d", c.Name, c.N)
+	case c.Procs < 1:
+		return fmt.Errorf("machine: %s: need at least one processor per machine, got %d", c.Name, c.Procs)
+	case c.CacheBytes <= 0:
+		return fmt.Errorf("machine: %s: cache size must be positive, got %d", c.Name, c.CacheBytes)
+	case c.MemoryBytes <= 0:
+		return fmt.Errorf("machine: %s: memory size must be positive, got %d", c.Name, c.MemoryBytes)
+	case c.ClockMHz <= 0:
+		return fmt.Errorf("machine: %s: clock must be positive, got %v", c.Name, c.ClockMHz)
+	}
+	switch c.Kind {
+	case SMP:
+		if c.N != 1 {
+			return fmt.Errorf("machine: %s: a single SMP has N=1, got %d", c.Name, c.N)
+		}
+	case ClusterWS:
+		if c.Procs != 1 {
+			return fmt.Errorf("machine: %s: workstations are uniprocessors, got n=%d", c.Name, c.Procs)
+		}
+		if c.N > 1 && c.Net == NetNone {
+			return fmt.Errorf("machine: %s: a cluster needs a network", c.Name)
+		}
+	case ClusterSMP:
+		if c.N > 1 && c.Net == NetNone {
+			return fmt.Errorf("machine: %s: a cluster needs a network", c.Name)
+		}
+	default:
+		return fmt.Errorf("machine: %s: unknown platform kind %d", c.Name, int(c.Kind))
+	}
+	return nil
+}
+
+// Scaled returns a copy with cache and memory capacities divided by factor
+// (at least one byte each). The validation experiments use scaled-down
+// capacities together with scaled-down problem sizes so that every
+// hierarchy level carries real traffic while runs stay fast.
+func (c Config) Scaled(factor int) Config {
+	if factor <= 1 {
+		return c
+	}
+	s := c
+	s.Name = fmt.Sprintf("%s/%d", c.Name, factor)
+	s.CacheBytes = maxInt64(1, c.CacheBytes/int64(factor))
+	s.MemoryBytes = maxInt64(1, c.MemoryBytes/int64(factor))
+	return s
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// SMPCatalog returns Table 3: the six SMP configurations C1–C6
+// (200 MHz CPUs).
+func SMPCatalog() []Config {
+	mk := func(name string, n int, cache, mem int64) Config {
+		return Config{Name: name, Kind: SMP, N: 1, Procs: n,
+			CacheBytes: cache, MemoryBytes: mem, Net: NetNone, ClockMHz: 200}
+	}
+	return []Config{
+		mk("C1", 2, 256*kb, 64*mb),
+		mk("C2", 2, 512*kb, 64*mb),
+		mk("C3", 2, 256*kb, 128*mb),
+		mk("C4", 2, 512*kb, 128*mb),
+		mk("C5", 4, 256*kb, 128*mb),
+		mk("C6", 4, 512*kb, 128*mb),
+	}
+}
+
+// WSCatalog returns Table 4: the five cluster-of-workstations
+// configurations C7–C11 (200 MHz CPUs).
+func WSCatalog() []Config {
+	mk := func(name string, n int, cache, mem int64, net NetworkKind) Config {
+		return Config{Name: name, Kind: ClusterWS, N: n, Procs: 1,
+			CacheBytes: cache, MemoryBytes: mem, Net: net, ClockMHz: 200}
+	}
+	return []Config{
+		mk("C7", 2, 256*kb, 32*mb, NetBus10),
+		mk("C8", 4, 256*kb, 64*mb, NetBus100),
+		mk("C9", 4, 512*kb, 64*mb, NetBus100),
+		mk("C10", 4, 256*kb, 64*mb, NetSwitch155),
+		mk("C11", 8, 512*kb, 64*mb, NetSwitch155),
+	}
+}
+
+// SMPClusterCatalog returns Table 5: the four cluster-of-SMPs
+// configurations C12–C15 (200 MHz CPUs).
+func SMPClusterCatalog() []Config {
+	mk := func(name string, n, N int, cache, mem int64, net NetworkKind) Config {
+		return Config{Name: name, Kind: ClusterSMP, N: N, Procs: n,
+			CacheBytes: cache, MemoryBytes: mem, Net: net, ClockMHz: 200}
+	}
+	return []Config{
+		mk("C12", 2, 2, 256*kb, 64*mb, NetBus10),
+		mk("C13", 2, 2, 256*kb, 128*mb, NetBus100),
+		mk("C14", 4, 2, 256*kb, 128*mb, NetBus100),
+		mk("C15", 4, 2, 256*kb, 128*mb, NetSwitch155),
+	}
+}
+
+// Catalog returns all fifteen paper configurations C1–C15 in order.
+func Catalog() []Config {
+	all := SMPCatalog()
+	all = append(all, WSCatalog()...)
+	all = append(all, SMPClusterCatalog()...)
+	return all
+}
+
+// ByName returns the named catalog configuration (C1–C15).
+func ByName(name string) (Config, error) {
+	for _, c := range Catalog() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("machine: no catalog configuration %q", name)
+}
+
+// Latencies is the §5.1 latency table, in CPU cycles. Remote latencies are
+// per-network.
+type Latencies struct {
+	Instruction float64 // one instruction execution
+	CacheHit    float64 // level-1 access
+	LocalMemory float64 // cache miss to local memory
+	LocalDisk   float64 // memory miss to local disk
+	RemoteCache float64 // cache miss to a remote cache within an SMP
+
+	RemoteNode   map[NetworkKind]float64 // cache miss to a remote node
+	RemoteCached map[NetworkKind]float64 // cache miss to remotely cached data
+}
+
+// ReferenceClockMHz is the clock at which the §5.1 latency table is quoted.
+const ReferenceClockMHz = 200
+
+// LatenciesAt returns the latency table for a processor running at the
+// given clock: memory, disk, and network are wall-time devices (their §5.1
+// cycle counts are 200 MHz measurements, so their cycle cost scales with
+// the clock), while instruction execution and the on-chip cache track the
+// core. This is the "speed gap" of the paper's conclusions — the faster
+// the processor, the more cycles every hierarchy level beyond the cache
+// costs.
+func LatenciesAt(kind PlatformKind, clockMHz float64) Latencies {
+	l := DefaultLatencies(kind)
+	if clockMHz <= 0 || clockMHz == ReferenceClockMHz {
+		return l
+	}
+	f := clockMHz / ReferenceClockMHz
+	l.LocalMemory *= f
+	l.LocalDisk *= f
+	l.RemoteCache *= f // a neighbour's cache is reached over the machine bus
+	rn := make(map[NetworkKind]float64, len(l.RemoteNode))
+	rc := make(map[NetworkKind]float64, len(l.RemoteCached))
+	for k, v := range l.RemoteNode {
+		rn[k] = v * f
+	}
+	for k, v := range l.RemoteCached {
+		rc[k] = v * f
+	}
+	l.RemoteNode, l.RemoteCached = rn, rc
+	return l
+}
+
+// DefaultLatencies returns the paper's §5.1 values for the given platform
+// kind, quoted at the 200 MHz reference clock. The cluster-of-SMPs remote
+// latencies are three cycles higher than the workstation-cluster ones,
+// exactly as listed.
+func DefaultLatencies(kind PlatformKind) Latencies {
+	l := Latencies{
+		Instruction: 1,
+		CacheHit:    1,
+		LocalMemory: 50,
+		LocalDisk:   2000,
+		RemoteCache: 15,
+	}
+	switch kind {
+	case ClusterSMP:
+		l.RemoteNode = map[NetworkKind]float64{
+			NetBus10: 45078, NetBus100: 4578, NetSwitch155: 3278,
+		}
+		l.RemoteCached = map[NetworkKind]float64{
+			NetBus10: 90153, NetBus100: 9153, NetSwitch155: 6553,
+		}
+	default:
+		l.RemoteNode = map[NetworkKind]float64{
+			NetBus10: 45075, NetBus100: 4575, NetSwitch155: 3275,
+		}
+		l.RemoteCached = map[NetworkKind]float64{
+			NetBus10: 90150, NetBus100: 9150, NetSwitch155: 6550,
+		}
+	}
+	return l
+}

@@ -1,0 +1,217 @@
+package machine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCatalogMatchesPaperTables(t *testing.T) {
+	all := Catalog()
+	if len(all) != 15 {
+		t.Fatalf("catalog has %d configs, want 15 (C1–C15)", len(all))
+	}
+	for i, c := range all {
+		if want := "C" + itoa(i+1); c.Name != want {
+			t.Errorf("catalog[%d] = %s, want %s", i, c.Name, want)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.Name, err)
+		}
+		if c.ClockMHz != 200 {
+			t.Errorf("%s clock = %v, want 200 MHz", c.Name, c.ClockMHz)
+		}
+	}
+
+	// Table 3 spot checks.
+	c1 := all[0]
+	if c1.Kind != SMP || c1.Procs != 2 || c1.CacheBytes != 256<<10 || c1.MemoryBytes != 64<<20 {
+		t.Errorf("C1 = %+v", c1)
+	}
+	c6 := all[5]
+	if c6.Procs != 4 || c6.CacheBytes != 512<<10 || c6.MemoryBytes != 128<<20 {
+		t.Errorf("C6 = %+v", c6)
+	}
+	// Table 4 spot checks.
+	c7 := all[6]
+	if c7.Kind != ClusterWS || c7.N != 2 || c7.MemoryBytes != 32<<20 || c7.Net != NetBus10 {
+		t.Errorf("C7 = %+v", c7)
+	}
+	c11 := all[10]
+	if c11.N != 8 || c11.CacheBytes != 512<<10 || c11.Net != NetSwitch155 {
+		t.Errorf("C11 = %+v", c11)
+	}
+	// Table 5 spot checks.
+	c12 := all[11]
+	if c12.Kind != ClusterSMP || c12.Procs != 2 || c12.N != 2 || c12.Net != NetBus10 {
+		t.Errorf("C12 = %+v", c12)
+	}
+	c15 := all[14]
+	if c15.Procs != 4 || c15.N != 2 || c15.MemoryBytes != 128<<20 || c15.Net != NetSwitch155 {
+		t.Errorf("C15 = %+v", c15)
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("C9")
+	if err != nil || c.Name != "C9" || c.CacheBytes != 512<<10 {
+		t.Errorf("ByName(C9) = %+v, %v", c, err)
+	}
+	if _, err := ByName("C99"); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestTotalProcs(t *testing.T) {
+	c, _ := ByName("C14")
+	if c.TotalProcs() != 8 {
+		t.Errorf("C14 TotalProcs = %d, want 8", c.TotalProcs())
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := Config{Name: "x", Kind: SMP, N: 1, Procs: 2,
+		CacheBytes: 1 << 18, MemoryBytes: 1 << 26, ClockMHz: 200}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero machines", func(c *Config) { c.N = 0 }},
+		{"zero procs", func(c *Config) { c.Procs = 0 }},
+		{"zero cache", func(c *Config) { c.CacheBytes = 0 }},
+		{"zero memory", func(c *Config) { c.MemoryBytes = 0 }},
+		{"zero clock", func(c *Config) { c.ClockMHz = 0 }},
+		{"SMP with N>1", func(c *Config) { c.N = 2 }},
+		{"WS with n>1", func(c *Config) { c.Kind = ClusterWS; c.Procs = 2 }},
+		{"WS cluster without net", func(c *Config) { c.Kind = ClusterWS; c.Procs = 1; c.N = 4 }},
+		{"SMP cluster without net", func(c *Config) { c.Kind = ClusterSMP; c.N = 4 }},
+		{"unknown kind", func(c *Config) { c.Kind = PlatformKind(42) }},
+	}
+	for _, tc := range cases {
+		c := base
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, c)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c, _ := ByName("C1")
+	s := c.Scaled(16)
+	if s.CacheBytes != c.CacheBytes/16 || s.MemoryBytes != c.MemoryBytes/16 {
+		t.Errorf("Scaled(16) = %+v", s)
+	}
+	if !strings.Contains(s.Name, "C1") {
+		t.Errorf("scaled name %q should reference the original", s.Name)
+	}
+	if got := c.Scaled(1); !reflect.DeepEqual(got, c) {
+		t.Errorf("Scaled(1) changed config")
+	}
+	tiny := Config{Name: "t", Kind: SMP, N: 1, Procs: 1, CacheBytes: 4, MemoryBytes: 4, ClockMHz: 200}
+	st := tiny.Scaled(100)
+	if st.CacheBytes < 1 || st.MemoryBytes < 1 {
+		t.Errorf("Scaled floor violated: %+v", st)
+	}
+}
+
+func TestDefaultLatencies(t *testing.T) {
+	ws := DefaultLatencies(ClusterWS)
+	if ws.CacheHit != 1 || ws.LocalMemory != 50 || ws.LocalDisk != 2000 || ws.RemoteCache != 15 {
+		t.Errorf("basic latencies wrong: %+v", ws)
+	}
+	if ws.RemoteNode[NetBus10] != 45075 || ws.RemoteNode[NetBus100] != 4575 || ws.RemoteNode[NetSwitch155] != 3275 {
+		t.Errorf("WS remote-node latencies wrong: %+v", ws.RemoteNode)
+	}
+	if ws.RemoteCached[NetBus10] != 90150 || ws.RemoteCached[NetSwitch155] != 6550 {
+		t.Errorf("WS remote-cached latencies wrong: %+v", ws.RemoteCached)
+	}
+	cs := DefaultLatencies(ClusterSMP)
+	if cs.RemoteNode[NetBus10] != 45078 || cs.RemoteNode[NetBus100] != 4578 || cs.RemoteNode[NetSwitch155] != 3278 {
+		t.Errorf("cluster-of-SMPs remote-node latencies wrong: %+v", cs.RemoteNode)
+	}
+	if cs.RemoteCached[NetBus100] != 9153 {
+		t.Errorf("cluster-of-SMPs remote-cached latencies wrong: %+v", cs.RemoteCached)
+	}
+}
+
+func TestLatenciesAtScalesWallTimeDevices(t *testing.T) {
+	base := LatenciesAt(ClusterWS, 200)
+	ref := DefaultLatencies(ClusterWS)
+	if base.LocalMemory != ref.LocalMemory || base.RemoteNode[NetBus10] != ref.RemoteNode[NetBus10] {
+		t.Error("200 MHz table must equal the reference table")
+	}
+	fast := LatenciesAt(ClusterWS, 400)
+	// Core-speed devices stay in cycles.
+	if fast.Instruction != 1 || fast.CacheHit != 1 {
+		t.Errorf("core latencies must not scale: %+v", fast)
+	}
+	// Wall-time devices double their cycle cost with the clock.
+	if fast.LocalMemory != 100 || fast.LocalDisk != 4000 || fast.RemoteCache != 30 {
+		t.Errorf("memory-side latencies wrong at 400 MHz: mem=%v disk=%v rc=%v",
+			fast.LocalMemory, fast.LocalDisk, fast.RemoteCache)
+	}
+	if fast.RemoteNode[NetBus100] != 9150 || fast.RemoteCached[NetSwitch155] != 13100 {
+		t.Errorf("network latencies wrong at 400 MHz: %v / %v",
+			fast.RemoteNode[NetBus100], fast.RemoteCached[NetSwitch155])
+	}
+	// Slower clock, cheaper cycles.
+	slow := LatenciesAt(SMP, 100)
+	if slow.LocalMemory != 25 {
+		t.Errorf("100 MHz memory latency = %v, want 25", slow.LocalMemory)
+	}
+	// Degenerate clock falls back to the reference.
+	if LatenciesAt(SMP, 0).LocalMemory != 50 {
+		t.Error("zero clock should return the reference table")
+	}
+}
+
+func TestPlatformKindStrings(t *testing.T) {
+	if SMP.String() == "" || ClusterWS.String() == "" || ClusterSMP.String() == "" {
+		t.Error("empty platform names")
+	}
+	if !strings.Contains(PlatformKind(9).String(), "9") {
+		t.Error("unknown kind should include its value")
+	}
+}
+
+// TestExtraLevelsTable1 reproduces Table 1: the additional memory levels of
+// each platform class.
+func TestExtraLevelsTable1(t *testing.T) {
+	if got := SMP.ExtraLevels(); !reflect.DeepEqual(got, []string{"A"}) {
+		t.Errorf("SMP levels = %v, want [A]", got)
+	}
+	if got := ClusterWS.ExtraLevels(); !reflect.DeepEqual(got, []string{"B", "C"}) {
+		t.Errorf("ClusterWS levels = %v, want [B C]", got)
+	}
+	if got := ClusterSMP.ExtraLevels(); !reflect.DeepEqual(got, []string{"A", "B", "C"}) {
+		t.Errorf("ClusterSMP levels = %v, want [A B C]", got)
+	}
+	if PlatformKind(9).ExtraLevels() != nil {
+		t.Error("unknown kind should have no levels")
+	}
+}
+
+func TestNetworkKindHelpers(t *testing.T) {
+	if !NetBus10.IsBus() || !NetBus100.IsBus() {
+		t.Error("Ethernet buses misclassified")
+	}
+	if NetSwitch155.IsBus() || NetNone.IsBus() {
+		t.Error("switch/none misclassified as bus")
+	}
+	for _, n := range []NetworkKind{NetNone, NetBus10, NetBus100, NetSwitch155} {
+		if n.String() == "" {
+			t.Errorf("empty name for network %d", int(n))
+		}
+	}
+	if !strings.Contains(NetworkKind(9).String(), "9") {
+		t.Error("unknown network should include its value")
+	}
+}

@@ -1,0 +1,164 @@
+// Package queueing provides the queueing-theoretic building blocks of the
+// Du–Zhang cluster model: M/D/1 and M/G/1 response times for contended
+// memory-hierarchy levels, and the order-statistics barrier cost.
+//
+// All quantities are expressed in abstract time units (CPU cycles in this
+// repository). An arrival rate is therefore in requests per cycle and a
+// service time in cycles; their product is the offered load (utilization).
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSaturated is returned when the offered load at a queueing center is at
+// or beyond 1, where the steady-state response time diverges.
+var ErrSaturated = errors.New("queueing: server saturated (utilization >= 1)")
+
+// MD1Response returns the mean response time (queueing delay plus service)
+// of an M/D/1 queue with deterministic service time tau and Poisson arrival
+// rate lambda from competing requesters.
+//
+// This is the form used throughout Du & Zhang's paper (their eq. for t2(o)):
+//
+//	R = (tau - lambda*tau^2/2) / (1 - lambda*tau)
+//
+// which equals tau + lambda*tau^2 / (2*(1-rho)), the Pollaczek–Khinchine
+// mean response with zero service variance. With lambda == 0 it reduces to
+// tau: an uncontended access costs exactly its service time.
+func MD1Response(tau, lambda float64) (float64, error) {
+	if tau < 0 {
+		return 0, fmt.Errorf("queueing: negative service time %v", tau)
+	}
+	if lambda < 0 {
+		return 0, fmt.Errorf("queueing: negative arrival rate %v", lambda)
+	}
+	rho := lambda * tau
+	if rho >= 1 {
+		return 0, fmt.Errorf("%w: rho=%.4f (tau=%v, lambda=%v)", ErrSaturated, rho, tau, lambda)
+	}
+	return (tau - 0.5*lambda*tau*tau) / (1 - rho), nil
+}
+
+// MG1Response returns the mean response time of an M/G/1 queue with mean
+// service time tau, squared coefficient of variation cs2 of the service
+// distribution, and arrival rate lambda (Pollaczek–Khinchine):
+//
+//	R = tau + lambda*tau^2*(1+cs2) / (2*(1-rho))
+//
+// MD1Response is the special case cs2 == 0; an exponential server is
+// cs2 == 1.
+func MG1Response(tau, cs2, lambda float64) (float64, error) {
+	if tau < 0 {
+		return 0, fmt.Errorf("queueing: negative service time %v", tau)
+	}
+	if cs2 < 0 {
+		return 0, fmt.Errorf("queueing: negative service-time variability %v", cs2)
+	}
+	if lambda < 0 {
+		return 0, fmt.Errorf("queueing: negative arrival rate %v", lambda)
+	}
+	rho := lambda * tau
+	if rho >= 1 {
+		return 0, fmt.Errorf("%w: rho=%.4f (tau=%v, lambda=%v)", ErrSaturated, rho, tau, lambda)
+	}
+	return tau + lambda*tau*tau*(1+cs2)/(2*(1-rho)), nil
+}
+
+// Utilization returns the offered load lambda*tau.
+func Utilization(tau, lambda float64) float64 { return lambda * tau }
+
+// MVAResponse returns the mean response time at a single queueing center
+// visited by n statistically identical customers, each alternating between
+// z cycles of think time and one service demand of tau cycles, computed by
+// exact Mean Value Analysis:
+//
+//	R(1) = tau
+//	R(k) = tau · (1 + Q(k−1)),   Q(k) = k·R(k) / (R(k) + z)
+//
+// Unlike the open M/D/1 model, the closed system never saturates: a blocked
+// customer stops generating load, so R(n) ≤ n·tau always. This is the
+// alternative contention model for the processors-sharing-a-bus setting
+// (each processor has at most one outstanding blocking reference).
+func MVAResponse(tau, z float64, n int) (float64, error) {
+	if tau < 0 {
+		return 0, fmt.Errorf("queueing: negative service time %v", tau)
+	}
+	if z < 0 {
+		return 0, fmt.Errorf("queueing: negative think time %v", z)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("queueing: need at least one customer, got %d", n)
+	}
+	r := tau
+	q := 0.0
+	for k := 1; k <= n; k++ {
+		r = tau * (1 + q)
+		q = float64(k) * r / (r + z)
+	}
+	return r, nil
+}
+
+// Harmonic returns the n-th harmonic number H(n) = 1 + 1/2 + ... + 1/n.
+// Harmonic(0) is 0.
+func Harmonic(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	// Direct summation is exact enough and cheap for the small n used in
+	// cluster configurations; fall back to the asymptotic expansion for
+	// very large n to keep the function O(1) in degenerate sweeps.
+	if n <= 1<<16 {
+		s := 0.0
+		for i := n; i >= 1; i-- { // sum small terms first for accuracy
+			s += 1 / float64(i)
+		}
+		return s
+	}
+	const gamma = 0.57721566490153286060651209008240243
+	x := float64(n)
+	return math.Log(x) + gamma + 1/(2*x) - 1/(12*x*x)
+}
+
+// BarrierWait returns the expected extra wait a process incurs at a barrier
+// synchronizing p processes whose inter-(barrier-access) times are
+// exponential with rate lambdaB. Using order statistics of exponentials,
+// the barrier cycle time is E[max of p exponentials] = H(p)/lambdaB, and the
+// expected wait beyond a process's own access time is
+//
+//	(H(p) - 1) / lambdaB = (1/2 + 1/3 + ... + 1/p) / lambdaB.
+//
+// For p <= 1 there is no one to wait for and the result is 0.
+func BarrierWait(p int, lambdaB float64) (float64, error) {
+	if p <= 1 {
+		return 0, nil
+	}
+	if lambdaB <= 0 {
+		return 0, fmt.Errorf("queueing: barrier access rate must be positive, got %v", lambdaB)
+	}
+	return (Harmonic(p) - 1) / lambdaB, nil
+}
+
+// BarrierSum returns the paper's folded barrier term 1/2 + 1/3 + ... + 1/p,
+// i.e. H(p) − 1, the dimensionless part of the barrier wait. It is the
+// quantity added inside eq. (11) of the paper.
+func BarrierSum(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return Harmonic(p) - 1
+}
+
+// ExpectedMaxExponential returns E[max(X1..Xn)] for i.i.d. exponential
+// variables with the given rate: H(n)/rate.
+func ExpectedMaxExponential(n int, rate float64) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("queueing: need at least one variable, got %d", n)
+	}
+	if rate <= 0 {
+		return 0, fmt.Errorf("queueing: rate must be positive, got %v", rate)
+	}
+	return Harmonic(n) / rate, nil
+}

@@ -1,0 +1,352 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMD1ResponseNoContention(t *testing.T) {
+	for _, tau := range []float64{0, 1, 50, 2000, 45075} {
+		got, err := MD1Response(tau, 0)
+		if err != nil {
+			t.Fatalf("MD1Response(%v, 0): %v", tau, err)
+		}
+		if got != tau {
+			t.Errorf("MD1Response(%v, 0) = %v, want %v", tau, got, tau)
+		}
+	}
+}
+
+func TestMD1ResponseKnownValues(t *testing.T) {
+	tests := []struct {
+		tau, lambda float64
+		want        float64
+	}{
+		// R = tau + lambda*tau^2/(2*(1-rho))
+		{tau: 10, lambda: 0.05, want: 10 + 0.05*100/(2*0.5)},
+		{tau: 50, lambda: 0.01, want: 50 + 0.01*2500/(2*0.5)},
+		{tau: 1, lambda: 0.5, want: 1 + 0.5*1/(2*0.5)},
+	}
+	for _, tc := range tests {
+		got, err := MD1Response(tc.tau, tc.lambda)
+		if err != nil {
+			t.Fatalf("MD1Response(%v, %v): %v", tc.tau, tc.lambda, err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("MD1Response(%v, %v) = %v, want %v", tc.tau, tc.lambda, got, tc.want)
+		}
+	}
+}
+
+func TestMD1ResponseEquivalentForms(t *testing.T) {
+	// The paper's closed form (tau - lambda tau^2/2)/(1-rho) must equal the
+	// Pollaczek–Khinchine form tau + lambda tau^2/(2(1-rho)).
+	f := func(tauRaw, lamRaw uint16) bool {
+		tau := 1 + float64(tauRaw%5000)
+		lambda := float64(lamRaw%1000) / 1000 / tau * 0.99 // rho in [0, .99)
+		got, err := MD1Response(tau, lambda)
+		if err != nil {
+			return false
+		}
+		rho := lambda * tau
+		want := tau + lambda*tau*tau/(2*(1-rho))
+		return math.Abs(got-want) <= 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMD1ResponseSaturation(t *testing.T) {
+	if _, err := MD1Response(10, 0.1); !errors.Is(err, ErrSaturated) {
+		t.Errorf("rho=1: got err=%v, want ErrSaturated", err)
+	}
+	if _, err := MD1Response(10, 0.2); !errors.Is(err, ErrSaturated) {
+		t.Errorf("rho=2: got err=%v, want ErrSaturated", err)
+	}
+}
+
+func TestMD1ResponseRejectsNegative(t *testing.T) {
+	if _, err := MD1Response(-1, 0); err == nil {
+		t.Error("negative tau accepted")
+	}
+	if _, err := MD1Response(1, -0.5); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestMD1MonotoneInLoad(t *testing.T) {
+	f := func(l1Raw, l2Raw uint16) bool {
+		const tau = 40.0
+		l1 := float64(l1Raw%1000) / 1000 * 0.99 / tau
+		l2 := float64(l2Raw%1000) / 1000 * 0.99 / tau
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		r1, err1 := MD1Response(tau, l1)
+		r2, err2 := MD1Response(tau, l2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1 <= r2+1e-12 && r1 >= tau
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMG1ReducesToMD1(t *testing.T) {
+	for _, tau := range []float64{1, 15, 50} {
+		for _, lambda := range []float64{0, 0.001, 0.01} {
+			md1, err := MD1Response(tau, lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mg1, err := MG1Response(tau, 0, lambda)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(md1-mg1) > 1e-9 {
+				t.Errorf("tau=%v lambda=%v: MD1=%v MG1(cs2=0)=%v", tau, lambda, md1, mg1)
+			}
+		}
+	}
+}
+
+func TestMG1VariabilityPenalty(t *testing.T) {
+	// Higher service variability must not decrease the response time.
+	det, err := MG1Response(50, 0, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := MG1Response(50, 1, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp <= det {
+		t.Errorf("exponential server response %v should exceed deterministic %v", exp, det)
+	}
+}
+
+func TestMG1Errors(t *testing.T) {
+	if _, err := MG1Response(10, -1, 0.01); err == nil {
+		t.Error("negative cs2 accepted")
+	}
+	if _, err := MG1Response(10, 0, 0.1); !errors.Is(err, ErrSaturated) {
+		t.Errorf("rho=1 got %v", err)
+	}
+	if _, err := MG1Response(-10, 0, 0.01); err == nil {
+		t.Error("negative tau accepted")
+	}
+	if _, err := MG1Response(10, 0, -0.01); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	if got := Utilization(50, 0.01); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Utilization(50, .01) = %v, want 0.5", got)
+	}
+}
+
+func TestHarmonicSmall(t *testing.T) {
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {-3, 0}, {1, 1}, {2, 1.5}, {3, 1.5 + 1.0/3},
+		{4, 1.0 + 0.5 + 1.0/3 + 0.25},
+	}
+	for _, tc := range tests {
+		if got := Harmonic(tc.n); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Harmonic(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestHarmonicAsymptoticAgreement(t *testing.T) {
+	// The asymptotic branch should agree with direct summation at the
+	// crossover scale.
+	n := 1 << 17
+	direct := 0.0
+	for i := n; i >= 1; i-- {
+		direct += 1 / float64(i)
+	}
+	if got := Harmonic(n); math.Abs(got-direct) > 1e-9 {
+		t.Errorf("Harmonic(%d) = %v, direct sum %v", n, got, direct)
+	}
+}
+
+func TestHarmonicMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		n1, n2 := int(a), int(b)
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		return Harmonic(n1) <= Harmonic(n2)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMVAResponseBasics(t *testing.T) {
+	// One customer never queues.
+	r, err := MVAResponse(50, 100, 1)
+	if err != nil || r != 50 {
+		t.Errorf("MVA(1) = %v, %v; want 50", r, err)
+	}
+	// Zero think time: all n customers permanently enqueued, R = n·tau.
+	r, err = MVAResponse(50, 0, 4)
+	if err != nil || math.Abs(r-200) > 1e-9 {
+		t.Errorf("MVA(z=0, n=4) = %v, %v; want 200", r, err)
+	}
+	// Huge think time: effectively no contention.
+	r, err = MVAResponse(50, 1e12, 8)
+	if err != nil || math.Abs(r-50) > 1e-3 {
+		t.Errorf("MVA(z→∞) = %v, %v; want ≈50", r, err)
+	}
+}
+
+func TestMVAResponseBoundsAndMonotonicity(t *testing.T) {
+	f := func(tauRaw, zRaw uint16, nRaw uint8) bool {
+		tau := 1 + float64(tauRaw%5000)
+		z := float64(zRaw)
+		n := int(nRaw%16) + 1
+		prev := 0.0
+		for k := 1; k <= n; k++ {
+			r, err := MVAResponse(tau, z, k)
+			if err != nil {
+				return false
+			}
+			// tau ≤ R(k) ≤ k·tau, nondecreasing in k.
+			if r < tau-1e-9 || r > float64(k)*tau+1e-9 || r < prev-1e-9 {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMVAResponseAgreesWithMD1AtLowLoad(t *testing.T) {
+	// With long think times the closed and open models converge.
+	tau := 50.0
+	z := 100000.0
+	n := 4
+	lambda := float64(n-1) / (z + tau) // competing arrival rate seen by one customer
+	mva, err := MVAResponse(tau, z, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md1, err := MD1Response(tau, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mva-md1)/md1 > 0.01 {
+		t.Errorf("low load: MVA %v vs MD1 %v diverge", mva, md1)
+	}
+}
+
+func TestMVAResponseErrors(t *testing.T) {
+	if _, err := MVAResponse(-1, 0, 1); err == nil {
+		t.Error("negative tau accepted")
+	}
+	if _, err := MVAResponse(1, -1, 1); err == nil {
+		t.Error("negative z accepted")
+	}
+	if _, err := MVAResponse(1, 0, 0); err == nil {
+		t.Error("zero customers accepted")
+	}
+}
+
+func TestBarrierWait(t *testing.T) {
+	// p = 4, lambdaB = 0.5: (1/2 + 1/3 + 1/4)/0.5
+	got, err := BarrierWait(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.5 + 1.0/3 + 0.25) / 0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("BarrierWait(4, 0.5) = %v, want %v", got, want)
+	}
+}
+
+func TestBarrierWaitDegenerate(t *testing.T) {
+	for _, p := range []int{-1, 0, 1} {
+		got, err := BarrierWait(p, 0) // rate ignored when p <= 1
+		if err != nil || got != 0 {
+			t.Errorf("BarrierWait(%d) = %v, %v; want 0, nil", p, got, err)
+		}
+	}
+	if _, err := BarrierWait(2, 0); err == nil {
+		t.Error("zero rate with p>1 accepted")
+	}
+	if _, err := BarrierWait(2, -1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestBarrierSum(t *testing.T) {
+	if got := BarrierSum(1); got != 0 {
+		t.Errorf("BarrierSum(1) = %v, want 0", got)
+	}
+	if got, want := BarrierSum(2), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("BarrierSum(2) = %v, want %v", got, want)
+	}
+	if got, want := BarrierSum(4), 0.5+1.0/3+0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("BarrierSum(4) = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedMaxExponential(t *testing.T) {
+	got, err := ExpectedMaxExponential(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 + 0.5 + 1.0/3) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ExpectedMaxExponential(3, 2) = %v, want %v", got, want)
+	}
+	if _, err := ExpectedMaxExponential(0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ExpectedMaxExponential(1, 0); err == nil {
+		t.Error("rate=0 accepted")
+	}
+}
+
+func TestExpectedMaxExponentialGrowsWithN(t *testing.T) {
+	prev := 0.0
+	for n := 1; n <= 64; n *= 2 {
+		v, err := ExpectedMaxExponential(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= prev {
+			t.Errorf("E[max] not increasing at n=%d: %v <= %v", n, v, prev)
+		}
+		prev = v
+	}
+}
+
+func BenchmarkMD1Response(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := MD1Response(50, 0.005); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMVAResponse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := MVAResponse(50, 200, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

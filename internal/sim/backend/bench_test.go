@@ -1,0 +1,94 @@
+package backend
+
+import (
+	"testing"
+
+	"memhier/internal/machine"
+	"memhier/internal/trace"
+	"memhier/internal/workloads"
+)
+
+func benchTraceFor(b *testing.B, nproc int) *trace.Trace {
+	b.Helper()
+	w := workloads.NewRadix(1<<14, 64)
+	tr, err := workloads.GenerateTrace(w, nproc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkSimulateSMPBus(b *testing.B) {
+	tr := benchTraceFor(b, 4)
+	cfg := smpConfig(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.MemoryRefs()), "refs")
+}
+
+func BenchmarkSimulateClusterWSBus(b *testing.B) {
+	tr := benchTraceFor(b, 4)
+	cfg := wsConfig(4, machine.NetBus100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateClusterWSSwitch(b *testing.B) {
+	tr := benchTraceFor(b, 4)
+	cfg := wsConfig(4, machine.NetSwitch155)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateClusterSMP(b *testing.B) {
+	tr := benchTraceFor(b, 4)
+	cfg := csmpConfig(2, 2, machine.NetSwitch155)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamRun(b *testing.B) {
+	w := workloads.NewRadix(1<<14, 64)
+	cfg := wsConfig(4, machine.NetBus100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := StreamRun(sys, 4, func(sink trace.Sink) error {
+			return w.Run(4, sink)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAccessCacheHit(b *testing.B) {
+	sys, err := NewSystem(smpConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Access(0, 64, false, 0)
+	b.ResetTimer()
+	now := 1.0
+	for i := 0; i < b.N; i++ {
+		now = sys.Access(0, 64, false, now)
+	}
+}

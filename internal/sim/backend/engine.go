@@ -1,0 +1,223 @@
+package backend
+
+import (
+	"container/heap"
+	"fmt"
+
+	"memhier/internal/machine"
+	"memhier/internal/trace"
+)
+
+// RunResult summarizes one simulated execution.
+type RunResult struct {
+	Config       string
+	WallCycles   float64 // completion time of the slowest processor
+	Instructions uint64  // m + M across all processors
+	MemoryRefs   uint64
+	// EInstr is wall time divided by total instructions: the simulated
+	// counterpart of the model's E(Instr) (eq. 4), in cycles.
+	EInstr float64
+	// Seconds converts EInstr with the configured clock.
+	Seconds float64
+	// AvgT is the observed average memory access time per reference.
+	AvgT float64
+	// BarrierWaitCycles is the total time processors spent blocked at
+	// barriers.
+	BarrierWaitCycles float64
+	Barriers          uint64
+
+	Stats Stats
+	// Phases profiles the barrier-delimited bulk-synchronous phases: one
+	// entry per barrier interval plus a final entry for work after the
+	// last barrier (if any). Where the cycles go, phase by phase.
+	Phases []PhaseStats
+	// ClassShare[c] is the fraction of references served by class c.
+	ClassShare [numClasses]float64
+	// CoherenceShare is the fraction of memory-bus cycles spent on
+	// coherence transactions (the paper reports 2.1–7.2% on SMPs).
+	CoherenceShare float64
+	// NetUtilization is network busy time over wall time (0 for an SMP).
+	NetUtilization float64
+}
+
+// PhaseStats profiles one barrier-delimited phase of the execution.
+type PhaseStats struct {
+	Index       int
+	StartCycle  float64
+	EndCycle    float64 // the barrier-release instant (or final wall time)
+	BarrierWait float64 // total processor-cycles waiting at the closing barrier
+	Stats       Stats   // counter deltas for the phase
+}
+
+// Cycles returns the phase's wall-clock span.
+func (p PhaseStats) Cycles() float64 { return p.EndCycle - p.StartCycle }
+
+// cpuState tracks one processor's progress through its stream.
+type cpuState struct {
+	cpu   int
+	clock float64
+	next  int // index into stream events
+	order int // FIFO tiebreak for determinism
+}
+
+type cpuHeap []*cpuState
+
+func (h cpuHeap) Len() int { return len(h) }
+func (h cpuHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].order < h[j].order
+}
+func (h cpuHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cpuHeap) Push(x interface{}) { *h = append(*h, x.(*cpuState)) }
+func (h *cpuHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run drives the system with the trace, interleaving processors in global
+// time order, and returns the execution summary. The trace must have one
+// stream per simulated processor and balanced barriers.
+func Run(tr *trace.Trace, sys *System) (RunResult, error) {
+	want := sys.Config().TotalProcs()
+	if tr.NumCPU() != want {
+		return RunResult{}, fmt.Errorf("backend: trace has %d streams, %s simulates %d processors",
+			tr.NumCPU(), sys.Config().Name, want)
+	}
+	if err := tr.Validate(); err != nil {
+		return RunResult{}, err
+	}
+
+	states := make([]*cpuState, want)
+	h := make(cpuHeap, 0, want)
+	for i := 0; i < want; i++ {
+		states[i] = &cpuState{cpu: i, order: i}
+		h = append(h, states[i])
+	}
+	heap.Init(&h)
+
+	var res RunResult
+	res.Config = sys.Config().Name
+	waiting := make([]*cpuState, 0, want)
+	var barrierMax float64
+	var phaseStart float64
+	var phaseBase Stats
+
+	release := func() {
+		// All processors arrived: everyone resumes at the latest arrival.
+		res.Barriers++
+		var wait float64
+		for _, w := range waiting {
+			wait += barrierMax - w.clock
+			w.clock = barrierMax
+			heap.Push(&h, w)
+		}
+		res.BarrierWaitCycles += wait
+		cur := sys.Stats()
+		res.Phases = append(res.Phases, PhaseStats{
+			Index:       len(res.Phases),
+			StartCycle:  phaseStart,
+			EndCycle:    barrierMax,
+			BarrierWait: wait,
+			Stats:       cur.Minus(phaseBase),
+		})
+		phaseStart = barrierMax
+		phaseBase = cur
+		waiting = waiting[:0]
+		barrierMax = 0
+	}
+
+	var tStart, tTotal float64
+	var refs uint64
+	for h.Len() > 0 {
+		st := heap.Pop(&h).(*cpuState)
+		ev := tr.Streams[st.cpu].Events
+		if st.next >= len(ev) {
+			// Stream exhausted; the processor halts at its current clock.
+			if st.clock > res.WallCycles {
+				res.WallCycles = st.clock
+			}
+			continue
+		}
+		e := ev[st.next]
+		st.next++
+		switch e.Kind {
+		case trace.Compute:
+			st.clock += float64(e.N) * sys.lat.Instruction
+			heap.Push(&h, st)
+		case trace.Read, trace.Write:
+			tStart = st.clock
+			st.clock = sys.Access(st.cpu, e.Addr, e.Kind == trace.Write, st.clock)
+			tTotal += st.clock - tStart
+			refs++
+			heap.Push(&h, st)
+		case trace.Barrier:
+			if st.clock > barrierMax {
+				barrierMax = st.clock
+			}
+			waiting = append(waiting, st)
+			if len(waiting) == want {
+				release()
+			}
+		default:
+			return RunResult{}, fmt.Errorf("backend: unknown event kind %d", e.Kind)
+		}
+	}
+	if len(waiting) > 0 {
+		return RunResult{}, fmt.Errorf("backend: %d processors stuck at a barrier", len(waiting))
+	}
+	// Tail phase: work after the last barrier.
+	if tail := sys.Stats().Minus(phaseBase); tail.Refs > 0 || res.WallCycles > phaseStart {
+		res.Phases = append(res.Phases, PhaseStats{
+			Index:      len(res.Phases),
+			StartCycle: phaseStart,
+			EndCycle:   res.WallCycles,
+			Stats:      tail,
+		})
+	}
+
+	res.Instructions = tr.Instructions()
+	res.MemoryRefs = refs
+	if res.Instructions > 0 {
+		res.EInstr = res.WallCycles / float64(res.Instructions)
+	}
+	res.Seconds = res.EInstr / (sys.Config().ClockMHz * 1e6)
+	if refs > 0 {
+		res.AvgT = tTotal / float64(refs)
+	}
+	res.Stats = sys.Stats()
+	for c := 0; c < int(numClasses); c++ {
+		if res.Stats.Refs > 0 {
+			res.ClassShare[c] = float64(res.Stats.ClassCounts[c]) / float64(res.Stats.Refs)
+		}
+	}
+	if res.Stats.TotalBusCycles > 0 {
+		res.CoherenceShare = res.Stats.CoherenceBusCycles / res.Stats.TotalBusCycles
+	}
+	if res.WallCycles > 0 {
+		if sys.netBus != nil {
+			res.NetUtilization = sys.netBus.Utilization(res.WallCycles)
+		} else if len(sys.netPorts) > 0 {
+			var busy float64
+			for _, p := range sys.netPorts {
+				busy += p.BusyCycles()
+			}
+			res.NetUtilization = busy / (res.WallCycles * float64(len(sys.netPorts)))
+		}
+	}
+	return res, nil
+}
+
+// Simulate is the one-call convenience wrapper: build the system for cfg
+// and drive it with the trace.
+func Simulate(tr *trace.Trace, cfg machine.Config) (RunResult, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return Run(tr, sys)
+}

@@ -1,0 +1,201 @@
+package backend
+
+import (
+	"math"
+	"testing"
+
+	"memhier/internal/machine"
+	"memhier/internal/trace"
+)
+
+func TestEngineComputeOnlyTrace(t *testing.T) {
+	tr := trace.New(2)
+	tr.Streams[0].AddCompute(1000)
+	tr.Streams[1].AddCompute(500)
+	res, err := Simulate(tr, smpConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallCycles != 1000 {
+		t.Errorf("WallCycles = %v, want 1000 (slowest processor)", res.WallCycles)
+	}
+	if res.MemoryRefs != 0 || res.AvgT != 0 {
+		t.Errorf("compute-only trace has refs=%d AvgT=%v", res.MemoryRefs, res.AvgT)
+	}
+	if res.EInstr <= 0 {
+		t.Errorf("EInstr = %v", res.EInstr)
+	}
+}
+
+func TestEngineEmptyStreams(t *testing.T) {
+	tr := trace.New(2)
+	res, err := Simulate(tr, smpConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallCycles != 0 || res.Instructions != 0 {
+		t.Errorf("empty trace: %+v", res)
+	}
+}
+
+func TestEngineUnevenStreamLengths(t *testing.T) {
+	// One processor finishes long before the other; the engine must drain
+	// both without deadlock and report the longest clock.
+	tr := trace.New(2)
+	tr.Streams[0].AddRead(0)
+	for i := 0; i < 100; i++ {
+		tr.Streams[1].AddRead(uint64(4096 + i*64))
+	}
+	res, err := Simulate(tr, smpConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemoryRefs != 101 {
+		t.Errorf("refs = %d, want 101", res.MemoryRefs)
+	}
+}
+
+func TestEngineManyBarriers(t *testing.T) {
+	tr := trace.New(3)
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		for cpu := 0; cpu < 3; cpu++ {
+			tr.Streams[cpu].AddCompute(uint64(1 + cpu + r))
+			tr.Streams[cpu].AddBarrier()
+		}
+	}
+	res, err := Simulate(tr, smpConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Barriers != rounds {
+		t.Errorf("Barriers = %d, want %d", res.Barriers, rounds)
+	}
+	// Every round the slowest cpu (cpu 2, compute 3+r) sets the pace.
+	want := 0.0
+	for r := 0; r < rounds; r++ {
+		want += float64(3 + r)
+	}
+	if math.Abs(res.WallCycles-want) > 1e-9 {
+		t.Errorf("WallCycles = %v, want %v", res.WallCycles, want)
+	}
+}
+
+func TestEngineDeterministicTieBreak(t *testing.T) {
+	// All CPUs start at clock 0 with a memory access to the same bus; the
+	// order must be CPU index order, every run.
+	for trial := 0; trial < 3; trial++ {
+		tr := trace.New(4)
+		for cpu := 0; cpu < 4; cpu++ {
+			tr.Streams[cpu].AddRead(uint64(cpu) * 4096)
+		}
+		sys, err := NewSystem(smpConfig(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(tr, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bus serialization: 4 memory accesses of 50 cycles each queue up;
+		// the last one ends at 200 + its disk fault handling.
+		if res.Stats.ClassCounts[ClassDisk] != 4 {
+			t.Fatalf("trial %d: disk counts %+v", trial, res.Stats.ClassCounts)
+		}
+	}
+}
+
+func TestEngineSeconds(t *testing.T) {
+	tr := trace.New(1)
+	tr.Streams[0].AddCompute(200) // 200 cycles at 200 MHz = 1 µs
+	res, err := Simulate(tr, machine.Config{Name: "x", Kind: machine.SMP, N: 1, Procs: 1,
+		CacheBytes: 4 << 10, MemoryBytes: 1 << 20, ClockMHz: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeconds := res.EInstr / 2e8
+	if math.Abs(res.Seconds-wantSeconds) > 1e-18 {
+		t.Errorf("Seconds = %v, want %v", res.Seconds, wantSeconds)
+	}
+}
+
+func TestRunRejectsBadKind(t *testing.T) {
+	tr := trace.New(1)
+	tr.Streams[0].Events = append(tr.Streams[0].Events, trace.Event{Kind: trace.Kind(9)})
+	if _, err := Simulate(tr, smpConfig(1)); err == nil {
+		t.Error("unknown event kind accepted")
+	}
+}
+
+func TestPhaseProfiling(t *testing.T) {
+	// Two phases with distinct characters: phase 0 is compute-heavy with a
+	// known imbalance; phase 1 is memory-heavy; plus a compute tail.
+	tr := trace.New(2)
+	tr.Streams[0].AddCompute(100)
+	tr.Streams[1].AddCompute(300)
+	tr.Streams[0].AddBarrier()
+	tr.Streams[1].AddBarrier()
+	for i := 0; i < 10; i++ {
+		tr.Streams[0].AddRead(uint64(4096 + i*64))
+	}
+	tr.Streams[1].AddCompute(1)
+	tr.Streams[0].AddBarrier()
+	tr.Streams[1].AddBarrier()
+	tr.Streams[0].AddCompute(50)
+
+	res, err := Simulate(tr, smpConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3 (two barriers + tail)", len(res.Phases))
+	}
+	p0, p1, p2 := res.Phases[0], res.Phases[1], res.Phases[2]
+	if p0.Cycles() != 300 || p0.BarrierWait != 200 {
+		t.Errorf("phase 0: cycles %v wait %v, want 300/200", p0.Cycles(), p0.BarrierWait)
+	}
+	if p0.Stats.Refs != 0 {
+		t.Errorf("phase 0 should have no refs, got %d", p0.Stats.Refs)
+	}
+	if p1.Stats.Refs != 10 {
+		t.Errorf("phase 1 refs = %d, want 10", p1.Stats.Refs)
+	}
+	if p1.StartCycle != p0.EndCycle {
+		t.Errorf("phase 1 start %v != phase 0 end %v", p1.StartCycle, p0.EndCycle)
+	}
+	if p2.Cycles() != 50 || p2.Stats.Refs != 0 {
+		t.Errorf("tail phase: cycles %v refs %d, want 50/0", p2.Cycles(), p2.Stats.Refs)
+	}
+	// Phase spans tile the wall clock.
+	var total float64
+	for _, p := range res.Phases {
+		total += p.Cycles()
+	}
+	if math.Abs(total-res.WallCycles) > 1e-9 {
+		t.Errorf("phase spans %v do not tile wall %v", total, res.WallCycles)
+	}
+	// Phase refs sum to the run's refs.
+	var refs uint64
+	for _, p := range res.Phases {
+		refs += p.Stats.Refs
+	}
+	if refs != res.MemoryRefs {
+		t.Errorf("phase refs %d != total %d", refs, res.MemoryRefs)
+	}
+}
+
+func TestPhaseProfilingNoBarriers(t *testing.T) {
+	tr := trace.New(1)
+	tr.Streams[0].AddRead(0)
+	tr.Streams[0].AddCompute(10)
+	res, err := Simulate(tr, smpConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 1 {
+		t.Fatalf("phases = %d, want 1 (tail only)", len(res.Phases))
+	}
+	if res.Phases[0].Stats.Refs != 1 {
+		t.Errorf("tail refs = %d", res.Phases[0].Stats.Refs)
+	}
+}

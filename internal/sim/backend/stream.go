@@ -1,0 +1,202 @@
+package backend
+
+import (
+	"container/heap"
+	"fmt"
+
+	"memhier/internal/trace"
+)
+
+// StreamRun drives the system directly from a workload generator without
+// materializing the whole trace: the generator runs concurrently and its
+// events are consumed phase by phase (barrier to barrier), so peak memory
+// is one bulk-synchronous phase instead of the full execution. Paper-scale
+// problems (hundreds of millions of references) become simulable.
+//
+// generate must emit the same bulk-synchronous stream a materialized run
+// would (workloads.Workload.Run does); results are identical to Run on the
+// materialized trace (see TestStreamRunMatchesRun).
+func StreamRun(sys *System, nproc int, generate func(sink trace.Sink) error) (RunResult, error) {
+	if nproc != sys.Config().TotalProcs() {
+		return RunResult{}, fmt.Errorf("backend: generator has %d processors, %s simulates %d",
+			nproc, sys.Config().Name, sys.Config().TotalProcs())
+	}
+
+	phases := make(chan phaseChunk, 1)
+	genErr := make(chan error, 1)
+
+	go func() {
+		defer close(phases)
+		collector := &phaseCollector{nproc: nproc, out: phases}
+		if err := generate(collector); err != nil {
+			genErr <- err
+			return
+		}
+		collector.flushTail()
+		genErr <- nil
+	}()
+
+	var res RunResult
+	res.Config = sys.Config().Name
+	clocks := make([]float64, nproc)
+	var instructions, refs uint64
+	var tTotal float64
+	var phaseStart float64
+	var phaseBase Stats
+
+	for ph := range phases {
+		// Interleave this phase's per-cpu event runs in global time order.
+		h := make(cpuHeap, 0, nproc)
+		idx := make([]int, nproc)
+		states := make([]*cpuState, nproc)
+		for cpu := 0; cpu < nproc; cpu++ {
+			states[cpu] = &cpuState{cpu: cpu, clock: clocks[cpu], order: cpu}
+			h = append(h, states[cpu])
+		}
+		heap.Init(&h)
+		for h.Len() > 0 {
+			st := heap.Pop(&h).(*cpuState)
+			evs := ph.chunks[st.cpu]
+			if idx[st.cpu] >= len(evs) {
+				continue
+			}
+			e := evs[idx[st.cpu]]
+			idx[st.cpu]++
+			switch e.Kind {
+			case trace.Compute:
+				st.clock += float64(e.N) * sys.lat.Instruction
+				instructions += e.N
+			case trace.Read, trace.Write:
+				start := st.clock
+				st.clock = sys.Access(st.cpu, e.Addr, e.Kind == trace.Write, st.clock)
+				tTotal += st.clock - start
+				refs++
+				instructions++
+			default:
+				return RunResult{}, fmt.Errorf("backend: unexpected event kind %v inside a streamed phase", e.Kind)
+			}
+			heap.Push(&h, st)
+		}
+		// Phase end: barrier rendezvous (or the run's tail).
+		var max float64
+		for cpu := 0; cpu < nproc; cpu++ {
+			clocks[cpu] = states[cpu].clock
+			if clocks[cpu] > max {
+				max = clocks[cpu]
+			}
+		}
+		var wait float64
+		if ph.barrier {
+			res.Barriers++
+			for cpu := 0; cpu < nproc; cpu++ {
+				wait += max - clocks[cpu]
+				clocks[cpu] = max
+			}
+			res.BarrierWaitCycles += wait
+		}
+		cur := sys.Stats()
+		res.Phases = append(res.Phases, PhaseStats{
+			Index:       len(res.Phases),
+			StartCycle:  phaseStart,
+			EndCycle:    max,
+			BarrierWait: wait,
+			Stats:       cur.Minus(phaseBase),
+		})
+		phaseStart = max
+		phaseBase = cur
+		if max > res.WallCycles {
+			res.WallCycles = max
+		}
+	}
+	if err := <-genErr; err != nil {
+		return RunResult{}, err
+	}
+	res.Instructions = instructions
+	res.MemoryRefs = refs
+	if instructions > 0 {
+		res.EInstr = res.WallCycles / float64(instructions)
+	}
+	res.Seconds = res.EInstr / (sys.Config().ClockMHz * 1e6)
+	if refs > 0 {
+		res.AvgT = tTotal / float64(refs)
+	}
+	res.Stats = sys.Stats()
+	for c := 0; c < int(numClasses); c++ {
+		if res.Stats.Refs > 0 {
+			res.ClassShare[c] = float64(res.Stats.ClassCounts[c]) / float64(res.Stats.Refs)
+		}
+	}
+	if res.Stats.TotalBusCycles > 0 {
+		res.CoherenceShare = res.Stats.CoherenceBusCycles / res.Stats.TotalBusCycles
+	}
+	if res.WallCycles > 0 {
+		if sys.netBus != nil {
+			res.NetUtilization = sys.netBus.Utilization(res.WallCycles)
+		} else if len(sys.netPorts) > 0 {
+			var busy float64
+			for _, p := range sys.netPorts {
+				busy += p.BusyCycles()
+			}
+			res.NetUtilization = busy / (res.WallCycles * float64(len(sys.netPorts)))
+		}
+	}
+	return res, nil
+}
+
+// phaseChunk is one bulk-synchronous phase of per-cpu event runs.
+type phaseChunk struct {
+	chunks  [][]trace.Event
+	barrier bool // true when the phase ended at a barrier
+}
+
+// phaseCollector buffers one bulk-synchronous phase and hands it over when
+// every processor has crossed the barrier.
+type phaseCollector struct {
+	nproc   int
+	out     chan<- phaseChunk
+	chunks  [][]trace.Event
+	arrived []bool
+	nwait   int
+}
+
+func (p *phaseCollector) ensure() {
+	if p.chunks == nil {
+		p.chunks = make([][]trace.Event, p.nproc)
+		p.arrived = make([]bool, p.nproc)
+		p.nwait = 0
+	}
+}
+
+// Emit implements trace.Sink.
+func (p *phaseCollector) Emit(cpu int, e trace.Event) {
+	p.ensure()
+	if e.Kind == trace.Barrier {
+		if p.arrived[cpu] {
+			panic("backend: processor crossed the same barrier twice in a streamed phase")
+		}
+		p.arrived[cpu] = true
+		p.nwait++
+		if p.nwait == p.nproc {
+			p.out <- phaseChunk{chunks: p.chunks, barrier: true}
+			p.chunks = nil
+		}
+		return
+	}
+	if p.arrived[cpu] {
+		// A processor emitted work after its own barrier arrival and before
+		// the rendezvous completed — the stream is not bulk-synchronous.
+		panic("backend: event emitted after a barrier arrival; stream is not bulk-synchronous")
+	}
+	p.chunks[cpu] = append(p.chunks[cpu], e)
+}
+
+// flushTail hands over work emitted after the last barrier.
+func (p *phaseCollector) flushTail() {
+	p.ensure()
+	for _, c := range p.chunks {
+		if len(c) > 0 {
+			p.out <- phaseChunk{chunks: p.chunks}
+			return
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package backend
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"memhier/internal/machine"
+	"memhier/internal/trace"
+	"memhier/internal/workloads"
+)
+
+// TestStreamRunMatchesRun: the streaming engine must reproduce the
+// materialized engine's results exactly, for every backend variant.
+func TestStreamRunMatchesRun(t *testing.T) {
+	cfgs := []machine.Config{
+		smpConfig(2),
+		wsConfig(2, machine.NetBus100),
+		csmpConfig(2, 2, machine.NetSwitch155),
+	}
+	kernels := []workloads.Workload{
+		workloads.NewFFT(256),
+		workloads.NewLU(24, 4),
+		workloads.NewRadix(2000, 16),
+		workloads.NewEdge(24, 24, 2),
+	}
+	for _, cfg := range cfgs {
+		for _, w := range kernels {
+			tr, err := workloads.GenerateTrace(w, cfg.TotalProcs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			matSys, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mat, err := Run(tr, matSys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			strSys, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			str, err := StreamRun(strSys, cfg.TotalProcs(), func(sink trace.Sink) error {
+				return w.Run(cfg.TotalProcs(), sink)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mat.WallCycles != str.WallCycles {
+				t.Errorf("%s/%s: wall %v (run) vs %v (stream)", cfg.Name, w.Name(), mat.WallCycles, str.WallCycles)
+			}
+			if mat.Instructions != str.Instructions || mat.MemoryRefs != str.MemoryRefs {
+				t.Errorf("%s/%s: counts differ: %d/%d vs %d/%d", cfg.Name, w.Name(),
+					mat.Instructions, mat.MemoryRefs, str.Instructions, str.MemoryRefs)
+			}
+			if mat.Stats != str.Stats {
+				t.Errorf("%s/%s: stats differ:\nrun:    %+v\nstream: %+v", cfg.Name, w.Name(), mat.Stats, str.Stats)
+			}
+			if mat.Barriers != str.Barriers || mat.BarrierWaitCycles != str.BarrierWaitCycles {
+				t.Errorf("%s/%s: barrier accounting differs", cfg.Name, w.Name())
+			}
+			if len(mat.Phases) != len(str.Phases) {
+				t.Errorf("%s/%s: phase count %d vs %d", cfg.Name, w.Name(), len(mat.Phases), len(str.Phases))
+			}
+		}
+	}
+}
+
+func TestStreamRunErrors(t *testing.T) {
+	sys, err := NewSystem(smpConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched processor count.
+	if _, err := StreamRun(sys, 3, func(trace.Sink) error { return nil }); err == nil {
+		t.Error("processor mismatch accepted")
+	}
+	// Generator failure propagates.
+	sys2, _ := NewSystem(smpConfig(2))
+	boom := errors.New("boom")
+	if _, err := StreamRun(sys2, 2, func(trace.Sink) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("generator error lost: %v", err)
+	}
+}
+
+func TestStreamRunEmptyGenerator(t *testing.T) {
+	sys, _ := NewSystem(smpConfig(2))
+	res, err := StreamRun(sys, 2, func(trace.Sink) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallCycles != 0 || res.Instructions != 0 {
+		t.Errorf("empty stream: %+v", res)
+	}
+}
+
+// TestStreamRunPaperScale is the opt-in proof that paper-size problems
+// simulate without materializing their traces.
+func TestStreamRunPaperScale(t *testing.T) {
+	if os.Getenv("MEMHIER_PAPER_SCALE") == "" {
+		t.Skip("set MEMHIER_PAPER_SCALE=1 to stream-simulate a paper-size problem")
+	}
+	cfg, err := machine.ByName("C8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workloads.NewFFT(1 << 16) // the paper's 64K points
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := StreamRun(sys, cfg.TotalProcs(), func(sink trace.Sink) error {
+		return w.Run(cfg.TotalProcs(), sink)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("paper-scale FFT on C8: E(Instr)=%.3f cycles over %d instructions", res.EInstr, res.Instructions)
+	if res.MemoryRefs < 1<<20 {
+		t.Errorf("expected millions of references, got %d", res.MemoryRefs)
+	}
+}

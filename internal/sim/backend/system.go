@@ -1,0 +1,620 @@
+// Package backend implements the execution-driven memory-hierarchy
+// simulators that validate the analytical model — the counterpart of the
+// paper's five MINT back-ends:
+//
+//   - an SMP with a snooping write-invalidate (MSI) protocol over a shared
+//     memory bus (2-way set-associative 64-byte-line caches, §5.1),
+//   - a cluster of workstations with a directory-based protocol over
+//     256-byte blocks (states uncached/shared/exclusive) on a bus (10/100
+//     Mb Ethernet) or switch (155 Mb ATM) network, and
+//   - a cluster of SMPs with the hybrid protocol: snooping inside a node,
+//     directory across nodes sharing the same block states.
+//
+// All five variants are parameterizations of one System; NewSystem selects
+// the protocol combination from the machine configuration. Timing is in
+// CPU cycles using the paper's latency table. Shared media (memory buses,
+// the cluster network, I/O buses) are serially occupied resources, so
+// contention emerges from the simulation rather than from a formula.
+package backend
+
+import (
+	"fmt"
+
+	"memhier/internal/machine"
+	"memhier/internal/sim/cache"
+	"memhier/internal/sim/interconnect"
+	"memhier/internal/sim/memory"
+)
+
+// Block geometry of the paper's protocols.
+const (
+	CacheLineSize = 64  // SMP snooping granularity (§5.1)
+	CacheAssoc    = 2   // two-way set-associative (§5.1)
+	DSMBlockSize  = 256 // directory protocol block size (§5.1)
+)
+
+// dirState is the directory state of a 256-byte block (paper §5.1: each
+// block of the memory has three states).
+type dirState uint8
+
+const (
+	dirUncached dirState = iota
+	dirShared
+	dirExclusive
+)
+
+type dirEntry struct {
+	state   dirState
+	sharers uint64 // bitmask of nodes with copies
+	owner   int    // valid when state == dirExclusive
+}
+
+// AccessClass classifies where a reference was served, mirroring the
+// paper's memory-hierarchy levels (Figure 1).
+type AccessClass int
+
+// Access classes, cheapest first.
+const (
+	ClassCacheHit    AccessClass = iota // own cache
+	ClassRemoteCache                    // another cache in the same machine (15)
+	ClassLocalMemory                    // the machine's memory (50)
+	ClassRemoteClean                    // a remote node's memory (2-hop transfer)
+	ClassRemoteDirty                    // remotely cached data (3-hop transfer)
+	ClassDisk                           // page fault to disk (2000)
+	numClasses
+)
+
+// String names the class.
+func (c AccessClass) String() string {
+	switch c {
+	case ClassCacheHit:
+		return "cache"
+	case ClassRemoteCache:
+		return "remote-cache"
+	case ClassLocalMemory:
+		return "local-memory"
+	case ClassRemoteClean:
+		return "remote-node"
+	case ClassRemoteDirty:
+		return "remote-cached"
+	case ClassDisk:
+		return "disk"
+	}
+	return fmt.Sprintf("AccessClass(%d)", int(c))
+}
+
+// Protocol selects the cache-coherence state machine.
+type Protocol int
+
+// Protocols. The paper's simulators use write-invalidate MSI (§5.1); MESI
+// is the simulator's extension for the protocol ablation: a sole clean copy
+// is installed Exclusive and upgrades to Modified silently.
+const (
+	ProtocolMSI Protocol = iota
+	ProtocolMESI
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolMSI:
+		return "MSI"
+	case ProtocolMESI:
+		return "MESI"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// SystemOptions tunes simulator variants beyond the machine configuration.
+type SystemOptions struct {
+	Protocol Protocol // default ProtocolMSI (the paper's)
+}
+
+// System is one simulated platform instance. It is not safe for concurrent
+// use; the engine drives it from a single goroutine in global time order.
+type System struct {
+	cfg  machine.Config
+	lat  machine.Latencies
+	opts SystemOptions
+
+	nodes int // N
+	perN  int // n
+
+	caches []*cache.Cache           // per cpu
+	membus []*interconnect.Resource // per node: memory/snoop bus
+	iobus  []*interconnect.Resource // per node: I/O (disk) bus
+	mems   []*memory.Memory         // per node: page residency
+
+	netBus   *interconnect.Resource   // bus networks: one shared medium
+	netPorts []*interconnect.Resource // switch networks: per-node port
+
+	dir   map[uint64]*dirEntry // block -> directory entry (clusters only)
+	homes map[uint64]int       // block -> home node (first touch)
+
+	stats Stats
+}
+
+// Stats aggregates simulator-side measurements.
+type Stats struct {
+	Refs        uint64
+	ClassCounts [numClasses]uint64
+	ClassCycles [numClasses]float64
+
+	Upgrades       uint64 // write hits on Shared lines
+	SilentUpgrades uint64 // MESI Exclusive→Modified transitions (no traffic)
+	InvalidateMsgs uint64 // cross-node invalidation transactions
+	Writebacks     uint64 // dirty evictions pushed toward memory/home
+	PageFaults     uint64
+
+	CoherenceBusCycles float64 // membus cycles due to snoops/upgrades
+	TotalBusCycles     float64 // all membus cycles
+}
+
+// Minus returns the counter deltas a − b (for per-phase accounting).
+func (a Stats) Minus(b Stats) Stats {
+	d := Stats{
+		Refs:               a.Refs - b.Refs,
+		Upgrades:           a.Upgrades - b.Upgrades,
+		SilentUpgrades:     a.SilentUpgrades - b.SilentUpgrades,
+		InvalidateMsgs:     a.InvalidateMsgs - b.InvalidateMsgs,
+		Writebacks:         a.Writebacks - b.Writebacks,
+		PageFaults:         a.PageFaults - b.PageFaults,
+		CoherenceBusCycles: a.CoherenceBusCycles - b.CoherenceBusCycles,
+		TotalBusCycles:     a.TotalBusCycles - b.TotalBusCycles,
+	}
+	for c := 0; c < int(numClasses); c++ {
+		d.ClassCounts[c] = a.ClassCounts[c] - b.ClassCounts[c]
+		d.ClassCycles[c] = a.ClassCycles[c] - b.ClassCycles[c]
+	}
+	return d
+}
+
+// NewSystem builds the simulator for a validated machine configuration,
+// with the paper's protocol settings.
+func NewSystem(cfg machine.Config) (*System, error) {
+	return NewSystemOpts(cfg, SystemOptions{})
+}
+
+// NewSystemOpts builds the simulator with explicit variant options.
+func NewSystemOpts(cfg machine.Config, opts SystemOptions) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:   cfg,
+		lat:   machine.LatenciesAt(cfg.Kind, cfg.ClockMHz),
+		opts:  opts,
+		nodes: cfg.N,
+		perN:  cfg.Procs,
+	}
+	if cfg.N > 64 {
+		return nil, fmt.Errorf("backend: %s: directory sharer mask supports at most 64 nodes, got %d", cfg.Name, cfg.N)
+	}
+	for cpu := 0; cpu < cfg.TotalProcs(); cpu++ {
+		s.caches = append(s.caches, cache.New(int(cfg.CacheBytes), CacheLineSize, CacheAssoc))
+	}
+	for node := 0; node < cfg.N; node++ {
+		s.membus = append(s.membus, interconnect.NewResource(fmt.Sprintf("membus%d", node)))
+		s.iobus = append(s.iobus, interconnect.NewResource(fmt.Sprintf("iobus%d", node)))
+		s.mems = append(s.mems, memory.New(cfg.MemoryBytes))
+	}
+	if cfg.N > 1 {
+		s.dir = make(map[uint64]*dirEntry)
+		s.homes = make(map[uint64]int)
+		if cfg.Net.IsBus() {
+			s.netBus = interconnect.NewResource("netbus")
+		} else {
+			for node := 0; node < cfg.N; node++ {
+				s.netPorts = append(s.netPorts, interconnect.NewResource(fmt.Sprintf("port%d", node)))
+			}
+		}
+	}
+	return s, nil
+}
+
+// Config returns the simulated configuration.
+func (s *System) Config() machine.Config { return s.cfg }
+
+// Stats returns the aggregated counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// VerifyCoherence checks the protocol's single-writer invariant across all
+// caches: a line held Modified (or Exclusive) by one processor must not be
+// valid in any other cache. It returns the first violation found, or nil.
+// Intended for tests and debugging; it scans every line of every cache.
+func (s *System) VerifyCoherence() error {
+	// owners[line] = cpu holding it Modified/Exclusive; sharers tracked to
+	// cross-check.
+	type holder struct {
+		cpu int
+		st  cache.State
+	}
+	held := make(map[uint64][]holder)
+	for cpu := range s.caches {
+		cpu := cpu
+		s.caches[cpu].Lines(func(lineAddr uint64, st cache.State) {
+			held[lineAddr] = append(held[lineAddr], holder{cpu: cpu, st: st})
+		})
+	}
+	for line, hs := range held {
+		exclusive := -1
+		for _, h := range hs {
+			if h.st == cache.Modified || h.st == cache.Exclusive {
+				exclusive = h.cpu
+			}
+		}
+		if exclusive >= 0 && len(hs) > 1 {
+			return fmt.Errorf("backend: line %#x held %v by cpu %d but valid in %d caches",
+				line*CacheLineSize, cache.Modified, exclusive, len(hs))
+		}
+	}
+	return nil
+}
+
+// CacheStats returns the per-processor cache counters.
+func (s *System) CacheStats() []cache.Stats {
+	out := make([]cache.Stats, len(s.caches))
+	for i, c := range s.caches {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+func (s *System) node(cpu int) int         { return cpu / s.perN }
+func (s *System) block(addr uint64) uint64 { return addr / DSMBlockSize }
+
+// home returns the block's home node, assigned on first touch — which
+// reproduces the paper's "contiguous subset allocated in its local memory"
+// placement, since each process initializes its own partition first.
+func (s *System) home(block uint64, toucher int) int {
+	if h, ok := s.homes[block]; ok {
+		return h
+	}
+	s.homes[block] = toucher
+	return toucher
+}
+
+func (s *System) entry(block uint64) *dirEntry {
+	e, ok := s.dir[block]
+	if !ok {
+		e = &dirEntry{state: dirUncached, owner: -1}
+		s.dir[block] = e
+	}
+	return e
+}
+
+// invalidateNode kills every cache line of the block in every cache of the
+// node, returning how many lines were dropped.
+func (s *System) invalidateNode(node int, block uint64) int {
+	killed := 0
+	base := block * DSMBlockSize
+	for p := 0; p < s.perN; p++ {
+		c := s.caches[node*s.perN+p]
+		for off := uint64(0); off < DSMBlockSize; off += CacheLineSize {
+			if _, ok := c.Probe(base + off); ok {
+				c.SetState(base+off, cache.Invalid)
+				killed++
+			}
+		}
+	}
+	return killed
+}
+
+// downgradeNode moves every Modified or Exclusive line of the block in the
+// node's caches to Shared (a remote read of a dirty block).
+func (s *System) downgradeNode(node int, block uint64) {
+	base := block * DSMBlockSize
+	for p := 0; p < s.perN; p++ {
+		c := s.caches[node*s.perN+p]
+		for off := uint64(0); off < DSMBlockSize; off += CacheLineSize {
+			if st, ok := c.Probe(base + off); ok && st != cache.Shared {
+				c.SetState(base+off, cache.Shared)
+			}
+		}
+	}
+}
+
+// nodeHoldsDirty reports whether any cache of the node holds a Modified
+// line of the block.
+func (s *System) nodeHoldsDirty(node int, block uint64) bool {
+	base := block * DSMBlockSize
+	for p := 0; p < s.perN; p++ {
+		c := s.caches[node*s.perN+p]
+		for off := uint64(0); off < DSMBlockSize; off += CacheLineSize {
+			if st, ok := c.Probe(base + off); ok && st == cache.Modified {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// netAcquire occupies the cluster network for one transfer whose
+// destination is the home node, returning the completion time.
+func (s *System) netAcquire(home int, now, dur float64) float64 {
+	if s.netBus != nil {
+		return s.netBus.Acquire(now, dur)
+	}
+	return s.netPorts[home].Acquire(now, dur)
+}
+
+// memTouch charges the node's memory for holding addr's page, adding a
+// disk transfer on a page fault (and a posted disk write when the evicted
+// page was dirty — it occupies the I/O bus without stalling the
+// requester). It returns the completion time.
+func (s *System) memTouch(node int, addr uint64, write bool, now float64) (float64, bool) {
+	resident, evictedDirty := s.mems[node].TouchW(addr, write)
+	if resident {
+		return now, false
+	}
+	s.stats.PageFaults++
+	done := s.iobus[node].Acquire(now, s.lat.LocalDisk)
+	if evictedDirty {
+		s.iobus[node].Acquire(done, s.lat.LocalDisk)
+	}
+	return done, true
+}
+
+// Access simulates one reference by cpu at time now and returns its
+// completion time. The classification of where it was served is recorded
+// in the statistics.
+func (s *System) Access(cpu int, addr uint64, write bool, now float64) float64 {
+	s.stats.Refs++
+	myCache := s.caches[cpu]
+	myNode := s.node(cpu)
+
+	st, hit := myCache.Lookup(addr)
+	if hit {
+		if !write || st == cache.Modified {
+			return s.finish(ClassCacheHit, now, now+s.lat.CacheHit)
+		}
+		if st == cache.Exclusive {
+			// MESI: the sole clean copy becomes Modified with no
+			// coherence transaction.
+			myCache.SetState(addr, cache.Modified)
+			s.stats.SilentUpgrades++
+			return s.finish(ClassCacheHit, now, now+s.lat.CacheHit)
+		}
+		// Write hit on a Shared line: upgrade via invalidation.
+		s.stats.Upgrades++
+		done := now + s.lat.CacheHit
+		// Intra-node: a snooping upgrade transaction on the memory bus.
+		if s.perN > 1 {
+			t := s.membus[myNode].Acquire(now, s.lat.RemoteCache)
+			s.stats.CoherenceBusCycles += s.lat.RemoteCache
+			s.stats.TotalBusCycles += s.lat.RemoteCache
+			for p := 0; p < s.perN; p++ {
+				other := myNode*s.perN + p
+				if other != cpu {
+					s.caches[other].SetState(addr, cache.Invalid)
+				}
+			}
+			if t > done {
+				done = t
+			}
+		}
+		// Cross-node: invalidate sharer nodes through the directory.
+		if s.nodes > 1 {
+			done = s.dirUpgrade(cpu, addr, now, done)
+		}
+		myCache.SetState(addr, cache.Modified)
+		return s.finish(ClassCacheHit, now, done)
+	}
+
+	// Miss: try a cache-to-cache transfer within the machine first.
+	if s.perN > 1 {
+		for p := 0; p < s.perN; p++ {
+			other := myNode*s.perN + p
+			if other == cpu {
+				continue
+			}
+			if ost, ok := s.caches[other].Probe(addr); ok {
+				done := s.membus[myNode].Acquire(now, s.lat.RemoteCache)
+				s.stats.CoherenceBusCycles += s.lat.RemoteCache
+				s.stats.TotalBusCycles += s.lat.RemoteCache
+				if write {
+					// Take ownership; kill the other intra-node copies.
+					for q := 0; q < s.perN; q++ {
+						oc := myNode*s.perN + q
+						if oc != cpu {
+							s.caches[oc].SetState(addr, cache.Invalid)
+						}
+					}
+					if s.nodes > 1 {
+						done = s.dirUpgrade(cpu, addr, now, done)
+					}
+				} else if ost == cache.Modified || ost == cache.Exclusive {
+					s.caches[other].SetState(addr, cache.Shared)
+				}
+				s.fill(cpu, addr, write, false, now)
+				return s.finish(ClassRemoteCache, now, done)
+			}
+		}
+	}
+
+	if s.nodes == 1 {
+		// Single SMP: fetch from the machine's memory over the bus.
+		done := s.membus[myNode].Acquire(now, s.lat.LocalMemory)
+		s.stats.TotalBusCycles += s.lat.LocalMemory
+		class := ClassLocalMemory
+		if t, faulted := s.memTouch(myNode, addr, write, done); faulted {
+			done = t
+			class = ClassDisk
+		}
+		// No other cache in the machine holds the line (the snoop above
+		// would have served it), so a MESI read fill may go Exclusive.
+		s.fill(cpu, addr, write, true, now)
+		return s.finish(class, now, done)
+	}
+	return s.clusterMiss(cpu, addr, write, now)
+}
+
+// dirUpgrade acquires exclusive ownership of addr's block for cpu's node,
+// invalidating other sharer nodes. It returns the new completion time.
+func (s *System) dirUpgrade(cpu int, addr uint64, now, done float64) float64 {
+	myNode := s.node(cpu)
+	b := s.block(addr)
+	home := s.home(b, myNode)
+	e := s.entry(b)
+	others := e.sharers &^ (1 << uint(myNode))
+	if e.state == dirExclusive && e.owner != myNode {
+		others |= 1 << uint(e.owner)
+	}
+	if others != 0 {
+		// One invalidation transaction on the network (broadcast on a bus;
+		// the switch serializes through the home port).
+		s.stats.InvalidateMsgs++
+		rn := s.lat.RemoteNode[s.cfg.Net]
+		t := s.netAcquire(home, now, rn)
+		if t > done {
+			done = t
+		}
+		for node := 0; node < s.nodes; node++ {
+			if others&(1<<uint(node)) != 0 {
+				s.invalidateNode(node, b)
+			}
+		}
+	}
+	e.state = dirExclusive
+	e.owner = myNode
+	e.sharers = 1 << uint(myNode)
+	return done
+}
+
+// clusterMiss serves a cache miss through the directory protocol.
+func (s *System) clusterMiss(cpu int, addr uint64, write bool, now float64) float64 {
+	myNode := s.node(cpu)
+	b := s.block(addr)
+	home := s.home(b, myNode)
+	e := s.entry(b)
+
+	dirtyRemote := e.state == dirExclusive && e.owner != myNode
+	// Sole copy in the system: no other node shares the block (and the
+	// intra-node snoop already came up empty before reaching this path).
+	sole := !dirtyRemote && e.sharers&^(1<<uint(myNode)) == 0
+
+	var done float64
+	var class AccessClass
+	switch {
+	case home == myNode && !dirtyRemote:
+		// Served by the local memory.
+		done = s.membus[myNode].Acquire(now, s.lat.LocalMemory)
+		s.stats.TotalBusCycles += s.lat.LocalMemory
+		class = ClassLocalMemory
+		if t, faulted := s.memTouch(myNode, addr, write, done); faulted {
+			done = t
+			class = ClassDisk
+		}
+	case dirtyRemote:
+		// Remotely cached data: three-hop transfer.
+		done = s.netAcquire(home, now, s.lat.RemoteCached[s.cfg.Net])
+		class = ClassRemoteDirty
+		if t, faulted := s.memTouch(home, addr, write, done); faulted {
+			done = t
+			class = ClassDisk
+		}
+		if write {
+			s.invalidateNode(e.owner, b)
+		} else {
+			s.downgradeNode(e.owner, b)
+		}
+	default:
+		// Clean remote fetch: two-hop transfer from the home memory.
+		done = s.netAcquire(home, now, s.lat.RemoteNode[s.cfg.Net])
+		class = ClassRemoteClean
+		if t, faulted := s.memTouch(home, addr, write, done); faulted {
+			done = t
+			class = ClassDisk
+		}
+	}
+
+	// Directory update.
+	if write {
+		others := e.sharers &^ (1 << uint(myNode))
+		if dirtyRemote {
+			others |= 1 << uint(e.owner)
+		}
+		if others != 0 && class != ClassRemoteDirty {
+			// Invalidate other sharers (the dirty-remote path already
+			// handled the owner above).
+			s.stats.InvalidateMsgs++
+			for node := 0; node < s.nodes; node++ {
+				if others&(1<<uint(node)) != 0 {
+					s.invalidateNode(node, b)
+				}
+			}
+		}
+		e.state = dirExclusive
+		e.owner = myNode
+		e.sharers = 1 << uint(myNode)
+	} else if sole && s.opts.Protocol == ProtocolMESI {
+		// MESI: the directory grants exclusivity with the clean fill, so
+		// the later silent Exclusive→Modified upgrade stays coherent —
+		// remote readers will take the owner-intervention path.
+		e.state = dirExclusive
+		e.owner = myNode
+		e.sharers = 1 << uint(myNode)
+	} else {
+		if dirtyRemote {
+			e.state = dirShared
+			e.owner = -1
+		}
+		if e.state == dirUncached {
+			e.state = dirShared
+		}
+		e.sharers |= 1 << uint(myNode)
+	}
+
+	s.fill(cpu, addr, write, sole, now)
+	return s.finish(class, now, done)
+}
+
+// fill installs the line in cpu's cache, pushing a posted write-back toward
+// memory or the home node when a dirty line is displaced (the write-back
+// occupies the medium but does not stall the processor).
+func (s *System) fill(cpu int, addr uint64, write, sole bool, now float64) {
+	st := cache.Shared
+	switch {
+	case write:
+		st = cache.Modified
+	case sole && s.opts.Protocol == ProtocolMESI:
+		// MESI: the only copy in the system is installed Exclusive and can
+		// later upgrade silently.
+		st = cache.Exclusive
+	}
+	evAddr, writeback, _ := s.caches[cpu].Fill(addr, st)
+	if !writeback {
+		return
+	}
+	s.stats.Writebacks++
+	node := s.node(cpu)
+	if s.nodes == 1 {
+		s.membus[node].Acquire(now, s.lat.LocalMemory)
+		s.stats.TotalBusCycles += s.lat.LocalMemory
+		return
+	}
+	evBlock := s.block(evAddr)
+	// The evicted line is clean at home now, but the node keeps exclusive
+	// ownership of the block while any sibling line remains Modified in its
+	// caches — dropping it early would let another node fetch a stale
+	// sibling line from the home memory.
+	if e, ok := s.dir[evBlock]; ok && e.state == dirExclusive && e.owner == node &&
+		!s.nodeHoldsDirty(node, evBlock) {
+		e.state = dirShared
+		e.owner = -1
+	}
+	evHome := s.home(evBlock, node)
+	if evHome == node {
+		s.membus[node].Acquire(now, s.lat.LocalMemory)
+		s.stats.TotalBusCycles += s.lat.LocalMemory
+		return
+	}
+	s.netAcquire(evHome, now, s.lat.RemoteNode[s.cfg.Net])
+}
+
+// finish records an access and returns its completion time.
+func (s *System) finish(class AccessClass, start, done float64) float64 {
+	s.stats.ClassCounts[class]++
+	s.stats.ClassCycles[class] += done - start
+	return done
+}

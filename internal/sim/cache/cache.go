@@ -1,0 +1,230 @@
+// Package cache implements the set-associative, LRU-replacement processor
+// cache used by all five back-end simulators: two-way set-associative with
+// 64-byte lines for the SMP configurations (paper §5.1), with coherence
+// state stored per line for the snooping and directory protocols.
+package cache
+
+import "fmt"
+
+// State is the MSI coherence state of a cache line.
+type State uint8
+
+// Coherence states. The paper's protocols are MSI (write-invalidate
+// snooping and a three-state directory); Exclusive exists for the
+// simulator's optional MESI variant, where a sole clean copy upgrades to
+// Modified without a coherence transaction.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the state mnemonic.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+type line struct {
+	tag   uint64
+	state State
+	used  uint64 // LRU timestamp
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64 // lines displaced by fills
+	Writebacks  uint64 // displaced lines that were Modified
+	Invalidates uint64 // lines killed by coherence actions
+}
+
+// Cache is a set-associative cache with LRU replacement.
+type Cache struct {
+	sets     int
+	assoc    int
+	lineSize int
+	lines    []line
+	tick     uint64
+	stats    Stats
+}
+
+// New returns a cache of sizeBytes capacity with the given line size and
+// associativity. All three must be positive; sizeBytes must be a multiple
+// of lineSize*assoc and the set count a power of two. New panics otherwise:
+// cache geometry is static configuration.
+func New(sizeBytes, lineSize, assoc int) *Cache {
+	if sizeBytes <= 0 || lineSize <= 0 || assoc <= 0 {
+		panic(fmt.Sprintf("cache: bad geometry size=%d line=%d assoc=%d", sizeBytes, lineSize, assoc))
+	}
+	if sizeBytes%(lineSize*assoc) != 0 {
+		panic(fmt.Sprintf("cache: size %d not a multiple of line*assoc (%d)", sizeBytes, lineSize*assoc))
+	}
+	sets := sizeBytes / (lineSize * assoc)
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	return &Cache{
+		sets:     sets,
+		assoc:    assoc,
+		lineSize: lineSize,
+		lines:    make([]line, sets*assoc),
+	}
+}
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// Stats returns the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// lineTag maps a byte address to its line identity.
+func (c *Cache) lineTag(addr uint64) uint64 { return addr / uint64(c.lineSize) }
+
+func (c *Cache) set(tag uint64) []line {
+	s := int(tag) & (c.sets - 1)
+	return c.lines[s*c.assoc : (s+1)*c.assoc]
+}
+
+// Lookup performs an access to addr. On a hit it refreshes LRU and returns
+// the line's state with hit=true; on a miss it returns (Invalid, false).
+// Lookup does not fill the cache; the caller decides the fill state after
+// running the coherence protocol (see Fill).
+func (c *Cache) Lookup(addr uint64) (State, bool) {
+	tag := c.lineTag(addr)
+	set := c.set(tag)
+	c.tick++
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			set[i].used = c.tick
+			c.stats.Hits++
+			return set[i].state, true
+		}
+	}
+	c.stats.Misses++
+	return Invalid, false
+}
+
+// Probe reports the state of addr without touching LRU or statistics
+// (a snoop from another processor).
+func (c *Cache) Probe(addr uint64) (State, bool) {
+	tag := c.lineTag(addr)
+	set := c.set(tag)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			return set[i].state, true
+		}
+	}
+	return Invalid, false
+}
+
+// Fill inserts addr with the given state, evicting the LRU line of the set
+// if needed. It returns the evicted line's byte address and whether it was
+// Modified (needing a write-back); evicted is false when an invalid way was
+// available. Filling a line that is already present just updates its state.
+func (c *Cache) Fill(addr uint64, st State) (evictedAddr uint64, writeback, evicted bool) {
+	if st == Invalid {
+		panic("cache: Fill with Invalid state")
+	}
+	tag := c.lineTag(addr)
+	set := c.set(tag)
+	c.tick++
+	victim := -1
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			set[i].state = st
+			set[i].used = c.tick
+			return 0, false, false
+		}
+		if set[i].state == Invalid {
+			if victim == -1 || set[victim].state != Invalid {
+				victim = i
+			}
+		} else if victim == -1 || (set[victim].state != Invalid && set[i].used < set[victim].used) {
+			victim = i
+		}
+	}
+	ev := set[victim]
+	wasValid := ev.state != Invalid
+	if wasValid {
+		c.stats.Evictions++
+		if ev.state == Modified {
+			c.stats.Writebacks++
+			writeback = true
+		}
+	}
+	set[victim] = line{tag: tag, state: st, used: c.tick}
+	if !wasValid {
+		return 0, false, false
+	}
+	return ev.tag * uint64(c.lineSize), writeback, true
+}
+
+// SetState changes the state of a resident line (e.g. a snoop downgrade
+// Modified→Shared). It is a no-op if the line is absent. Setting Invalid
+// invalidates the line.
+func (c *Cache) SetState(addr uint64, st State) {
+	tag := c.lineTag(addr)
+	set := c.set(tag)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			if st == Invalid {
+				set[i].state = Invalid
+				c.stats.Invalidates++
+			} else {
+				set[i].state = st
+			}
+			return
+		}
+	}
+}
+
+// Flush invalidates every line and returns how many were Modified.
+func (c *Cache) Flush() (dirty int) {
+	for i := range c.lines {
+		if c.lines[i].state == Modified {
+			dirty++
+		}
+		c.lines[i].state = Invalid
+	}
+	return dirty
+}
+
+// Lines calls fn for every valid line with its line address (byte address
+// divided by the line size) and state. Iteration order is unspecified.
+func (c *Cache) Lines(fn func(lineAddr uint64, st State)) {
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			fn(c.lines[i].tag, c.lines[i].state)
+		}
+	}
+}
+
+// Resident returns the number of valid lines (for tests and occupancy
+// statistics).
+func (c *Cache) Resident() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			n++
+		}
+	}
+	return n
+}

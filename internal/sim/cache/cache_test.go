@@ -1,0 +1,210 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	c := New(256<<10, 64, 2)
+	if c.Sets() != 2048 || c.Assoc() != 2 || c.LineSize() != 64 {
+		t.Errorf("geometry: sets=%d assoc=%d line=%d", c.Sets(), c.Assoc(), c.LineSize())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	cases := [][3]int{
+		{0, 64, 2}, {256, 0, 2}, {256, 64, 0},
+		{100, 64, 2},        // not a multiple of line*assoc
+		{64 * 2 * 3, 64, 2}, // 3 sets: not a power of two
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", tc)
+				}
+			}()
+			New(tc[0], tc[1], tc[2])
+		}()
+	}
+}
+
+func TestLookupFillBasics(t *testing.T) {
+	c := New(256, 64, 2) // 2 sets x 2 ways
+	if _, hit := c.Lookup(0); hit {
+		t.Error("cold lookup hit")
+	}
+	c.Fill(0, Shared)
+	if st, hit := c.Lookup(0); !hit || st != Shared {
+		t.Errorf("after fill: %v %v", st, hit)
+	}
+	// Same line, different offset.
+	if st, hit := c.Lookup(63); !hit || st != Shared {
+		t.Errorf("same-line offset: %v %v", st, hit)
+	}
+	// Next line maps to the other set.
+	if _, hit := c.Lookup(64); hit {
+		t.Error("different line hit")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(256, 64, 2) // 2 sets x 2 ways; lines 0,128,256... map to set 0
+	c.Fill(0, Shared)
+	c.Fill(128, Shared)
+	c.Lookup(0) // make line 0 most recently used
+	ev, wb, evicted := c.Fill(256, Shared)
+	if !evicted || wb || ev != 128 {
+		t.Errorf("eviction: addr=%d wb=%v evicted=%v (want 128, clean)", ev, wb, evicted)
+	}
+	if _, hit := c.Probe(0); !hit {
+		t.Error("MRU line evicted")
+	}
+	if _, hit := c.Probe(128); hit {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := New(256, 64, 2)
+	c.Fill(0, Modified)
+	c.Fill(128, Shared)
+	c.Lookup(128)
+	ev, wb, evicted := c.Fill(256, Shared)
+	if !evicted || !wb || ev != 0 {
+		t.Errorf("dirty eviction: addr=%d wb=%v evicted=%v", ev, wb, evicted)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestFillExistingUpdatesState(t *testing.T) {
+	c := New(256, 64, 2)
+	c.Fill(0, Shared)
+	_, _, evicted := c.Fill(0, Modified)
+	if evicted {
+		t.Error("refill evicted")
+	}
+	if st, _ := c.Probe(0); st != Modified {
+		t.Errorf("state = %v, want M", st)
+	}
+	if c.Resident() != 1 {
+		t.Errorf("resident = %d", c.Resident())
+	}
+}
+
+func TestFillInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Fill(Invalid) did not panic")
+		}
+	}()
+	New(256, 64, 2).Fill(0, Invalid)
+}
+
+func TestSetStateAndInvalidate(t *testing.T) {
+	c := New(256, 64, 2)
+	c.Fill(0, Modified)
+	c.SetState(0, Shared)
+	if st, _ := c.Probe(0); st != Shared {
+		t.Errorf("downgrade failed: %v", st)
+	}
+	c.SetState(0, Invalid)
+	if _, hit := c.Probe(0); hit {
+		t.Error("invalidate failed")
+	}
+	if c.Stats().Invalidates != 1 {
+		t.Errorf("invalidates = %d", c.Stats().Invalidates)
+	}
+	// No-op on absent line.
+	c.SetState(512, Modified)
+	if _, hit := c.Probe(512); hit {
+		t.Error("SetState created a line")
+	}
+}
+
+func TestProbeDoesNotDisturbLRU(t *testing.T) {
+	c := New(256, 64, 2)
+	c.Fill(0, Shared)
+	c.Fill(128, Shared)
+	// Probing 0 must NOT make it MRU.
+	c.Probe(0)
+	ev, _, _ := c.Fill(256, Shared)
+	if ev != 0 {
+		t.Errorf("probe refreshed LRU: evicted %d, want 0", ev)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(256, 64, 2)
+	c.Fill(0, Modified)
+	c.Fill(64, Shared)
+	if dirty := c.Flush(); dirty != 1 {
+		t.Errorf("Flush dirty = %d", dirty)
+	}
+	if c.Resident() != 0 {
+		t.Errorf("resident after flush = %d", c.Resident())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Error("state mnemonics wrong")
+	}
+	if State(7).String() == "" {
+		t.Error("unknown state empty")
+	}
+}
+
+// TestMatchesFullyAssociativeWhenOneSet cross-checks the LRU logic against
+// a simple reference model when the cache degenerates to fully associative.
+func TestMatchesFullyAssociativeWhenOneSet(t *testing.T) {
+	const ways = 8
+	c := New(64*ways, 64, ways) // one set
+	var ref []uint64            // reference LRU stack, MRU first
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(32)) * 64
+		_, hit := c.Lookup(addr)
+		wantHit := false
+		for j, a := range ref {
+			if a == addr {
+				wantHit = true
+				ref = append(ref[:j], ref[j+1:]...)
+				break
+			}
+		}
+		ref = append([]uint64{addr}, ref...)
+		if len(ref) > ways {
+			ref = ref[:ways]
+		}
+		if hit != wantHit {
+			t.Fatalf("step %d addr %d: hit=%v want %v", i, addr, hit, wantHit)
+		}
+		if !hit {
+			c.Fill(addr, Shared)
+		}
+	}
+}
+
+func TestResidentNeverExceedsCapacity(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(1024, 64, 2) // 16 lines
+		for _, a := range addrs {
+			if _, hit := c.Lookup(uint64(a)); !hit {
+				c.Fill(uint64(a), Shared)
+			}
+		}
+		return c.Resident() <= 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package memory models a machine's main-memory capacity as an LRU-managed
+// set of resident pages backed by disk: the level-2/level-4 capacity of the
+// paper's hierarchy. An access to a non-resident page costs a disk transfer
+// and displaces the least recently used page.
+package memory
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageSize is the residency granule in bytes.
+const PageSize = 4096
+
+// Memory tracks page residency with LRU replacement and per-page dirty
+// bits: evicting a dirty page costs a disk write on top of the fill read.
+type Memory struct {
+	capacity int // pages
+	order    *list.List
+	pages    map[uint64]*list.Element
+	dirty    map[uint64]bool
+
+	faults     uint64
+	accesses   uint64
+	writebacks uint64
+}
+
+// New returns a memory of the given byte capacity (at least one page).
+func New(bytes int64) *Memory {
+	pages := int(bytes / PageSize)
+	if pages < 1 {
+		pages = 1
+	}
+	return &Memory{
+		capacity: pages,
+		order:    list.New(),
+		pages:    make(map[uint64]*list.Element, pages),
+		dirty:    make(map[uint64]bool, pages),
+	}
+}
+
+// Pages returns the page capacity.
+func (m *Memory) Pages() int { return m.capacity }
+
+// Touch accesses the page holding addr. It reports whether the page was
+// resident; on a fault the page is brought in, evicting the LRU page if
+// the memory is full.
+func (m *Memory) Touch(addr uint64) (resident bool) {
+	resident, _ = m.TouchW(addr, false)
+	return resident
+}
+
+// TouchW accesses the page holding addr, marking it dirty on a write. On a
+// fault it brings the page in, evicting the LRU page if the memory is
+// full; evictedDirty reports whether that victim needed a disk write-back.
+func (m *Memory) TouchW(addr uint64, write bool) (resident, evictedDirty bool) {
+	m.accesses++
+	page := addr / PageSize
+	if e, ok := m.pages[page]; ok {
+		m.order.MoveToFront(e)
+		if write {
+			m.dirty[page] = true
+		}
+		return true, false
+	}
+	m.faults++
+	if m.order.Len() >= m.capacity {
+		back := m.order.Back()
+		victim := back.Value.(uint64)
+		if m.dirty[victim] {
+			evictedDirty = true
+			m.writebacks++
+			delete(m.dirty, victim)
+		}
+		delete(m.pages, victim)
+		m.order.Remove(back)
+	}
+	m.pages[page] = m.order.PushFront(page)
+	if write {
+		m.dirty[page] = true
+	}
+	return false, evictedDirty
+}
+
+// Writebacks returns the number of dirty pages written back on eviction.
+func (m *Memory) Writebacks() uint64 { return m.writebacks }
+
+// Resident returns the number of resident pages.
+func (m *Memory) Resident() int { return m.order.Len() }
+
+// Faults returns the number of page faults (disk transfers).
+func (m *Memory) Faults() uint64 { return m.faults }
+
+// Accesses returns the number of Touch calls.
+func (m *Memory) Accesses() uint64 { return m.accesses }
+
+// String summarizes occupancy.
+func (m *Memory) String() string {
+	return fmt.Sprintf("memory{%d/%d pages, %d faults}", m.order.Len(), m.capacity, m.faults)
+}

@@ -1,0 +1,120 @@
+package memory
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTouchFaultsAndResidency(t *testing.T) {
+	m := New(2 * PageSize)
+	if m.Pages() != 2 {
+		t.Fatalf("Pages = %d", m.Pages())
+	}
+	if m.Touch(0) {
+		t.Error("cold touch resident")
+	}
+	if !m.Touch(100) {
+		t.Error("same page faulted")
+	}
+	if m.Touch(PageSize) {
+		t.Error("second page resident")
+	}
+	if m.Resident() != 2 || m.Faults() != 2 || m.Accesses() != 3 {
+		t.Errorf("state: resident=%d faults=%d accesses=%d", m.Resident(), m.Faults(), m.Accesses())
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	m := New(2 * PageSize)
+	m.Touch(0 * PageSize)
+	m.Touch(1 * PageSize)
+	m.Touch(0 * PageSize)       // page 0 now MRU
+	m.Touch(2 * PageSize)       // evicts page 1
+	if !m.Touch(0 * PageSize) { // still resident
+		t.Error("MRU page evicted")
+	}
+	if m.Touch(1 * PageSize) { // was evicted
+		t.Error("LRU page survived")
+	}
+}
+
+func TestMinimumOnePage(t *testing.T) {
+	m := New(10) // less than a page
+	if m.Pages() != 1 {
+		t.Errorf("Pages = %d, want 1", m.Pages())
+	}
+	m.Touch(0)
+	m.Touch(PageSize)
+	if m.Resident() != 1 {
+		t.Errorf("resident = %d, want 1", m.Resident())
+	}
+}
+
+func TestString(t *testing.T) {
+	m := New(PageSize)
+	if !strings.Contains(m.String(), "pages") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestResidencyBounded(t *testing.T) {
+	f := func(pages []uint8, capRaw uint8) bool {
+		capacity := int64(capRaw%8+1) * PageSize
+		m := New(capacity)
+		for _, p := range pages {
+			m.Touch(uint64(p) * PageSize)
+		}
+		return m.Resident() <= m.Pages()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetWithinCapacityNeverRefaults(t *testing.T) {
+	m := New(8 * PageSize)
+	// Warm four pages, then touch them repeatedly: no more faults.
+	for i := uint64(0); i < 4; i++ {
+		m.Touch(i * PageSize)
+	}
+	before := m.Faults()
+	for round := 0; round < 10; round++ {
+		for i := uint64(0); i < 4; i++ {
+			if !m.Touch(i * PageSize) {
+				t.Fatalf("refault of warm page %d", i)
+			}
+		}
+	}
+	if m.Faults() != before {
+		t.Errorf("faults grew from %d to %d", before, m.Faults())
+	}
+}
+
+func TestDirtyPageWriteback(t *testing.T) {
+	m := New(2 * PageSize)
+	if _, d := m.TouchW(0, true); d {
+		t.Error("first fault cannot evict")
+	}
+	m.TouchW(PageSize, false) // clean page
+	// Evict the clean page (LRU): no write-back. Page 0 was touched first,
+	// so refresh it to make page 1 the victim.
+	m.TouchW(0, false)
+	if _, d := m.TouchW(2*PageSize, false); d {
+		t.Error("clean victim should not write back")
+	}
+	// Now evict dirty page 0: it is LRU after the last two touches? Order:
+	// MRU [2, 0], so touch a new page evicts 0 (dirty).
+	if _, d := m.TouchW(3*PageSize, false); !d {
+		t.Error("dirty victim should write back")
+	}
+	if m.Writebacks() != 1 {
+		t.Errorf("Writebacks = %d, want 1", m.Writebacks())
+	}
+	// Re-faulting the written-back page is clean again.
+	m.TouchW(0, false)
+	m.TouchW(4*PageSize, false)
+	if _, d := m.TouchW(5*PageSize, false); d {
+		t.Error("page 0 should be clean after its write-back")
+	}
+}

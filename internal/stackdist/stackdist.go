@@ -1,0 +1,270 @@
+// Package stackdist computes exact LRU stack distances of memory reference
+// streams and summarizes them as histograms and cumulative distributions.
+//
+// The stack distance of a reference to datum A is the number of distinct
+// data touched since the previous reference to A (the paper counts the
+// unique items strictly between the two references; a re-reference to the
+// most recently used item has distance 0, and the hit ratio of a fully
+// associative LRU cache of capacity c equals P(distance < c)). First-time
+// references have infinite distance and are reported separately.
+//
+// The analyzer uses the classic Fenwick-tree (binary indexed tree) marker
+// algorithm: each distinct datum keeps the position of its last reference;
+// a reference at position t to a datum last seen at position p has distance
+// equal to the number of markers in (p, t), maintained in O(log n) per
+// reference.
+package stackdist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Analyzer ingests a reference stream and produces stack-distance
+// statistics. The zero value is not usable; call NewAnalyzer.
+type Analyzer struct {
+	last map[uint64]int // datum -> position of last reference (1-based in tree)
+	tree []int          // Fenwick tree over reference positions; 1 if position is the latest ref to its datum
+	pos  int            // number of references ingested
+	hist map[int]uint64 // distance -> count (finite distances)
+	cold uint64         // first-time references (infinite distance)
+	max  int            // max finite distance observed
+}
+
+// NewAnalyzer returns an Analyzer expecting roughly capacityHint references
+// (the structure grows as needed; the hint only pre-sizes storage).
+func NewAnalyzer(capacityHint int) *Analyzer {
+	if capacityHint < 16 {
+		capacityHint = 16
+	}
+	return &Analyzer{
+		last: make(map[uint64]int, capacityHint/4),
+		tree: make([]int, 1, capacityHint+1),
+		hist: make(map[int]uint64),
+	}
+}
+
+func (a *Analyzer) add(i, delta int) {
+	for ; i < len(a.tree); i += i & (-i) {
+		a.tree[i] += delta
+	}
+}
+
+func (a *Analyzer) sum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += a.tree[i]
+	}
+	return s
+}
+
+// Touch ingests one reference to the given datum (an opaque identity, e.g.
+// a cache-line address) and returns its stack distance, or -1 for a
+// first-time (cold) reference.
+func (a *Analyzer) Touch(datum uint64) int {
+	a.pos++
+	for len(a.tree) <= a.pos {
+		// A new Fenwick node at index i covers the range (i-lowbit(i), i];
+		// initialize it with the mass already in that range so that later
+		// prefix sums over grown indices stay correct.
+		i := len(a.tree)
+		a.tree = append(a.tree, a.sum(i-1)-a.sum(i-(i&-i)))
+	}
+	d := -1
+	if p, ok := a.last[datum]; ok {
+		// Markers strictly after p and before the current position are the
+		// distinct data touched in between.
+		d = a.sum(a.pos-1) - a.sum(p)
+		a.add(p, -1)
+		a.hist[d]++
+		if d > a.max {
+			a.max = d
+		}
+	} else {
+		a.cold++
+	}
+	a.last[datum] = a.pos
+	a.add(a.pos, 1)
+	return d
+}
+
+// References returns the total number of references ingested.
+func (a *Analyzer) References() uint64 { return uint64(a.pos) }
+
+// Cold returns the number of first-time references.
+func (a *Analyzer) Cold() uint64 { return a.cold }
+
+// Distinct returns the number of distinct data seen.
+func (a *Analyzer) Distinct() int { return len(a.last) }
+
+// Distribution extracts the empirical distance distribution accumulated so
+// far. It is safe to keep ingesting afterwards.
+func (a *Analyzer) Distribution() Distribution {
+	ds := make([]int, 0, len(a.hist))
+	for d := range a.hist {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	dist := Distribution{
+		Distances: ds,
+		Counts:    make([]uint64, len(ds)),
+		Cold:      a.cold,
+	}
+	for i, d := range ds {
+		dist.Counts[i] = a.hist[d]
+		dist.Total += a.hist[d]
+	}
+	return dist
+}
+
+// Distribution is an empirical stack-distance distribution: sorted distinct
+// finite distances with their reference counts, plus the cold-miss count.
+type Distribution struct {
+	Distances []int    // sorted ascending
+	Counts    []uint64 // parallel to Distances
+	Cold      uint64   // first-time references (infinite distance)
+	Total     uint64   // sum of Counts (finite-distance references)
+}
+
+// CDF returns the cumulative probability P(distance <= x) among
+// finite-distance references. The curve is what the paper's eq. (1) is fit
+// against. An empty distribution yields P(x) = 0.
+func (d Distribution) CDF(x int) float64 {
+	if d.Total == 0 || x < 0 {
+		return 0
+	}
+	i := sort.SearchInts(d.Distances, x+1) // first index with distance > x
+	var c uint64
+	for j := 0; j < i; j++ {
+		c += d.Counts[j]
+	}
+	return float64(c) / float64(d.Total)
+}
+
+// Points returns the empirical CDF as (x, P(distance <= x)) pairs, one per
+// distinct observed distance, suitable for least-squares fitting.
+func (d Distribution) Points() (xs []float64, ps []float64) {
+	xs = make([]float64, len(d.Distances))
+	ps = make([]float64, len(d.Distances))
+	var c uint64
+	for i, x := range d.Distances {
+		c += d.Counts[i]
+		xs[i] = float64(x)
+		ps[i] = float64(c) / float64(d.Total)
+	}
+	return xs, ps
+}
+
+// HitRatio returns the hit ratio of a fully associative LRU cache with the
+// given capacity (in the same units as the datum identities, e.g. lines),
+// counting cold misses as misses: hits = references with distance < capacity.
+func (d Distribution) HitRatio(capacity int) float64 {
+	refs := d.Total + d.Cold
+	if refs == 0 || capacity <= 0 {
+		return 0
+	}
+	i := sort.SearchInts(d.Distances, capacity) // first index with distance >= capacity
+	var hits uint64
+	for j := 0; j < i; j++ {
+		hits += d.Counts[j]
+	}
+	return float64(hits) / float64(refs)
+}
+
+// Mean returns the mean finite stack distance, or NaN if none were observed.
+func (d Distribution) Mean() float64 {
+	if d.Total == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i, x := range d.Distances {
+		s += float64(x) * float64(d.Counts[i])
+	}
+	return s / float64(d.Total)
+}
+
+// Quantile returns the smallest distance q such that P(distance <= q) >= p,
+// for p in (0, 1]. It returns an error on an empty distribution or a p out
+// of range.
+func (d Distribution) Quantile(p float64) (int, error) {
+	if d.Total == 0 {
+		return 0, fmt.Errorf("stackdist: quantile of empty distribution")
+	}
+	if p <= 0 || p > 1 {
+		return 0, fmt.Errorf("stackdist: quantile p=%v out of (0,1]", p)
+	}
+	target := uint64(math.Ceil(p * float64(d.Total)))
+	var c uint64
+	for i, x := range d.Distances {
+		c += d.Counts[i]
+		if c >= target {
+			return x, nil
+		}
+	}
+	return d.Distances[len(d.Distances)-1], nil
+}
+
+// Merge combines two distributions (e.g. from different processors of an
+// SPMD program) into one.
+func Merge(a, b Distribution) Distribution {
+	m := make(map[int]uint64, len(a.Distances)+len(b.Distances))
+	for i, d := range a.Distances {
+		m[d] += a.Counts[i]
+	}
+	for i, d := range b.Distances {
+		m[d] += b.Counts[i]
+	}
+	ds := make([]int, 0, len(m))
+	for d := range m {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	out := Distribution{Distances: ds, Counts: make([]uint64, len(ds)), Cold: a.Cold + b.Cold}
+	for i, d := range ds {
+		out.Counts[i] = m[d]
+		out.Total += m[d]
+	}
+	return out
+}
+
+// Downsample returns a distribution whose support is reduced to at most
+// maxPoints logarithmically spaced distances, preserving total mass by
+// merging each bucket into its largest member distance. Fitting quality is
+// insensitive to this compaction while it bounds the cost of least squares
+// on very long traces.
+func (d Distribution) Downsample(maxPoints int) Distribution {
+	if maxPoints <= 0 || len(d.Distances) <= maxPoints {
+		return d
+	}
+	lo, hi := d.Distances[0], d.Distances[len(d.Distances)-1]
+	if lo < 1 {
+		lo = 1
+	}
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(maxPoints))
+	if ratio <= 1 {
+		ratio = 1 + 1e-9
+	}
+	out := Distribution{Cold: d.Cold}
+	bucketHi := float64(lo)
+	var acc uint64
+	accDist := d.Distances[0]
+	flush := func() {
+		if acc > 0 {
+			out.Distances = append(out.Distances, accDist)
+			out.Counts = append(out.Counts, acc)
+			out.Total += acc
+			acc = 0
+		}
+	}
+	for i, x := range d.Distances {
+		for float64(x) > bucketHi {
+			flush()
+			bucketHi *= ratio
+		}
+		acc += d.Counts[i]
+		accDist = x
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,96 @@
+package tabulate
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one bar of a chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Chart is a horizontal text bar chart — the rendering used for the
+// paper's Figures 2–4, which are grouped bar charts of E(Instr) per
+// configuration and program.
+type Chart struct {
+	Title string
+	Unit  string
+	Bars  []Bar
+	// Width is the maximum bar length in characters (default 50).
+	Width int
+	// Log plots bar lengths on a log10 scale, for series spanning decades
+	// (cluster E(Instr) values do).
+	Log bool
+}
+
+// NewChart returns an empty chart.
+func NewChart(title, unit string) *Chart { return &Chart{Title: title, Unit: unit} }
+
+// Add appends one bar.
+func (c *Chart) Add(label string, value float64) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value})
+}
+
+// Render writes the chart as text.
+func (c *Chart) Render(w io.Writer) {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	if len(c.Bars) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	labelW := 0
+	maxV, minV := math.Inf(-1), math.Inf(1)
+	for _, b := range c.Bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+		if b.Value < minV {
+			minV = b.Value
+		}
+	}
+	scale := func(v float64) int {
+		if v <= 0 || maxV <= 0 {
+			return 0
+		}
+		if c.Log {
+			lo := math.Log10(math.Max(minV, 1e-12))
+			hi := math.Log10(maxV)
+			if hi <= lo {
+				return width
+			}
+			n := int(math.Round((math.Log10(v) - lo) / (hi - lo) * float64(width-1)))
+			return n + 1 // the smallest positive value still shows one cell
+		}
+		return int(math.Round(v / maxV * float64(width)))
+	}
+	for _, b := range c.Bars {
+		n := scale(b.Value)
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(w, "  %-*s |%s %.3g %s\n", labelW, b.Label, strings.Repeat("#", n), b.Value, c.Unit)
+	}
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var sb strings.Builder
+	c.Render(&sb)
+	return sb.String()
+}

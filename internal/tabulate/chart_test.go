@@ -1,0 +1,65 @@
+package tabulate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := NewChart("E(Instr)", "cycles")
+	c.Width = 10
+	c.Add("C1/FFT", 10)
+	c.Add("C1/LU", 5)
+	c.Add("C1/Radix", 0)
+	out := c.String()
+	if !strings.HasPrefix(out, "E(Instr)\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The max bar fills the width; half the value, half the bar; zero, none.
+	if strings.Count(lines[1], "#") != 10 {
+		t.Errorf("max bar wrong: %q", lines[1])
+	}
+	if strings.Count(lines[2], "#") != 5 {
+		t.Errorf("half bar wrong: %q", lines[2])
+	}
+	if strings.Count(lines[3], "#") != 0 {
+		t.Errorf("zero bar wrong: %q", lines[3])
+	}
+	// Labels aligned: the pipe column is identical.
+	if strings.Index(lines[1], "|") != strings.Index(lines[2], "|") {
+		t.Errorf("bars misaligned:\n%s", out)
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	c := NewChart("", "")
+	c.Width = 30
+	c.Log = true
+	c.Add("small", 1)
+	c.Add("mid", 100)
+	c.Add("big", 10000)
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	n := func(i int) int { return strings.Count(lines[i], "#") }
+	if !(n(0) < n(1) && n(1) < n(2)) {
+		t.Fatalf("log bars not increasing:\n%s", out)
+	}
+	// Log spacing: the decade gaps are equal (within a cell).
+	if d1, d2 := n(1)-n(0), n(2)-n(1); d1 < d2-2 || d1 > d2+2 {
+		t.Errorf("log spacing uneven (%d vs %d):\n%s", d1, d2, out)
+	}
+	if n(0) == 0 {
+		t.Error("smallest positive value should still show a cell")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := NewChart("t", "")
+	if !strings.Contains(c.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}

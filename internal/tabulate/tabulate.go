@@ -1,0 +1,93 @@
+// Package tabulate renders aligned text tables and CSV series for the
+// experiment harness's reproduction of the paper's tables and figures.
+package tabulate
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; missing cells render empty, extras are kept.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, args ...interface{}) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			for i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, " ", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	seps := make([]string, len(widths))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV writes the table (headers then rows) as CSV.
+func (t *Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}

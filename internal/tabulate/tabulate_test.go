@@ -1,0 +1,63 @@
+package tabulate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("Title", "Name", "Value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer", "22")
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// The Value column must start at the same offset in every body line.
+	idx := strings.Index(lines[1], "Value")
+	if idx < 0 {
+		t.Fatal("no Value header")
+	}
+	if lines[3][idx:idx+1] != "1" || lines[4][idx:idx+2] != "22" {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestRenderHandlesRaggedRows(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "only-one") || !strings.Contains(out, "extra") {
+		t.Errorf("ragged rows lost cells:\n%s", out)
+	}
+	if strings.HasPrefix(out, "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.AddRowf("%d\t%s", 42, "hi")
+	if len(tb.Rows) != 1 || tb.Rows[0][0] != "42" || tb.Rows[0][1] != "hi" {
+		t.Errorf("AddRowf rows: %+v", tb.Rows)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("t", "A", "B")
+	tb.AddRow("1", "with,comma")
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "A,B\n1,\"with,comma\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,68 @@
+package trace
+
+import "fmt"
+
+// AddressSpace hands out non-overlapping byte ranges for the instrumented
+// workloads' shared data structures. Addresses are virtual identities only;
+// no real memory is reserved.
+type AddressSpace struct {
+	next    uint64
+	regions []Region
+}
+
+// Region is a named allocated address range [Base, Base+Size).
+type Region struct {
+	Name string
+	Base uint64
+	Size uint64
+}
+
+// NewAddressSpace returns an allocator starting at a non-zero base so that
+// address 0 never aliases real data.
+func NewAddressSpace() *AddressSpace { return &AddressSpace{next: 1 << 12} }
+
+// Alloc reserves size bytes aligned to align (a power of two; 0 or 1 means
+// unaligned) and records it under name. It panics on a zero size, which is
+// always a caller bug in a workload.
+func (a *AddressSpace) Alloc(name string, size, align uint64) Region {
+	if size == 0 {
+		panic(fmt.Sprintf("trace: zero-size allocation %q", name))
+	}
+	if align > 1 {
+		if align&(align-1) != 0 {
+			panic(fmt.Sprintf("trace: alignment %d not a power of two", align))
+		}
+		a.next = (a.next + align - 1) &^ (align - 1)
+	}
+	r := Region{Name: name, Base: a.next, Size: size}
+	a.next += size
+	a.regions = append(a.regions, r)
+	return r
+}
+
+// Footprint returns the total bytes allocated so far.
+func (a *AddressSpace) Footprint() uint64 {
+	var s uint64
+	for _, r := range a.regions {
+		s += r.Size
+	}
+	return s
+}
+
+// Regions returns the allocated regions in allocation order.
+func (a *AddressSpace) Regions() []Region {
+	out := make([]Region, len(a.regions))
+	copy(out, a.regions)
+	return out
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+r.Size
+}
+
+// Index returns the byte address of element i of elemSize-byte elements
+// stored from the region base.
+func (r Region) Index(i int, elemSize uint64) uint64 {
+	return r.Base + uint64(i)*elemSize
+}

@@ -1,0 +1,71 @@
+package trace
+
+// Sink receives trace events as a workload generates them. A Trace is
+// itself a Sink (it materializes the events); analyzers that only need a
+// single pass (e.g. stack-distance characterization) can consume events
+// without materializing the whole trace.
+type Sink interface {
+	Emit(cpu int, e Event)
+}
+
+// Emit implements Sink by appending the event to the stream of the given
+// CPU, which must exist.
+func (t *Trace) Emit(cpu int, e Event) {
+	s := t.Streams[cpu]
+	switch e.Kind {
+	case Read:
+		s.AddRead(e.Addr)
+	case Write:
+		s.AddWrite(e.Addr)
+	case Compute:
+		s.AddCompute(e.N)
+	case Barrier:
+		s.AddBarrier()
+	}
+}
+
+// CountingSink tallies events without storing them; useful for quick γ
+// estimation and for sizing runs.
+type CountingSink struct {
+	Reads, Writes, ComputeInstrs, Barriers uint64
+}
+
+// Emit implements Sink.
+func (c *CountingSink) Emit(_ int, e Event) {
+	switch e.Kind {
+	case Read:
+		c.Reads++
+	case Write:
+		c.Writes++
+	case Compute:
+		c.ComputeInstrs += e.N
+	case Barrier:
+		c.Barriers++
+	}
+}
+
+// Gamma returns M/(m+M) over everything seen so far, or 0 if nothing.
+func (c *CountingSink) Gamma() float64 {
+	m := c.Reads + c.Writes
+	total := m + c.ComputeInstrs
+	if total == 0 {
+		return 0
+	}
+	return float64(m) / float64(total)
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(cpu int, e Event)
+
+// Emit implements Sink.
+func (f FuncSink) Emit(cpu int, e Event) { f(cpu, e) }
+
+// TeeSink fans events out to multiple sinks.
+type TeeSink []Sink
+
+// Emit implements Sink.
+func (t TeeSink) Emit(cpu int, e Event) {
+	for _, s := range t {
+		s.Emit(cpu, e)
+	}
+}

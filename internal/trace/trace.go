@@ -1,0 +1,394 @@
+// Package trace defines per-processor memory-reference streams: the
+// interface between the instrumented SPMD workloads (the repository's
+// MINT-substitute front-end) and both the stack-distance analyzer and the
+// execution-driven memory-hierarchy simulators.
+//
+// A stream is a sequence of events: memory reads and writes (byte
+// addresses), compute gaps (instruction counts with no memory reference),
+// and barrier crossings. Every memory reference itself also counts as one
+// instruction, matching the paper's accounting where a program consists of
+// m non-referencing and M referencing instructions.
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind discriminates trace events.
+type Kind uint8
+
+// Event kinds.
+const (
+	Read    Kind = iota // memory load; Addr is a byte address
+	Write               // memory store; Addr is a byte address
+	Compute             // N instructions with no memory reference
+	Barrier             // global barrier crossing
+)
+
+// String returns a short mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	case Compute:
+		return "C"
+	case Barrier:
+		return "B"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one entry of a processor's reference stream.
+type Event struct {
+	Kind Kind
+	Addr uint64 // byte address (Read/Write)
+	N    uint64 // instruction count (Compute)
+}
+
+// Stream is the event sequence of a single logical processor.
+type Stream struct {
+	CPU    int
+	Events []Event
+
+	reads    uint64
+	writes   uint64
+	computes uint64 // total instructions inside Compute events
+	barriers uint64
+}
+
+// NewStream returns an empty stream for the given logical CPU.
+func NewStream(cpu int) *Stream { return &Stream{CPU: cpu} }
+
+// AddRead appends a load of the given byte address.
+func (s *Stream) AddRead(addr uint64) {
+	s.Events = append(s.Events, Event{Kind: Read, Addr: addr})
+	s.reads++
+}
+
+// AddWrite appends a store to the given byte address.
+func (s *Stream) AddWrite(addr uint64) {
+	s.Events = append(s.Events, Event{Kind: Write, Addr: addr})
+	s.writes++
+}
+
+// AddCompute appends n non-referencing instructions. Consecutive compute
+// gaps are coalesced. n <= 0 is a no-op.
+func (s *Stream) AddCompute(n uint64) {
+	if n == 0 {
+		return
+	}
+	s.computes += n
+	if last := len(s.Events) - 1; last >= 0 && s.Events[last].Kind == Compute {
+		s.Events[last].N += n
+		return
+	}
+	s.Events = append(s.Events, Event{Kind: Compute, N: n})
+}
+
+// AddBarrier appends a barrier crossing.
+func (s *Stream) AddBarrier() {
+	s.Events = append(s.Events, Event{Kind: Barrier})
+	s.barriers++
+}
+
+// MemoryRefs returns M: the number of referencing instructions.
+func (s *Stream) MemoryRefs() uint64 { return s.reads + s.writes }
+
+// Reads returns the number of load events.
+func (s *Stream) Reads() uint64 { return s.reads }
+
+// Writes returns the number of store events.
+func (s *Stream) Writes() uint64 { return s.writes }
+
+// ComputeInstrs returns m: the number of non-referencing instructions.
+func (s *Stream) ComputeInstrs() uint64 { return s.computes }
+
+// Barriers returns the number of barrier crossings.
+func (s *Stream) Barriers() uint64 { return s.barriers }
+
+// Instructions returns m + M, the total instruction count of the stream.
+func (s *Stream) Instructions() uint64 { return s.computes + s.MemoryRefs() }
+
+// Gamma returns γ = M/(m+M) for this stream, or 0 for an empty stream.
+func (s *Stream) Gamma() float64 {
+	total := s.Instructions()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MemoryRefs()) / float64(total)
+}
+
+// Trace is the collection of per-processor streams of one SPMD execution.
+type Trace struct {
+	Streams []*Stream
+}
+
+// New returns a Trace with nproc empty streams.
+func New(nproc int) *Trace {
+	t := &Trace{Streams: make([]*Stream, nproc)}
+	for i := range t.Streams {
+		t.Streams[i] = NewStream(i)
+	}
+	return t
+}
+
+// NumCPU returns the number of processor streams.
+func (t *Trace) NumCPU() int { return len(t.Streams) }
+
+// MemoryRefs returns the total M across all streams.
+func (t *Trace) MemoryRefs() uint64 {
+	var s uint64
+	for _, st := range t.Streams {
+		s += st.MemoryRefs()
+	}
+	return s
+}
+
+// Instructions returns the total m+M across all streams.
+func (t *Trace) Instructions() uint64 {
+	var s uint64
+	for _, st := range t.Streams {
+		s += st.Instructions()
+	}
+	return s
+}
+
+// Gamma returns the aggregate γ = M/(m+M) over all streams.
+func (t *Trace) Gamma() float64 {
+	total := t.Instructions()
+	if total == 0 {
+		return 0
+	}
+	return float64(t.MemoryRefs()) / float64(total)
+}
+
+// Validate checks cross-stream consistency: every stream must cross the
+// same number of barriers (the bulk-synchronous structure the simulators
+// rely on).
+func (t *Trace) Validate() error {
+	if len(t.Streams) == 0 {
+		return errors.New("trace: no streams")
+	}
+	want := t.Streams[0].Barriers()
+	for _, s := range t.Streams[1:] {
+		if s.Barriers() != want {
+			return fmt.Errorf("trace: cpu %d crossed %d barriers, cpu %d crossed %d",
+				s.CPU, s.Barriers(), t.Streams[0].CPU, want)
+		}
+	}
+	return nil
+}
+
+// LineAddr maps a byte address to its cache-line identity for a given line
+// size in bytes (must be a power of two).
+func LineAddr(addr uint64, lineSize int) uint64 {
+	return addr / uint64(lineSize)
+}
+
+const (
+	magic   = uint32(0x4d485452) // "MHTR"
+	version = uint32(1)
+)
+
+// WriteTo serializes the trace in a compact varint framing.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(v uint64) error {
+		var buf [binary.MaxVarintLen64]byte
+		k := binary.PutUvarint(buf[:], v)
+		m, err := bw.Write(buf[:k])
+		n += int64(m)
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	m, err := bw.Write(hdr[:])
+	n += int64(m)
+	if err != nil {
+		return n, err
+	}
+	if err := put(uint64(len(t.Streams))); err != nil {
+		return n, err
+	}
+	for _, s := range t.Streams {
+		if err := put(uint64(s.CPU)); err != nil {
+			return n, err
+		}
+		if err := put(uint64(len(s.Events))); err != nil {
+			return n, err
+		}
+		for _, e := range s.Events {
+			if err := put(uint64(e.Kind)); err != nil {
+				return n, err
+			}
+			switch e.Kind {
+			case Read, Write:
+				if err := put(e.Addr); err != nil {
+					return n, err
+				}
+			case Compute:
+				if err := put(e.N); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// WriteGzip serializes the trace as WriteTo does, gzip-compressed. Traces
+// compress well (addresses are clustered and compute gaps repeat); archived
+// paper-scale traces shrink by roughly an order of magnitude.
+func (t *Trace) WriteGzip(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	gz := gzip.NewWriter(cw)
+	if _, err := t.WriteTo(gz); err != nil {
+		gz.Close()
+		return cw.n, err
+	}
+	if err := gz.Close(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom deserializes a trace written by WriteTo or WriteGzip (detected
+// by the gzip magic), replacing the receiver's contents.
+func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		cr0 := &countingReader{r: br}
+		gz, err := gzip.NewReader(cr0)
+		if err != nil {
+			return cr0.n, fmt.Errorf("trace: opening gzip stream: %w", err)
+		}
+		defer gz.Close()
+		if _, err := t.readPlain(bufio.NewReader(gz)); err != nil {
+			return cr0.n, err
+		}
+		return cr0.n, nil
+	}
+	return t.readPlain(br)
+}
+
+func (t *Trace) readPlain(br *bufio.Reader) (int64, error) {
+	cr := &countingReader{r: br}
+	var hdr [8]byte
+	if _, err := io.ReadFull(cr, hdr[:]); err != nil {
+		return cr.n, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != magic {
+		return cr.n, fmt.Errorf("trace: bad magic %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[4:]); got != version {
+		return cr.n, fmt.Errorf("trace: unsupported version %d", got)
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(cr) }
+	nStreams, err := get()
+	if err != nil {
+		return cr.n, err
+	}
+	const maxStreams = 1 << 20
+	if nStreams > maxStreams {
+		return cr.n, fmt.Errorf("trace: implausible stream count %d", nStreams)
+	}
+	t.Streams = make([]*Stream, 0, nStreams)
+	for i := uint64(0); i < nStreams; i++ {
+		cpu, err := get()
+		if err != nil {
+			return cr.n, err
+		}
+		nEvents, err := get()
+		if err != nil {
+			return cr.n, err
+		}
+		s := NewStream(int(cpu))
+		if nEvents > 0 {
+			s.Events = make([]Event, 0, min(nEvents, 1<<20))
+		}
+		for j := uint64(0); j < nEvents; j++ {
+			kindRaw, err := get()
+			if err != nil {
+				return cr.n, err
+			}
+			switch Kind(kindRaw) {
+			case Read:
+				a, err := get()
+				if err != nil {
+					return cr.n, err
+				}
+				s.AddRead(a)
+			case Write:
+				a, err := get()
+				if err != nil {
+					return cr.n, err
+				}
+				s.AddWrite(a)
+			case Compute:
+				v, err := get()
+				if err != nil {
+					return cr.n, err
+				}
+				// Append directly: AddCompute would coalesce and change the
+				// event count, breaking the framing contract.
+				s.Events = append(s.Events, Event{Kind: Compute, N: v})
+				s.computes += v
+			case Barrier:
+				s.AddBarrier()
+			default:
+				return cr.n, fmt.Errorf("trace: unknown event kind %d", kindRaw)
+			}
+		}
+		t.Streams = append(t.Streams, s)
+	}
+	return cr.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

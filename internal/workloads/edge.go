@@ -1,0 +1,190 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"memhier/internal/trace"
+)
+
+// Edge is the distributed edge-detection application of the paper (§5.2,
+// from Zhang, Dykes and Deng): an iterative algorithm combining good noise
+// reduction with positional accuracy. Each iteration performs (1) blurring,
+// (2) registering (gradient computation), (3) matching (thresholded edge
+// decision against the previous map), then repeats or halts. The image is
+// partitioned in rows among processors and a barrier follows every step,
+// giving the highest barrier frequency (and γ) of the suite.
+type Edge struct {
+	w, h  int
+	iters int
+}
+
+// NewEdge returns the kernel for a w×h image and the given iteration count.
+// It panics on degenerate dimensions.
+func NewEdge(w, h, iters int) *Edge {
+	if w < 8 || h < 8 || iters < 1 {
+		panic(fmt.Sprintf("workloads: bad EDGE config %dx%d iters=%d", w, h, iters))
+	}
+	return &Edge{w: w, h: h, iters: iters}
+}
+
+// Name implements Workload.
+func (e *Edge) Name() string { return "EDGE" }
+
+// Description implements Workload.
+func (e *Edge) Description() string {
+	return fmt.Sprintf("iterative edge detection, %dx%d bitmap, %d iterations", e.w, e.h, e.iters)
+}
+
+// Bounds returns the image dimensions.
+func (e *Edge) Bounds() (w, h int) { return e.w, e.h }
+
+// Input returns the deterministic test image: a bright rectangle on a dark
+// background with mild deterministic noise, so real edges exist at known
+// positions.
+func (e *Edge) Input() []float64 {
+	img := make([]float64, e.w*e.h)
+	for y := 0; y < e.h; y++ {
+		for x := 0; x < e.w; x++ {
+			v := 0.1
+			if x >= e.w/4 && x < 3*e.w/4 && y >= e.h/4 && y < 3*e.h/4 {
+				v = 0.9
+			}
+			// Deterministic low-amplitude noise.
+			v += 0.02 * math.Sin(float64(x*7+y*13))
+			img[y*e.w+x] = v
+		}
+	}
+	return img
+}
+
+// Run implements Workload.
+func (e *Edge) Run(nproc int, sink trace.Sink) error {
+	_, err := e.Detect(nproc, sink)
+	return err
+}
+
+// Detect runs the instrumented detector and returns the final edge map
+// (1 = edge pixel).
+func (e *Edge) Detect(nproc int, sink trace.Sink) ([]uint8, error) {
+	if nproc < 1 {
+		return nil, fmt.Errorf("workloads: EDGE needs nproc >= 1, got %d", nproc)
+	}
+	if nproc > e.h {
+		return nil, fmt.Errorf("workloads: EDGE with %d rows cannot use %d processors", e.h, nproc)
+	}
+	w, h := e.w, e.h
+
+	img := e.Input()
+	blur := make([]float64, w*h)
+	grad := make([]float64, w*h)
+	edges := make([]uint8, w*h)
+
+	as := trace.NewAddressSpace()
+	regImg := as.Alloc("edge.img", uint64(w*h)*8, 64)
+	regBlur := as.Alloc("edge.blur", uint64(w*h)*8, 64)
+	regGrad := as.Alloc("edge.grad", uint64(w*h)*8, 64)
+	regEdge := as.Alloc("edge.map", uint64(w*h), 64)
+
+	r := newRunner(nproc, sink)
+
+	at := func(x, y int) int {
+		if x < 0 {
+			x = 0
+		}
+		if x >= w {
+			x = w - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= h {
+			y = h - 1
+		}
+		return y*w + x
+	}
+
+	for it := 0; it < e.iters; it++ {
+		// Step 1: blurring (3×3 mean filter, reading the shared image).
+		r.Each(func(p *proc) {
+			lo, hi := block(h, nproc, p.cpu)
+			for y := lo; y < hi; y++ {
+				for x := 0; x < w; x++ {
+					var s float64
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							idx := at(x+dx, y+dy)
+							p.Read(regImg.Index(idx, 8))
+							s += img[idx]
+						}
+					}
+					blur[y*w+x] = s / 9
+					p.Compute(12)
+					p.Write(regBlur.Index(y*w+x, 8))
+				}
+			}
+		})
+		r.Barrier()
+
+		// Step 2: registering — central-difference gradient magnitude.
+		r.Each(func(p *proc) {
+			lo, hi := block(h, nproc, p.cpu)
+			for y := lo; y < hi; y++ {
+				for x := 0; x < w; x++ {
+					l, rr := at(x-1, y), at(x+1, y)
+					u, d := at(x, y-1), at(x, y+1)
+					p.Read(regBlur.Index(l, 8))
+					p.Read(regBlur.Index(rr, 8))
+					p.Read(regBlur.Index(u, 8))
+					p.Read(regBlur.Index(d, 8))
+					gx := blur[rr] - blur[l]
+					gy := blur[d] - blur[u]
+					grad[y*w+x] = math.Abs(gx) + math.Abs(gy)
+					p.Compute(7)
+					p.Write(regGrad.Index(y*w+x, 8))
+				}
+			}
+		})
+		r.Barrier()
+
+		// Step 3: matching — thresholded decision merged with the previous
+		// map (reads old value, writes new).
+		const threshold = 0.25
+		r.Each(func(p *proc) {
+			lo, hi := block(h, nproc, p.cpu)
+			for y := lo; y < hi; y++ {
+				for x := 0; x < w; x++ {
+					p.Read(regGrad.Index(y*w+x, 8))
+					p.Read(regEdge.Index(y*w+x, 1))
+					v := uint8(0)
+					if grad[y*w+x] > threshold {
+						v = 1
+					}
+					if it > 0 && edges[y*w+x] == 1 && grad[y*w+x] > threshold/2 {
+						v = 1 // hysteresis: keep previously detected edges
+					}
+					edges[y*w+x] = v
+					p.Compute(6)
+					p.Write(regEdge.Index(y*w+x, 1))
+				}
+			}
+		})
+		r.Barrier()
+
+		// Step 4: repeat or halt — feed the blurred image back as the next
+		// iteration's input, as the iterative algorithm refines its map.
+		r.Each(func(p *proc) {
+			lo, hi := block(h, nproc, p.cpu)
+			for y := lo; y < hi; y++ {
+				for x := 0; x < w; x++ {
+					p.Read(regBlur.Index(y*w+x, 8))
+					img[y*w+x] = blur[y*w+x]
+					p.Compute(3)
+					p.Write(regImg.Index(y*w+x, 8))
+				}
+			}
+		})
+		r.Barrier()
+	}
+	return edges, nil
+}

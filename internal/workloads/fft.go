@@ -1,0 +1,195 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"memhier/internal/trace"
+)
+
+// FFT is the SPLASH-2-style complex 1-D six-step FFT kernel (paper §5.2):
+// the n data points are viewed as an m×m matrix (n = m²), and the transform
+// proceeds as transpose, m-point row FFTs, twiddle multiplication,
+// transpose, row FFTs, transpose. Rows are partitioned contiguously across
+// processors and a barrier separates the steps, as in the paper's
+// description where each processor's contiguous submatrix lives in its
+// local memory.
+type FFT struct {
+	n int // total points, a power of 4
+	m int // matrix edge, sqrt(n)
+}
+
+// NewFFT returns the kernel for n complex points. n must be a power of 4
+// (so the data form a square power-of-two matrix); NewFFT panics otherwise,
+// since workload configurations are static program data.
+func NewFFT(n int) *FFT {
+	if n < 4 || bits.OnesCount(uint(n)) != 1 || bits.TrailingZeros(uint(n))%2 != 0 {
+		panic(fmt.Sprintf("workloads: FFT size %d is not a power of 4", n))
+	}
+	return &FFT{n: n, m: 1 << (bits.TrailingZeros(uint(n)) / 2)}
+}
+
+// Name implements Workload.
+func (f *FFT) Name() string { return "FFT" }
+
+// Description implements Workload.
+func (f *FFT) Description() string {
+	return fmt.Sprintf("complex 1-D six-step FFT, %d points (%dx%d)", f.n, f.m, f.m)
+}
+
+// Points returns the transform size.
+func (f *FFT) Points() int { return f.n }
+
+// Input returns the kernel's deterministic input signal.
+func (f *FFT) Input() []complex128 {
+	x := make([]complex128, f.n)
+	for i := range x {
+		// A deterministic, aperiodic signal exercising all outputs.
+		t := float64(i)
+		x[i] = complex(math.Sin(0.37*t)+0.25*math.Cos(2.11*t), 0.5*math.Sin(1.03*t+1))
+	}
+	return x
+}
+
+// Run implements Workload.
+func (f *FFT) Run(nproc int, sink trace.Sink) error {
+	_, err := f.Transform(nproc, sink)
+	return err
+}
+
+// Transform runs the instrumented six-step FFT over nproc processors and
+// returns the spectrum in natural order (so tests can check it against a
+// reference DFT).
+func (f *FFT) Transform(nproc int, sink trace.Sink) ([]complex128, error) {
+	if nproc < 1 {
+		return nil, fmt.Errorf("workloads: FFT needs nproc >= 1, got %d", nproc)
+	}
+	if nproc > f.m {
+		return nil, fmt.Errorf("workloads: FFT with %d rows cannot use %d processors", f.m, nproc)
+	}
+	n, m := f.n, f.m
+
+	as := trace.NewAddressSpace()
+	const celem = 16 // bytes per complex element
+	regA := as.Alloc("fft.A", uint64(n)*celem, 64)
+	regB := as.Alloc("fft.B", uint64(n)*celem, 64)
+	regW := as.Alloc("fft.roots", uint64(n)*celem, 64)
+
+	a := f.Input()
+	b := make([]complex128, n)
+	// roots[k] = e^{-2πik/n}; the m-point row FFTs index it with stride m
+	// (w_m^j = w_n^{j·m}), so one table serves both uses, mirroring the
+	// paper's single "roots of unity" data set.
+	roots := make([]complex128, n)
+	for k := range roots {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		roots[k] = complex(c, s)
+	}
+
+	r := newRunner(nproc, sink)
+
+	// Step 0: every processor initializes its share of the roots table
+	// (counted as writes plus the sincos work).
+	r.Each(func(p *proc) {
+		lo, hi := block(n, nproc, p.cpu)
+		for k := lo; k < hi; k++ {
+			p.Compute(18) // sincos + index arithmetic
+			p.Write(regW.Index(k, celem))
+		}
+	})
+	r.Barrier()
+
+	transpose := func(src []complex128, srcReg trace.Region, dst []complex128, dstReg trace.Region) {
+		r.Each(func(p *proc) {
+			lo, hi := block(m, nproc, p.cpu)
+			for i := lo; i < hi; i++ { // destination rows
+				for j := 0; j < m; j++ {
+					p.Compute(4)
+					p.Read(srcReg.Index(j*m+i, celem))
+					dst[i*m+j] = src[j*m+i]
+					p.Write(dstReg.Index(i*m+j, celem))
+				}
+			}
+		})
+		r.Barrier()
+	}
+
+	rowFFTs := func(data []complex128, reg trace.Region) {
+		r.Each(func(p *proc) {
+			lo, hi := block(m, nproc, p.cpu)
+			for row := lo; row < hi; row++ {
+				f.rowFFT(p, data, reg, roots, regW, row)
+			}
+		})
+		r.Barrier()
+	}
+
+	// Step 1: transpose A -> B.
+	transpose(a, regA, b, regB)
+	// Step 2: m-point FFTs on rows of B.
+	rowFFTs(b, regB)
+	// Step 3: twiddle: B[i][j] *= w_n^{i*j}.
+	r.Each(func(p *proc) {
+		lo, hi := block(m, nproc, p.cpu)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < m; j++ {
+				p.Read(regB.Index(i*m+j, celem))
+				p.Read(regW.Index((i*j)%n, celem))
+				p.Compute(9) // complex multiply + indexing
+				b[i*m+j] *= roots[(i*j)%n]
+				p.Write(regB.Index(i*m+j, celem))
+			}
+		}
+	})
+	r.Barrier()
+	// Step 4: transpose B -> A.
+	transpose(b, regB, a, regA)
+	// Step 5: m-point FFTs on rows of A.
+	rowFFTs(a, regA)
+	// Step 6: transpose A -> B; B then holds the spectrum in natural order.
+	transpose(a, regA, b, regB)
+
+	return b, nil
+}
+
+// rowFFT performs an instrumented in-place iterative radix-2 FFT on row
+// `row` of the m×m matrix stored in data.
+func (f *FFT) rowFFT(p *proc, data []complex128, reg trace.Region, roots []complex128, regW trace.Region, row int) {
+	m := f.m
+	base := row * m
+	// Bit-reversal permutation.
+	logm := bits.TrailingZeros(uint(m))
+	for i := 0; i < m; i++ {
+		j := int(bits.Reverse(uint(i)) >> (bits.UintSize - logm))
+		p.Compute(4)
+		if i < j {
+			p.Read(reg.Index(base+i, 16))
+			p.Read(reg.Index(base+j, 16))
+			data[base+i], data[base+j] = data[base+j], data[base+i]
+			p.Write(reg.Index(base+i, 16))
+			p.Write(reg.Index(base+j, 16))
+		}
+	}
+	// Butterfly stages. w_len^k = roots[k * (n/len)].
+	for length := 2; length <= m; length <<= 1 {
+		stride := f.n / length
+		for start := 0; start < m; start += length {
+			half := length / 2
+			for k := 0; k < half; k++ {
+				i := base + start + k
+				j := i + half
+				p.Read(regW.Index(k*stride, 16))
+				p.Read(reg.Index(i, 16))
+				p.Read(reg.Index(j, 16))
+				w := roots[k*stride]
+				t := w * data[j]
+				data[j] = data[i] - t
+				data[i] += t
+				p.Compute(20) // complex mul/add/sub + loop and index overhead
+				p.Write(reg.Index(i, 16))
+				p.Write(reg.Index(j, 16))
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package workloads
+
+import (
+	"fmt"
+
+	"memhier/internal/trace"
+)
+
+// LU is the SPLASH-2-style blocked dense LU factorization kernel (paper
+// §5.2): the n×n matrix is divided into B×B blocks assigned to processors
+// with a 2-D scatter (cyclic) decomposition; traced addresses use a
+// block-major layout so that a block is contiguous in memory, the layout
+// SPLASH-2 uses to exploit spatial locality. Factorization is without
+// pivoting (the test input is diagonally dominant).
+type LU struct {
+	n int // matrix edge
+	b int // block edge; b divides n
+}
+
+// NewLU returns the kernel for an n×n matrix with b×b blocks. It panics if
+// b does not divide n (static configuration error).
+func NewLU(n, b int) *LU {
+	if n <= 0 || b <= 0 || n%b != 0 {
+		panic(fmt.Sprintf("workloads: LU block size %d must divide matrix size %d", b, n))
+	}
+	return &LU{n: n, b: b}
+}
+
+// Name implements Workload.
+func (l *LU) Name() string { return "LU" }
+
+// Description implements Workload.
+func (l *LU) Description() string {
+	return fmt.Sprintf("blocked dense LU, %dx%d matrix, %dx%d blocks, 2-D scatter", l.n, l.n, l.b, l.b)
+}
+
+// N returns the matrix edge length.
+func (l *LU) N() int { return l.n }
+
+// Input returns the deterministic, diagonally dominant input matrix in
+// row-major order.
+func (l *LU) Input() []float64 {
+	n := l.n
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// Pseudo-random but deterministic off-diagonal entries in
+			// (-1, 1); strong diagonal keeps pivot-free LU stable.
+			v := float64((i*2654435761+j*40503)%1997)/998.5 - 1
+			a[i*n+j] = v
+			if i == j {
+				a[i*n+j] = float64(n) + 2
+			}
+		}
+	}
+	return a
+}
+
+// addr returns the traced byte address of element (i, j) in the block-major
+// layout: block (I, J) occupies a contiguous b*b run of float64s.
+func (l *LU) addr(reg trace.Region, i, j int) uint64 {
+	b := l.b
+	nb := l.n / b
+	I, J := i/b, j/b
+	bi, bj := i%b, j%b
+	return reg.Index(((I*nb+J)*b*b)+(bi*b+bj), 8)
+}
+
+// Run implements Workload.
+func (l *LU) Run(nproc int, sink trace.Sink) error {
+	_, err := l.Factor(nproc, sink)
+	return err
+}
+
+// Factor runs the instrumented factorization and returns the packed LU
+// result (unit lower triangle of L below the diagonal, U on and above) in
+// row-major order, so tests can verify L·U against the input.
+func (l *LU) Factor(nproc int, sink trace.Sink) ([]float64, error) {
+	if nproc < 1 {
+		return nil, fmt.Errorf("workloads: LU needs nproc >= 1, got %d", nproc)
+	}
+	n, b := l.n, l.b
+	nb := n / b
+	pr, pc := procGrid(nproc)
+
+	a := l.Input()
+	as := trace.NewAddressSpace()
+	reg := as.Alloc("lu.A", uint64(n)*uint64(n)*8, 64)
+
+	owner := func(I, J int) int { return (I%pr)*pc + (J % pc) }
+
+	r := newRunner(nproc, sink)
+
+	for k := 0; k < nb; k++ {
+		k0 := k * b
+		// Step 1: factor the diagonal block (its owner only); the other
+		// processors proceed straight to the barrier.
+		r.Each(func(p *proc) {
+			if p.cpu != owner(k, k) {
+				return
+			}
+			for kk := 0; kk < b; kk++ {
+				i0 := k0 + kk
+				p.Read(l.addr(reg, i0, i0))
+				piv := a[i0*n+i0]
+				p.Compute(3)
+				for i := kk + 1; i < b; i++ {
+					ii := k0 + i
+					p.Read(l.addr(reg, ii, i0))
+					a[ii*n+i0] /= piv
+					p.Compute(4)
+					p.Write(l.addr(reg, ii, i0))
+					for j := kk + 1; j < b; j++ {
+						jj := k0 + j
+						p.Read(l.addr(reg, ii, jj))
+						p.Read(l.addr(reg, i0, jj))
+						a[ii*n+jj] -= a[ii*n+i0] * a[i0*n+jj]
+						p.Compute(6)
+						p.Write(l.addr(reg, ii, jj))
+					}
+				}
+			}
+		})
+		r.Barrier()
+
+		// Step 2: perimeter blocks. Row panel (k, J): solve L(k,k)·X = A,
+		// column panel (I, k): solve X·U(k,k) = A.
+		r.Each(func(p *proc) {
+			for J := k + 1; J < nb; J++ {
+				if p.cpu != owner(k, J) {
+					continue
+				}
+				j0 := J * b
+				for kk := 0; kk < b; kk++ {
+					for j := 0; j < b; j++ {
+						for i := kk + 1; i < b; i++ {
+							p.Read(l.addr(reg, k0+i, k0+kk))
+							p.Read(l.addr(reg, k0+kk, j0+j))
+							p.Read(l.addr(reg, k0+i, j0+j))
+							a[(k0+i)*n+j0+j] -= a[(k0+i)*n+k0+kk] * a[(k0+kk)*n+j0+j]
+							p.Compute(9)
+							p.Write(l.addr(reg, k0+i, j0+j))
+						}
+					}
+				}
+			}
+			for I := k + 1; I < nb; I++ {
+				if p.cpu != owner(I, k) {
+					continue
+				}
+				i0 := I * b
+				for kk := 0; kk < b; kk++ {
+					p.Read(l.addr(reg, k0+kk, k0+kk))
+					piv := a[(k0+kk)*n+k0+kk]
+					p.Compute(3)
+					for i := 0; i < b; i++ {
+						p.Read(l.addr(reg, i0+i, k0+kk))
+						a[(i0+i)*n+k0+kk] /= piv
+						p.Compute(4)
+						p.Write(l.addr(reg, i0+i, k0+kk))
+						for j := kk + 1; j < b; j++ {
+							p.Read(l.addr(reg, i0+i, k0+j))
+							p.Read(l.addr(reg, k0+kk, k0+j))
+							a[(i0+i)*n+k0+j] -= a[(i0+i)*n+k0+kk] * a[(k0+kk)*n+k0+j]
+							p.Compute(9)
+							p.Write(l.addr(reg, i0+i, k0+j))
+						}
+					}
+				}
+			}
+		})
+		r.Barrier()
+
+		// Step 3: interior update A[I][J] -= A[I][k] · A[k][J].
+		r.Each(func(p *proc) {
+			for I := k + 1; I < nb; I++ {
+				for J := k + 1; J < nb; J++ {
+					if p.cpu != owner(I, J) {
+						continue
+					}
+					i0, j0 := I*b, J*b
+					for i := 0; i < b; i++ {
+						for kk := 0; kk < b; kk++ {
+							p.Read(l.addr(reg, i0+i, k0+kk))
+							lik := a[(i0+i)*n+k0+kk]
+							p.Compute(2)
+							for j := 0; j < b; j++ {
+								p.Read(l.addr(reg, k0+kk, j0+j))
+								p.Read(l.addr(reg, i0+i, j0+j))
+								a[(i0+i)*n+j0+j] -= lik * a[(k0+kk)*n+j0+j]
+								p.Compute(7)
+								p.Write(l.addr(reg, i0+i, j0+j))
+							}
+						}
+					}
+				}
+			}
+		})
+		r.Barrier()
+	}
+	return a, nil
+}
+
+// procGrid factors nproc into the most square pr×pc grid with pr <= pc.
+func procGrid(nproc int) (pr, pc int) {
+	pr = 1
+	for d := 1; d*d <= nproc; d++ {
+		if nproc%d == 0 {
+			pr = d
+		}
+	}
+	return pr, nproc / pr
+}

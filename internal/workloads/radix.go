@@ -1,0 +1,182 @@
+package workloads
+
+import (
+	"fmt"
+	"math/bits"
+
+	"memhier/internal/trace"
+)
+
+// Radix is the SPLASH-2-style iterative radix sort kernel (paper §5.2): it
+// sorts 32-bit keys in one pass per radix-r digit. Each pass builds
+// per-processor histograms over contiguously partitioned keys, computes
+// global bucket offsets with a parallel-over-buckets prefix phase, and
+// permutes the keys into the destination array. Source and destination
+// arrays ping-pong between passes.
+type Radix struct {
+	keys  int // number of keys
+	radix int // bucket count per pass, a power of two
+}
+
+// NewRadix returns the kernel for the given key count and radix. It panics
+// if the radix is not a power of two >= 2 or keys <= 0.
+func NewRadix(keys, radix int) *Radix {
+	if keys <= 0 || radix < 2 || bits.OnesCount(uint(radix)) != 1 {
+		panic(fmt.Sprintf("workloads: bad radix sort config keys=%d radix=%d", keys, radix))
+	}
+	return &Radix{keys: keys, radix: radix}
+}
+
+// Name implements Workload.
+func (r *Radix) Name() string { return "Radix" }
+
+// Description implements Workload.
+func (r *Radix) Description() string {
+	return fmt.Sprintf("radix sort, %d keys, radix %d", r.keys, r.radix)
+}
+
+// Keys returns the number of keys sorted.
+func (r *Radix) Keys() int { return r.keys }
+
+// Input returns the deterministic unsorted key array.
+func (r *Radix) Input() []uint32 {
+	k := make([]uint32, r.keys)
+	state := uint32(0x9e3779b9)
+	for i := range k {
+		// xorshift32: fast deterministic pseudo-random keys.
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		k[i] = state
+	}
+	return k
+}
+
+// Run implements Workload.
+func (r *Radix) Run(nproc int, sink trace.Sink) error {
+	_, err := r.Sort(nproc, sink)
+	return err
+}
+
+// Sort runs the instrumented sort and returns the sorted keys.
+func (r *Radix) Sort(nproc int, sink trace.Sink) ([]uint32, error) {
+	if nproc < 1 {
+		return nil, fmt.Errorf("workloads: Radix needs nproc >= 1, got %d", nproc)
+	}
+	nk, R := r.keys, r.radix
+	logR := bits.TrailingZeros(uint(R))
+	passes := (32 + logR - 1) / logR
+
+	src := r.Input()
+	dst := make([]uint32, nk)
+
+	as := trace.NewAddressSpace()
+	regSrc := as.Alloc("radix.src", uint64(nk)*4, 64)
+	regDst := as.Alloc("radix.dst", uint64(nk)*4, 64)
+	regHist := as.Alloc("radix.hist", uint64(nproc)*uint64(R)*4, 64)
+	regBase := as.Alloc("radix.base", uint64(R)*4, 64)
+	regOff := as.Alloc("radix.off", uint64(nproc)*uint64(R)*4, 64)
+
+	hist := make([]uint32, nproc*R)   // hist[p*R + b]
+	base := make([]uint32, R)         // exclusive prefix of bucket totals
+	offset := make([]uint32, nproc*R) // starting write position per (p, bucket)
+
+	run := newRunner(nproc, sink)
+
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * logR)
+		mask := uint32(R - 1)
+
+		// Phase 1: per-processor local histograms.
+		run.Each(func(p *proc) {
+			for b := 0; b < R; b++ {
+				hist[p.cpu*R+b] = 0
+				p.Compute(2)
+				p.Write(regHist.Index(p.cpu*R+b, 4))
+			}
+			lo, hi := block(nk, nproc, p.cpu)
+			for i := lo; i < hi; i++ {
+				p.Read(regSrc.Index(i, 4))
+				b := int((src[i] >> shift) & mask)
+				p.Compute(5)
+				p.Read(regHist.Index(p.cpu*R+b, 4))
+				hist[p.cpu*R+b]++
+				p.Write(regHist.Index(p.cpu*R+b, 4))
+			}
+		})
+		run.Barrier()
+
+		// Phase 2a: bucket totals, parallel over buckets.
+		run.Each(func(p *proc) {
+			lo, hi := block(R, nproc, p.cpu)
+			for b := lo; b < hi; b++ {
+				var t uint32
+				for q := 0; q < nproc; q++ {
+					p.Read(regHist.Index(q*R+b, 4))
+					t += hist[q*R+b]
+					p.Compute(3)
+				}
+				base[b] = t // reused as totals before the scan
+				p.Write(regBase.Index(b, 4))
+			}
+		})
+		run.Barrier()
+
+		// Phase 2b: exclusive prefix over bucket totals (processor 0).
+		run.Each(func(p *proc) {
+			if p.cpu != 0 {
+				return
+			}
+			var acc uint32
+			for b := 0; b < R; b++ {
+				p.Read(regBase.Index(b, 4))
+				t := base[b]
+				base[b] = acc
+				acc += t
+				p.Compute(4)
+				p.Write(regBase.Index(b, 4))
+			}
+		})
+		run.Barrier()
+
+		// Phase 2c: per-(processor, bucket) offsets, parallel over buckets.
+		run.Each(func(p *proc) {
+			lo, hi := block(R, nproc, p.cpu)
+			for b := lo; b < hi; b++ {
+				p.Read(regBase.Index(b, 4))
+				acc := base[b]
+				p.Compute(2)
+				for q := 0; q < nproc; q++ {
+					offset[q*R+b] = acc
+					p.Write(regOff.Index(q*R+b, 4))
+					p.Read(regHist.Index(q*R+b, 4))
+					acc += hist[q*R+b]
+					p.Compute(3)
+				}
+			}
+		})
+		run.Barrier()
+
+		// Phase 3: permute keys into dst.
+		run.Each(func(p *proc) {
+			lo, hi := block(nk, nproc, p.cpu)
+			for i := lo; i < hi; i++ {
+				p.Read(regSrc.Index(i, 4))
+				k := src[i]
+				b := int((k >> shift) & mask)
+				p.Compute(6)
+				p.Read(regOff.Index(p.cpu*R+b, 4))
+				pos := offset[p.cpu*R+b]
+				offset[p.cpu*R+b] = pos + 1
+				p.Write(regOff.Index(p.cpu*R+b, 4))
+				dst[pos] = k
+				p.Write(regDst.Index(int(pos), 4))
+			}
+		})
+		run.Barrier()
+
+		src, dst = dst, src
+		regSrc, regDst = regDst, regSrc
+	}
+	return src, nil
+}

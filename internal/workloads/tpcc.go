@@ -1,0 +1,124 @@
+package workloads
+
+import (
+	"fmt"
+
+	"memhier/internal/trace"
+)
+
+// TPCC is a synthetic transaction-processing workload standing in for the
+// TPC-C measurement the paper cites in §5.2 (α=1.73, β=1222.66, γ=0.36,
+// with β growing with the data set). Each transaction walks a B-tree-like
+// index (pointer-chasing reads over a large region), reads and updates a
+// handful of rows selected nearly uniformly over a warehouse-scaled table,
+// and appends a log record. The near-uniform row selection over a footprint
+// far larger than any cache is what produces the order-of-magnitude-larger
+// β the paper reports for commercial workloads.
+type TPCC struct {
+	warehouses int
+	txns       int
+}
+
+// Rows per warehouse and bytes per row of the synthetic table.
+const (
+	tpccRowsPerWarehouse = 1 << 14
+	tpccRowBytes         = 64
+	tpccIndexFanout      = 64
+)
+
+// NewTPCC returns the synthetic commercial workload with the given number
+// of warehouses and total transactions. It panics on non-positive values.
+func NewTPCC(warehouses, txns int) *TPCC {
+	if warehouses < 1 || txns < 1 {
+		panic(fmt.Sprintf("workloads: bad TPCC config warehouses=%d txns=%d", warehouses, txns))
+	}
+	return &TPCC{warehouses: warehouses, txns: txns}
+}
+
+// Name implements Workload.
+func (t *TPCC) Name() string { return "TPC-C" }
+
+// Description implements Workload.
+func (t *TPCC) Description() string {
+	return fmt.Sprintf("synthetic OLTP, %d warehouses, %d transactions", t.warehouses, t.txns)
+}
+
+// Run implements Workload.
+func (t *TPCC) Run(nproc int, sink trace.Sink) error {
+	_, err := t.Execute(nproc, sink)
+	return err
+}
+
+// Stats summarizes an Execute run.
+type Stats struct {
+	Transactions int
+	RowsTouched  int
+}
+
+// Execute runs the instrumented transaction mix and returns summary
+// statistics.
+func (t *TPCC) Execute(nproc int, sink trace.Sink) (Stats, error) {
+	if nproc < 1 {
+		return Stats{}, fmt.Errorf("workloads: TPCC needs nproc >= 1, got %d", nproc)
+	}
+	rows := t.warehouses * tpccRowsPerWarehouse
+	// Index: one entry per row plus interior nodes (fanout tree).
+	indexEntries := rows + rows/tpccIndexFanout + tpccIndexFanout
+
+	as := trace.NewAddressSpace()
+	regTable := as.Alloc("tpcc.table", uint64(rows)*tpccRowBytes, 64)
+	regIndex := as.Alloc("tpcc.index", uint64(indexEntries)*16, 64)
+	regLog := as.Alloc("tpcc.log", uint64(t.txns)*32, 64)
+
+	depth := 1
+	for f := tpccIndexFanout; f < rows; f *= tpccIndexFanout {
+		depth++
+	}
+
+	r := newRunner(nproc, sink)
+	var stats Stats
+
+	// Commercial workloads synchronize rarely; we checkpoint (barrier) a
+	// few times over the run so the SPMD trace stays bulk-synchronous.
+	const checkpoints = 4
+	for cp := 0; cp < checkpoints; cp++ {
+		r.Each(func(p *proc) {
+			lo, hi := block(t.txns, nproc, p.cpu)
+			clo, chi := block(hi-lo, checkpoints, cp)
+			state := uint64(p.cpu)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+			next := func(bound int) int {
+				state ^= state << 13
+				state ^= state >> 7
+				state ^= state << 17
+				return int(state % uint64(bound))
+			}
+			for txn := lo + clo; txn < lo+chi; txn++ {
+				// Index walk: root to leaf, one read per level plus key
+				// comparisons.
+				node := 0
+				for d := 0; d < depth; d++ {
+					p.Read(regIndex.Index(node%indexEntries, 16))
+					p.Compute(4)
+					node = node*tpccIndexFanout + 1 + next(tpccIndexFanout)
+				}
+				// Row touches: read-modify-write a few nearly uniformly
+				// selected rows (two fields each).
+				touches := 2 + next(3)
+				for k := 0; k < touches; k++ {
+					row := next(rows)
+					p.Read(regTable.Index(row, tpccRowBytes))
+					p.Read(regTable.Index(row, tpccRowBytes) + 8)
+					p.Compute(6)
+					p.Write(regTable.Index(row, tpccRowBytes) + 8)
+					stats.RowsTouched++
+				}
+				// Log append.
+				p.Compute(3)
+				p.Write(regLog.Index(txn, 32))
+				stats.Transactions++
+			}
+		})
+		r.Barrier()
+	}
+	return stats, nil
+}

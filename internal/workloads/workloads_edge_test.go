@@ -1,0 +1,238 @@
+package workloads
+
+import (
+	"math"
+	"os"
+	"sort"
+	"testing"
+
+	"memhier/internal/trace"
+)
+
+// TestRegisterFilter verifies the instrumentation's register-reuse window:
+// an immediately re-read address becomes a compute instruction, a write
+// always reaches the stream, and reuse beyond the window misses the filter.
+func TestRegisterFilter(t *testing.T) {
+	var events []trace.Event
+	p := &proc{cpu: 0, sink: trace.FuncSink(func(_ int, e trace.Event) {
+		events = append(events, e)
+	})}
+
+	p.Read(100) // cold: emitted
+	p.Read(100) // register-resident: becomes compute
+	p.Write(100)
+	p.flush()
+	if len(events) != 3 {
+		t.Fatalf("events: %+v", events)
+	}
+	if events[0].Kind != trace.Read || events[1].Kind != trace.Compute || events[2].Kind != trace.Write {
+		t.Errorf("unexpected kinds: %v %v %v", events[0].Kind, events[1].Kind, events[2].Kind)
+	}
+
+	// Touch more than regWindow distinct addresses, then re-read the first:
+	// it must have been displaced and emit a real Read.
+	events = events[:0]
+	for i := 0; i < regWindow+1; i++ {
+		p.Read(uint64(1000 + i*8))
+	}
+	p.Read(1000)
+	p.flush()
+	reads := 0
+	for _, e := range events {
+		if e.Kind == trace.Read {
+			reads++
+		}
+	}
+	if reads != regWindow+2 {
+		t.Errorf("reads = %d, want %d (displacement + re-read)", reads, regWindow+2)
+	}
+}
+
+func TestFFTLargerSizeAgainstDFT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("O(n^2) reference transform")
+	}
+	f := NewFFT(1024)
+	got, err := f.Transform(8, trace.FuncSink(func(int, trace.Event) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveDFT(f.Input())
+	var maxErr float64
+	for i := range want {
+		d := got[i] - want[i]
+		if e := math.Hypot(real(d), imag(d)); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-7 {
+		t.Errorf("1024-point FFT max error %v", maxErr)
+	}
+}
+
+func TestLUSingleBlockDegenerate(t *testing.T) {
+	// Block size == matrix size: the whole factorization happens in the
+	// diagonal-block step.
+	l := NewLU(8, 8)
+	lu, err := l.Factor(1, trace.FuncSink(func(int, trace.Event) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := l.Input()
+	n := 8
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k <= minInt(i, j); k++ {
+				lik := lu[i*n+k]
+				if k == i {
+					lik = 1
+				}
+				s += lik * lu[k*n+j]
+			}
+			if math.Abs(s-a[i*n+j]) > 1e-9 {
+				t.Fatalf("single-block LU wrong at (%d,%d): %v vs %v", i, j, s, a[i*n+j])
+			}
+		}
+	}
+}
+
+func TestLUOwnershipCoversAllBlocks(t *testing.T) {
+	// Every block must have exactly one owner under the 2-D scatter, and
+	// work must be spread over all processors.
+	for _, nproc := range []int{2, 4, 6} {
+		pr, pc := procGrid(nproc)
+		nb := 12
+		counts := make([]int, nproc)
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				owner := (i%pr)*pc + (j % pc)
+				if owner < 0 || owner >= nproc {
+					t.Fatalf("owner %d out of range for nproc %d", owner, nproc)
+				}
+				counts[owner]++
+			}
+		}
+		for cpu, c := range counts {
+			if c == 0 {
+				t.Errorf("nproc=%d: cpu %d owns nothing", nproc, cpu)
+			}
+		}
+	}
+}
+
+func TestRadixMoreProcsThanBuckets(t *testing.T) {
+	// nproc exceeding the radix exercises empty bucket partitions.
+	r := NewRadix(500, 4)
+	got, err := r.Sort(8, trace.FuncSink(func(int, trace.Event) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Error("not sorted with nproc > radix")
+	}
+}
+
+func TestRadixSingleKey(t *testing.T) {
+	r := NewRadix(1, 4)
+	got, err := r.Sort(1, trace.FuncSink(func(int, trace.Event) {}))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("single key: %v, %v", got, err)
+	}
+}
+
+func TestEdgeMoreIterationsStillDetect(t *testing.T) {
+	e := NewEdge(24, 24, 5)
+	edges, err := e.Detect(2, trace.FuncSink(func(int, trace.Event) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, v := range edges {
+		if v == 1 {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("no edges after extra blur iterations")
+	}
+	// Blurring shrinks gradients; many iterations must not *grow* the map
+	// beyond the 1-iteration result by much.
+	e1 := NewEdge(24, 24, 1)
+	edges1, err := e1.Detect(2, trace.FuncSink(func(int, trace.Event) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found1 := 0
+	for _, v := range edges1 {
+		if v == 1 {
+			found1++
+		}
+	}
+	if found > 3*found1+8 {
+		t.Errorf("edge map exploded with iterations: %d vs %d", found, found1)
+	}
+}
+
+// TestPaperScaleSmoke runs the paper-size FFT characterization end to end.
+// It is opt-in (MEMHIER_PAPER_SCALE=1): the trace has tens of millions of
+// events.
+func TestPaperScaleSmoke(t *testing.T) {
+	if os.Getenv("MEMHIER_PAPER_SCALE") == "" {
+		t.Skip("set MEMHIER_PAPER_SCALE=1 to run the paper-size smoke test")
+	}
+	w := NewFFT(1 << 16) // the paper's 64K points
+	c, err := Characterize(w, CharacterizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Params.Validate(); err != nil {
+		t.Fatalf("paper-scale fit invalid: %v", err)
+	}
+	t.Logf("paper-scale FFT: alpha=%.3f beta=%.2f gamma=%.3f refs=%d footprint=%d",
+		c.Params.Alpha, c.Params.Beta, c.Params.Gamma, c.Refs, c.Distinct)
+}
+
+// TestSuiteScalesDiffer checks that paper-scale configurations really are
+// larger than the small ones.
+func TestSuiteScalesDiffer(t *testing.T) {
+	small := Suite(ScaleSmall)
+	paper := Suite(ScalePaper)
+	if len(small) != len(paper) {
+		t.Fatal("suite size mismatch")
+	}
+	if small[0].(*FFT).Points() >= paper[0].(*FFT).Points() {
+		t.Error("paper FFT not larger")
+	}
+	if small[1].(*LU).N() >= paper[1].(*LU).N() {
+		t.Error("paper LU not larger")
+	}
+	if small[2].(*Radix).Keys() >= paper[2].(*Radix).Keys() {
+		t.Error("paper Radix not larger")
+	}
+	sw, sh := small[3].(*Edge).Bounds()
+	pw, ph := paper[3].(*Edge).Bounds()
+	if sw*sh >= pw*ph {
+		t.Error("paper EDGE not larger")
+	}
+}
+
+func BenchmarkGenerateTraceFFT(b *testing.B) {
+	w := NewFFT(1 << 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateTrace(w, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCharacterizeRadix(b *testing.B) {
+	w := NewRadix(1<<14, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Characterize(w, CharacterizeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

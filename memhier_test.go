@@ -1,0 +1,163 @@
+package memhier
+
+import (
+	"bytes"
+	"memhier/internal/core"
+	"strings"
+	"testing"
+)
+
+func TestFacadeModelRoundTrip(t *testing.T) {
+	cfg, err := ConfigByName("C8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fft, ok := PaperWorkload("FFT")
+	if !ok {
+		t.Fatal("FFT missing")
+	}
+	res, err := Evaluate(cfg, fft, ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EInstr <= 0 || res.T <= 0 {
+		t.Errorf("degenerate result %+v", res)
+	}
+}
+
+func TestFacadeCatalogs(t *testing.T) {
+	if len(SMPCatalog()) != 6 || len(WSCatalog()) != 5 || len(SMPClusterCatalog()) != 4 {
+		t.Error("catalog sizes wrong")
+	}
+	if len(PaperWorkloads()) != 4 {
+		t.Error("paper workloads wrong")
+	}
+	if PaperTPCC().Name != "TPC-C" {
+		t.Error("TPC-C missing")
+	}
+	if _, err := ConfigByName("C99"); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestFacadeKernelPipeline(t *testing.T) {
+	k, err := KernelByName("lu", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CharacterizeLines(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := ModelWorkload(c)
+	if err := wl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := GenerateTrace(k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Name: "t", Kind: SMP, N: 1, Procs: 2,
+		CacheBytes: 16 << 10, MemoryBytes: 4 << 20, Net: NetNone, ClockMHz: 200}
+	sim, err := Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := Evaluate(cfg, wl, ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.EInstr <= 0 || model.EInstr <= 0 {
+		t.Error("pipeline produced degenerate results")
+	}
+	// Item-granularity characterization also works through the facade.
+	if _, err := Characterize(k); err != nil {
+		t.Fatal(err)
+	}
+	if len(Kernels(false)) != 4 {
+		t.Error("kernel suite wrong")
+	}
+	if _, err := KernelByName("nope", false); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestFacadeOptimizeAndUpgrade(t *testing.T) {
+	radix, _ := PaperWorkload("Radix")
+	best, all, err := Optimize(5000, radix, ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Cost > 5000 || len(all) == 0 {
+		t.Errorf("bad optimization outcome: %+v (%d feasible)", best, len(all))
+	}
+	existing, _ := ConfigByName("C7")
+	plan, err := Upgrade(existing, 2000, radix, ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Speedup < 1 {
+		t.Errorf("upgrade slowed down: %+v", plan)
+	}
+	if DefaultCatalog().WSBase <= 0 {
+		t.Error("catalog not priced")
+	}
+	if Recommend(radix).String() == "" {
+		t.Error("no recommendation")
+	}
+}
+
+func TestWriteReproductionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction run")
+	}
+	var buf bytes.Buffer
+	if err := WriteReproduction(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+		"Figure 2", "Figure 3", "Figure 4",
+		"Case 1", "Case 2", "Case 3", "4×", "principles", "cost of prediction",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("reproduction output missing %q", want)
+		}
+	}
+}
+
+func TestFacadeAnalysisAPIs(t *testing.T) {
+	fft, _ := PaperWorkload("FFT")
+	template := Config{Name: "ws", Kind: ClusterWS, N: 1, Procs: 1,
+		CacheBytes: 256 << 10, MemoryBytes: 64 << 20, Net: NetSwitch155, ClockMHz: 200}
+	pts, err := Scalability(template, fft, ModelOptions{}, 8)
+	if err != nil || len(pts) == 0 {
+		t.Fatalf("Scalability: %v (%d points)", err, len(pts))
+	}
+	cfg := template
+	cfg.N = 4
+	sens, err := Sensitivities(cfg, fft, ModelOptions{})
+	if err != nil || len(sens) < 2 {
+		t.Fatalf("Sensitivities: %v (%d)", err, len(sens))
+	}
+	lu, _ := PaperWorkload("LU")
+	mix, err := EvaluateMix(cfg, []core.MixComponent{
+		{Workload: fft, Weight: 1}, {Workload: lu, Weight: 1},
+	}, ModelOptions{})
+	if err != nil || mix <= 0 {
+		t.Fatalf("EvaluateMix: %v (%v)", err, mix)
+	}
+	k, err := KernelByName("radix", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := GenerateTrace(k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := MeasureSharing(tr, 1)
+	if sh.RemoteShare <= 0 {
+		t.Errorf("a 4-way radix sort shares data; got %+v", sh)
+	}
+}
