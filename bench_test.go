@@ -191,7 +191,7 @@ func BenchmarkModelEvaluation(b *testing.B) {
 // configuration (the expensive alternative the model replaces).
 func BenchmarkSimulation(b *testing.B) {
 	cfg, _ := machine.ByName("C14")
-	cfg = cfg.Scaled(16)
+	cfg, _ = cfg.Scaled(16)
 	w, err := workloads.ByName("fft", workloads.ScaleSmall)
 	if err != nil {
 		b.Fatal(err)

@@ -4,17 +4,23 @@
 //
 // Usage:
 //
-//	chc-repro -all
+//	chc-repro -all [-parallel 8] [-progress]
 //	chc-repro -table 2
 //	chc-repro -figure 3 [-divisor 16]
 //	chc-repro -case 1 | -case fft4x | -case principles
 //	chc-repro -calibrate
+//
+// -all renders every artifact over a worker pool (-parallel, default the
+// CPU count); output is byte-identical for any worker count. -progress
+// prints a per-artifact timing line to stderr as each one finishes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"memhier/internal/core"
 	"memhier/internal/experiments"
@@ -33,6 +39,8 @@ func main() {
 		delta     = flag.Float64("delta", 0, "coherence rate adjustment (default: paper's 0.124)")
 		calibrate = flag.Bool("calibrate", false, "search the coherence adjustment minimizing model-vs-sim error")
 		report    = flag.String("report", "", "write the full reproduction as a Markdown report to this file")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "artifact-level worker count for -all (output is identical for any value)")
+		progress  = flag.Bool("progress", false, "print per-artifact timing lines to stderr as artifacts finish")
 	)
 	flag.Parse()
 
@@ -44,6 +52,21 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "chc-repro:", err)
 			os.Exit(1)
+		}
+	}
+	if *parallel < 1 {
+		run(fmt.Errorf("-parallel must be >= 1, got %d", *parallel))
+	}
+	var reporter experiments.Progress
+	if *progress {
+		start := time.Now()
+		reporter = func(name string, d time.Duration, err error) {
+			status := "done"
+			if err != nil {
+				status = "FAILED: " + err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "chc-repro: [%7.3fs] %-16s %8.3fs  %s\n",
+				time.Since(start).Seconds(), name, d.Seconds(), status)
 		}
 	}
 
@@ -58,7 +81,7 @@ func main() {
 		run(err)
 		fmt.Fprintf(out, "report written to %s\n", *report)
 	case *all:
-		run(experiments.WriteAll(out, opts))
+		run(experiments.WriteAllParallel(out, opts, *parallel, reporter))
 	case *calibrate:
 		s := experiments.NewSuite(opts)
 		clusters := append(machine.WSCatalog(), machine.SMPClusterCatalog()...)

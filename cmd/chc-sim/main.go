@@ -41,7 +41,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	cfg = cfg.Scaled(*divisor)
+	cfg, err = cfg.Scaled(*divisor)
+	if err != nil {
+		fail(err)
+	}
 
 	scale := workloads.ScaleSmall
 	if *paperScale {

@@ -18,7 +18,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg = cfg.Scaled(16)
+	cfg, err = cfg.Scaled(16)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	for _, k := range memhier.Kernels(false) {
 		// Line-granularity characterization: the simulator's caches work

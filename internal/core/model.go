@@ -361,7 +361,11 @@ func Evaluate(cfg machine.Config, wl Workload, opts Options) (Result, error) {
 			}
 			return queueing.MVAResponse(lv.Service, think, customers)
 		}
-		return queueing.MD1Response(lv.Service, lv.ArrivalMult*lambda)
+		// Guarded: near-saturated loads (ρ > 0.999) are treated as
+		// saturated — the fixed point must not settle on a point where
+		// the 1/(1−ρ) pole amplifies rate noise into the response.
+		return queueing.MD1ResponseGuarded(lv.Service, lv.ArrivalMult*lambda,
+			queueing.Guard{MaxRho: queueing.DefaultMaxRho})
 	}
 
 	computeT := func(r float64) float64 {

@@ -136,8 +136,11 @@ type SpeedComparison struct {
 // ModelVsSimSpeed measures the §5.3 cost gap on one representative
 // configuration and workload.
 func (s *Suite) ModelVsSimSpeed() (SpeedComparison, error) {
-	cfg := s.scaledConfig(machine.WSCatalog()[1]) // C8
-	w := s.wls[0]                                 // FFT
+	cfg, err := s.scaledConfig(machine.WSCatalog()[1]) // C8
+	if err != nil {
+		return SpeedComparison{}, err
+	}
+	w := s.wls[0] // FFT
 	char, err := s.characterize(w)
 	if err != nil {
 		return SpeedComparison{}, err

@@ -10,7 +10,7 @@ import (
 	"memhier/internal/machine"
 	"memhier/internal/sim/backend"
 	"memhier/internal/tabulate"
-	"memhier/internal/trace"
+	"memhier/internal/workloads"
 )
 
 // ValidationRow is one modeled-vs-simulated point of Figures 2–4.
@@ -101,43 +101,29 @@ func (v Validation) Table() *tabulate.Table {
 }
 
 // validate runs the model and the simulator for every (config, workload)
-// pair on capacity-scaled configurations. The pairs are independent once
-// traces and characterizations are cached, so the simulations fan out over
-// a bounded worker pool; results keep deterministic order.
+// pair on capacity-scaled configurations. The whole pair — trace
+// generation, characterization, sharing measurement, model evaluation, and
+// simulation — fans out over a bounded worker pool sized by
+// runtime.NumCPU; the Suite's single-flight caches guarantee each
+// (workload, nproc) trace is generated exactly once even though many pairs
+// demand it concurrently. Results keep deterministic order.
 func (s *Suite) validate(title string, cfgs []machine.Config) (Validation, error) {
 	type job struct {
 		name   string
 		scaled machine.Config
-		wlName string
-		wl     core.Workload
-		tr     *trace.Trace
+		wl     workloads.Workload
 	}
-	// Serial phase: warm the suite caches (they are not goroutine-safe)
-	// and assemble the job list.
 	var jobs []job
 	for _, cfg := range cfgs {
-		scaled := s.scaledConfig(cfg)
+		scaled, err := s.scaledConfig(cfg)
+		if err != nil {
+			return Validation{}, fmt.Errorf("experiments: %s: %w", cfg.Name, err)
+		}
 		for _, w := range s.wls {
-			char, err := s.characterize(w)
-			if err != nil {
-				return Validation{}, err
-			}
-			wl := ModelWorkload(char)
-			tr, err := s.Trace(w, scaled.TotalProcs())
-			if err != nil {
-				return Validation{}, err
-			}
-			if scaled.N > 1 {
-				sh := s.sharing(w.Name(), tr, scaled.Procs)
-				wl.RemoteShare = sh.RemoteShare
-				wl.CoherenceMissRate = sh.CoherenceMissRate
-			}
-			jobs = append(jobs, job{name: cfg.Name, scaled: scaled, wlName: w.Name(), wl: wl, tr: tr})
+			jobs = append(jobs, job{name: cfg.Name, scaled: scaled, wl: w})
 		}
 	}
 
-	// Parallel phase: each pair evaluates the model and drives its own
-	// simulator instance over the shared, read-only trace.
 	rows := make([]ValidationRow, len(jobs))
 	errs := make([]error, len(jobs))
 	sem := make(chan struct{}, runtime.NumCPU())
@@ -149,17 +135,34 @@ func (s *Suite) validate(title string, cfgs []machine.Config) (Validation, error
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			j := jobs[i]
-			res, err := core.Evaluate(j.scaled, j.wl, s.opts.Model)
+			wlName := j.wl.Name()
+			char, err := s.characterize(j.wl)
 			if err != nil {
-				errs[i] = fmt.Errorf("experiments: model %s/%s: %w", j.scaled.Name, j.wlName, err)
+				errs[i] = err
 				return
 			}
-			sim, err := backend.Simulate(j.tr, j.scaled)
+			wl := ModelWorkload(char)
+			tr, err := s.Trace(j.wl, j.scaled.TotalProcs())
 			if err != nil {
-				errs[i] = fmt.Errorf("experiments: sim %s/%s: %w", j.scaled.Name, j.wlName, err)
+				errs[i] = err
 				return
 			}
-			row := ValidationRow{Config: j.name, Workload: j.wlName,
+			if j.scaled.N > 1 {
+				sh := s.sharing(wlName, tr, j.scaled.Procs)
+				wl.RemoteShare = sh.RemoteShare
+				wl.CoherenceMissRate = sh.CoherenceMissRate
+			}
+			res, err := core.Evaluate(j.scaled, wl, s.opts.Model)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: model %s/%s: %w", j.scaled.Name, wlName, err)
+				return
+			}
+			sim, err := backend.Simulate(tr, j.scaled)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: sim %s/%s: %w", j.scaled.Name, wlName, err)
+				return
+			}
+			row := ValidationRow{Config: j.name, Workload: wlName,
 				ModelE: res.EInstr, SimE: sim.EInstr}
 			if sim.EInstr > 0 {
 				row.DiffPct = (res.EInstr - sim.EInstr) / sim.EInstr * 100

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"memhier/internal/core"
@@ -17,6 +18,20 @@ import (
 func WriteReport(w io.Writer, opts Options) error {
 	s := NewSuite(opts)
 	now := time.Now().UTC().Format("2006-01-02 15:04 UTC")
+
+	// The three validation figures dominate the report's cost and are
+	// independent; compute them concurrently against the shared Suite
+	// (safe: its caches are single-flight) while the front matter renders.
+	figs := make([]Validation, 3)
+	figErrs := make([]error, 3)
+	var figWg sync.WaitGroup
+	for i, fig := range []func() (Validation, error){s.Figure2, s.Figure3, s.Figure4} {
+		figWg.Add(1)
+		go func(i int, fig func() (Validation, error)) {
+			defer figWg.Done()
+			figs[i], figErrs[i] = fig()
+		}(i, fig)
+	}
 
 	fmt.Fprintf(w, "# Reproduction report — Du & Zhang, IPPS 1999\n\n")
 	fmt.Fprintf(w, "_The Impact of Memory Hierarchies on Cluster Computing._ Generated %s.\n\n", now)
@@ -54,11 +69,13 @@ func WriteReport(w io.Writer, opts Options) error {
 		"Exact reproduction of C1–C15.",
 		Table3(), Table4(), Table5())
 
-	for _, fig := range []func() (Validation, error){s.Figure2, s.Figure3, s.Figure4} {
-		v, err := fig()
+	figWg.Wait()
+	for _, err := range figErrs {
 		if err != nil {
 			return err
 		}
+	}
+	for _, v := range figs {
 		section(v.Title,
 			fmt.Sprintf("Mean |model−sim| deviation %.1f%%, worst point %.1f%%. "+
 				"The paper reports 5–10%% against its own MINT front-end; see "+

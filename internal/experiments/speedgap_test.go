@@ -61,7 +61,10 @@ func TestClockScalingConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	secondsAt := func(clock float64) float64 {
-		cfg := s.scaledConfig(machineConfigAt(clock))
+		cfg, err := s.scaledConfig(machineConfigAt(clock))
+		if err != nil {
+			t.Fatal(err)
+		}
 		sim, err := backend.Simulate(tr, cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -10,10 +10,19 @@
 // paper-scale knobs. Model inputs for the validation come from a
 // cache-line-granularity characterization of the same traces the
 // simulators consume, which keeps the two sides' units consistent.
+//
+// Concurrency: a Suite is safe for concurrent use. Its caches are
+// single-flight — when several goroutines demand the same trace,
+// characterization, or sharing measurement, exactly one computes it and
+// the rest block until it lands — so the reproduction pipeline can fan
+// tables and figures out over a worker pool without duplicating the
+// expensive trace generation.
 package experiments
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"memhier/internal/core"
 	"memhier/internal/machine"
@@ -26,7 +35,8 @@ type Options struct {
 	// Scale selects workload problem sizes (default ScaleSmall).
 	Scale workloads.Scale
 	// Divisor scales down the catalog configurations' cache and memory
-	// capacities to match the reduced problem sizes. Zero means 16.
+	// capacities to match the reduced problem sizes. Zero means 16;
+	// negative values are rejected when a scaled configuration is built.
 	Divisor int
 	// Model passes through analytical-model options (ablations,
 	// calibration).
@@ -34,40 +44,76 @@ type Options struct {
 }
 
 func (o Options) divisor() int {
-	if o.Divisor <= 0 {
+	if o.Divisor == 0 {
 		return 16
 	}
 	return o.Divisor
 }
 
+// flight is one single-flight cache entry: done closes once val/err land.
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// flightMap is a concurrency-safe result cache with single-flight
+// semantics: the first goroutine to demand a key computes it (outside the
+// lock), later goroutines for the same key block on the in-flight call
+// instead of recomputing. Results, including errors, are cached for the
+// map's lifetime — every computation here is deterministic.
+type flightMap[T any] struct {
+	mu    sync.Mutex
+	calls map[string]*flight[T]
+	// computes counts compute invocations, observable by tests asserting
+	// the exactly-once guarantee under concurrent demand.
+	computes atomic.Int64
+}
+
+func (m *flightMap[T]) get(key string, compute func() (T, error)) (T, error) {
+	m.mu.Lock()
+	if m.calls == nil {
+		m.calls = make(map[string]*flight[T])
+	}
+	if c, ok := m.calls[key]; ok {
+		m.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flight[T]{done: make(chan struct{})}
+	m.calls[key] = c
+	m.mu.Unlock()
+
+	m.computes.Add(1)
+	c.val, c.err = compute()
+	close(c.done)
+	return c.val, c.err
+}
+
 // Suite caches workload traces and characterizations across experiments.
+// It is safe for concurrent use by multiple goroutines.
 type Suite struct {
 	opts   Options
 	wls    []workloads.Workload
-	chars  map[string]workloads.Characterization // line-granularity (model inputs)
-	traces map[string]*trace.Trace               // keyed name/nproc
-	shares map[string]SharingStats               // keyed name/nproc/perNode
+	chars  flightMap[workloads.Characterization] // keyed name/linesize
+	traces flightMap[*trace.Trace]               // keyed name/nproc
+	shares flightMap[SharingStats]               // keyed name/nproc/perNode
 }
 
 // NewSuite returns a reproduction suite for the paper's four applications.
 func NewSuite(opts Options) *Suite {
 	return &Suite{
-		opts:   opts,
-		wls:    workloads.Suite(opts.Scale),
-		chars:  make(map[string]workloads.Characterization),
-		traces: make(map[string]*trace.Trace),
-		shares: make(map[string]SharingStats),
+		opts: opts,
+		wls:  workloads.Suite(opts.Scale),
 	}
 }
 
 // sharing caches MeasureSharing per (workload, trace shape, node grouping).
 func (s *Suite) sharing(name string, tr *trace.Trace, perNode int) SharingStats {
 	key := fmt.Sprintf("%s/%d/%d", name, tr.NumCPU(), perNode)
-	if v, ok := s.shares[key]; ok {
-		return v
-	}
-	v := MeasureSharing(tr, perNode)
-	s.shares[key] = v
+	v, _ := s.shares.get(key, func() (SharingStats, error) {
+		return MeasureSharing(tr, perNode), nil
+	})
 	return v
 }
 
@@ -75,31 +121,30 @@ func (s *Suite) sharing(name string, tr *trace.Trace, perNode int) SharingStats 
 func (s *Suite) Workloads() []workloads.Workload { return s.wls }
 
 // Trace returns (and caches) the workload's trace for nproc processors.
+// Under concurrent demand the trace is generated exactly once.
 func (s *Suite) Trace(w workloads.Workload, nproc int) (*trace.Trace, error) {
 	key := fmt.Sprintf("%s/%d", w.Name(), nproc)
-	if tr, ok := s.traces[key]; ok {
-		return tr, nil
-	}
-	tr, err := workloads.GenerateTrace(w, nproc)
-	if err != nil {
-		return nil, err
-	}
-	s.traces[key] = tr
-	return tr, nil
+	return s.traces.get(key, func() (*trace.Trace, error) {
+		return workloads.GenerateTrace(w, nproc)
+	})
 }
 
 // characterize returns (and caches) the line-granularity characterization
 // used as the model's input for validation experiments.
 func (s *Suite) characterize(w workloads.Workload) (workloads.Characterization, error) {
-	if c, ok := s.chars[w.Name()]; ok {
-		return c, nil
-	}
-	c, err := workloads.Characterize(w, workloads.CharacterizeOptions{LineSize: 64})
-	if err != nil {
-		return workloads.Characterization{}, err
-	}
-	s.chars[w.Name()] = c
-	return c, nil
+	key := w.Name() + "/line64"
+	return s.chars.get(key, func() (workloads.Characterization, error) {
+		return workloads.Characterize(w, workloads.CharacterizeOptions{LineSize: 64})
+	})
+}
+
+// characterizeItem returns (and caches) the data-item-granularity
+// characterization Table 2 reports (the paper's "unique data items").
+func (s *Suite) characterizeItem(w workloads.Workload) (workloads.Characterization, error) {
+	key := w.Name() + "/item"
+	return s.chars.get(key, func() (workloads.Characterization, error) {
+		return workloads.Characterize(w, workloads.CharacterizeOptions{})
+	})
 }
 
 // ModelWorkload converts a characterization into the analytical model's
@@ -128,6 +173,6 @@ func ModelWorkload(c workloads.Characterization) core.Workload {
 
 // scaledConfig shrinks a catalog configuration's capacities for the
 // reduced-scale validation runs.
-func (s *Suite) scaledConfig(cfg machine.Config) machine.Config {
+func (s *Suite) scaledConfig(cfg machine.Config) (machine.Config, error) {
 	return cfg.Scaled(s.opts.divisor())
 }

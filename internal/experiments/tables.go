@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"memhier/internal/core"
 	"memhier/internal/machine"
@@ -51,12 +53,28 @@ func (s *Suite) Table2() ([]Table2Row, *tabulate.Table, error) {
 	t := tabulate.New("Table 2: characteristics of the 4 programs (measured vs paper)",
 		"Program", "Problem size", "alpha", "beta", "gamma",
 		"paper alpha", "paper beta", "paper gamma", "fit R2")
+	// The per-program characterizations are independent; fan them out over
+	// a bounded pool and assemble rows in the paper's order afterwards.
+	chars := make([]workloads.Characterization, len(s.wls))
+	errs := make([]error, len(s.wls))
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i, w := range s.wls {
+		wg.Add(1)
+		go func(i int, w workloads.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			chars[i], errs[i] = s.characterizeItem(w)
+		}(i, w)
+	}
+	wg.Wait()
 	var rows []Table2Row
-	for _, w := range s.wls {
-		c, err := workloads.Characterize(w, workloads.CharacterizeOptions{})
-		if err != nil {
-			return nil, nil, fmt.Errorf("experiments: table 2: %w", err)
+	for i, w := range s.wls {
+		if errs[i] != nil {
+			return nil, nil, fmt.Errorf("experiments: table 2: %w", errs[i])
 		}
+		c := chars[i]
 		p := paper[w.Name()]
 		rows = append(rows, Table2Row{Char: c, PaperAlpha: p[0], PaperBeta: p[1], PaperGamma: p[2]})
 		t.AddRow(w.Name(), w.Description(),

@@ -129,15 +129,22 @@ func (c Config) Validate() error {
 // (at least one byte each). The validation experiments use scaled-down
 // capacities together with scaled-down problem sizes so that every
 // hierarchy level carries real traffic while runs stay fast.
-func (c Config) Scaled(factor int) Config {
-	if factor <= 1 {
-		return c
+//
+// factor == 1 is the identity; factor < 1 (including zero and negative
+// divisors) is an error rather than a silent no-op, so a miswired
+// `-divisor 0` fails loudly instead of running unscaled.
+func (c Config) Scaled(factor int) (Config, error) {
+	if factor < 1 {
+		return Config{}, fmt.Errorf("machine: %s: capacity divisor must be >= 1, got %d", c.Name, factor)
+	}
+	if factor == 1 {
+		return c, nil
 	}
 	s := c
 	s.Name = fmt.Sprintf("%s/%d", c.Name, factor)
 	s.CacheBytes = maxInt64(1, c.CacheBytes/int64(factor))
 	s.MemoryBytes = maxInt64(1, c.MemoryBytes/int64(factor))
-	return s
+	return s, nil
 }
 
 func maxInt64(a, b int64) int64 {

@@ -105,20 +105,33 @@ func TestValidateRejections(t *testing.T) {
 
 func TestScaled(t *testing.T) {
 	c, _ := ByName("C1")
-	s := c.Scaled(16)
+	s, err := c.Scaled(16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.CacheBytes != c.CacheBytes/16 || s.MemoryBytes != c.MemoryBytes/16 {
 		t.Errorf("Scaled(16) = %+v", s)
 	}
 	if !strings.Contains(s.Name, "C1") {
 		t.Errorf("scaled name %q should reference the original", s.Name)
 	}
-	if got := c.Scaled(1); !reflect.DeepEqual(got, c) {
-		t.Errorf("Scaled(1) changed config")
+	if got, err := c.Scaled(1); err != nil || !reflect.DeepEqual(got, c) {
+		t.Errorf("Scaled(1) changed config: %+v, %v", got, err)
 	}
 	tiny := Config{Name: "t", Kind: SMP, N: 1, Procs: 1, CacheBytes: 4, MemoryBytes: 4, ClockMHz: 200}
-	st := tiny.Scaled(100)
+	st, err := tiny.Scaled(100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.CacheBytes < 1 || st.MemoryBytes < 1 {
 		t.Errorf("Scaled floor violated: %+v", st)
+	}
+	// A divisor below 1 — including the zero a miswired flag produces —
+	// must fail loudly instead of silently running unscaled.
+	for _, factor := range []int{0, -1, -16} {
+		if got, err := c.Scaled(factor); err == nil {
+			t.Errorf("Scaled(%d) = %+v, want error", factor, got)
+		}
 	}
 }
 

@@ -17,6 +17,47 @@ import (
 // or beyond 1, where the steady-state response time diverges.
 var ErrSaturated = errors.New("queueing: server saturated (utilization >= 1)")
 
+// ErrNearSaturated is returned by the guarded response functions when the
+// offered load exceeds the guard's threshold but is still below 1: the
+// formula remains finite there, yet its value is dominated by the 1/(1−ρ)
+// pole and tiny rate errors produce wild response swings, so downstream
+// consumers should treat such points as saturated rather than trust them.
+var ErrNearSaturated = errors.New("queueing: server near saturation")
+
+// DefaultMaxRho is the guard threshold the model uses: beyond ρ = 0.999
+// the M/D/1 response exceeds 500 service times and the steady-state
+// assumption has long stopped describing a bulk-synchronous phase.
+const DefaultMaxRho = 0.999
+
+// Guard bounds the admissible offered load of the open-queue formulas. The
+// zero value only rejects true saturation (ρ >= 1), preserving the classic
+// behavior; set MaxRho (e.g. DefaultMaxRho) to also reject near-saturated
+// loads with an error chain carrying ErrNearSaturated and the ρ context.
+type Guard struct {
+	// MaxRho is the largest admissible utilization; 0 means 1 (reject
+	// only exact saturation).
+	MaxRho float64
+}
+
+func (g Guard) maxRho() float64 {
+	if g.MaxRho <= 0 {
+		return 1
+	}
+	return g.MaxRho
+}
+
+// check validates the offered load rho against the guard.
+func (g Guard) check(rho, tau, lambda float64) error {
+	if rho >= 1 {
+		return fmt.Errorf("%w: rho=%.4f (tau=%v, lambda=%v)", ErrSaturated, rho, tau, lambda)
+	}
+	if max := g.maxRho(); rho > max {
+		return fmt.Errorf("%w: rho=%.6f exceeds guard %.6f (tau=%v, lambda=%v)",
+			ErrNearSaturated, rho, max, tau, lambda)
+	}
+	return nil
+}
+
 // MD1Response returns the mean response time (queueing delay plus service)
 // of an M/D/1 queue with deterministic service time tau and Poisson arrival
 // rate lambda from competing requesters.
@@ -29,6 +70,13 @@ var ErrSaturated = errors.New("queueing: server saturated (utilization >= 1)")
 // mean response with zero service variance. With lambda == 0 it reduces to
 // tau: an uncontended access costs exactly its service time.
 func MD1Response(tau, lambda float64) (float64, error) {
+	return MD1ResponseGuarded(tau, lambda, Guard{})
+}
+
+// MD1ResponseGuarded is MD1Response with a configurable saturation guard:
+// offered loads beyond g.MaxRho (but below 1) return an error wrapping
+// ErrNearSaturated instead of a numerically meaningless response.
+func MD1ResponseGuarded(tau, lambda float64, g Guard) (float64, error) {
 	if tau < 0 {
 		return 0, fmt.Errorf("queueing: negative service time %v", tau)
 	}
@@ -36,8 +84,8 @@ func MD1Response(tau, lambda float64) (float64, error) {
 		return 0, fmt.Errorf("queueing: negative arrival rate %v", lambda)
 	}
 	rho := lambda * tau
-	if rho >= 1 {
-		return 0, fmt.Errorf("%w: rho=%.4f (tau=%v, lambda=%v)", ErrSaturated, rho, tau, lambda)
+	if err := g.check(rho, tau, lambda); err != nil {
+		return 0, err
 	}
 	return (tau - 0.5*lambda*tau*tau) / (1 - rho), nil
 }
@@ -51,6 +99,12 @@ func MD1Response(tau, lambda float64) (float64, error) {
 // MD1Response is the special case cs2 == 0; an exponential server is
 // cs2 == 1.
 func MG1Response(tau, cs2, lambda float64) (float64, error) {
+	return MG1ResponseGuarded(tau, cs2, lambda, Guard{})
+}
+
+// MG1ResponseGuarded is MG1Response with a configurable saturation guard;
+// see MD1ResponseGuarded.
+func MG1ResponseGuarded(tau, cs2, lambda float64, g Guard) (float64, error) {
 	if tau < 0 {
 		return 0, fmt.Errorf("queueing: negative service time %v", tau)
 	}
@@ -61,8 +115,8 @@ func MG1Response(tau, cs2, lambda float64) (float64, error) {
 		return 0, fmt.Errorf("queueing: negative arrival rate %v", lambda)
 	}
 	rho := lambda * tau
-	if rho >= 1 {
-		return 0, fmt.Errorf("%w: rho=%.4f (tau=%v, lambda=%v)", ErrSaturated, rho, tau, lambda)
+	if err := g.check(rho, tau, lambda); err != nil {
+		return 0, err
 	}
 	return tau + lambda*tau*tau*(1+cs2)/(2*(1-rho)), nil
 }

@@ -3,6 +3,7 @@ package queueing
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -347,6 +348,78 @@ func BenchmarkMVAResponse(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := MVAResponse(50, 200, 8); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestSaturationGuard walks the M/D/1 and M/G/1 responses across the
+// near-saturation boundary: ρ = 0.95 and ρ = 0.999 are admissible under
+// the default guard, anything above the threshold trips ErrNearSaturated
+// with the ρ context in the chain, and ρ >= 1 stays ErrSaturated.
+func TestSaturationGuard(t *testing.T) {
+	const tau = 50.0
+	guard := Guard{MaxRho: DefaultMaxRho}
+	cases := []struct {
+		name    string
+		rho     float64
+		g       Guard
+		wantErr error // nil means a finite response is required
+	}{
+		{"rho=0.95 default guard", 0.95, guard, nil},
+		// 0.998999 rather than 0.999 exactly: λ = ρ/τ then λ·τ does not
+		// round-trip in binary and can land a hair above the threshold.
+		{"rho=0.998999 under threshold", 0.998999, guard, nil},
+		{"rho=0.9995 near-saturated", 0.9995, guard, ErrNearSaturated},
+		{"rho=1.0 saturated", 1.0, guard, ErrSaturated},
+		{"rho=1.5 saturated", 1.5, guard, ErrSaturated},
+		{"rho=0.9995 unguarded", 0.9995, Guard{}, nil},
+		{"rho=1.0 unguarded", 1.0, Guard{}, ErrSaturated},
+		{"rho=0.96 tight guard", 0.96, Guard{MaxRho: 0.95}, ErrNearSaturated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lambda := tc.rho / tau
+			rMD1, errMD1 := MD1ResponseGuarded(tau, lambda, tc.g)
+			rMG1, errMG1 := MG1ResponseGuarded(tau, 0, lambda, tc.g)
+			for i, got := range []error{errMD1, errMG1} {
+				if tc.wantErr == nil {
+					if got != nil {
+						t.Fatalf("formula %d: unexpected error %v", i, got)
+					}
+					continue
+				}
+				if !errors.Is(got, tc.wantErr) {
+					t.Fatalf("formula %d: error %v, want chain containing %v", i, got, tc.wantErr)
+				}
+				if !strings.Contains(got.Error(), "rho=") {
+					t.Errorf("formula %d: error %q missing rho context", i, got)
+				}
+			}
+			if tc.wantErr == nil {
+				if rMD1 < tau || math.IsInf(rMD1, 0) || math.IsNaN(rMD1) {
+					t.Errorf("MD1 response %v implausible at rho=%v", rMD1, tc.rho)
+				}
+				// Zero service variance: M/G/1 with cs2=0 must agree.
+				if math.Abs(rMD1-rMG1) > 1e-9*rMD1 {
+					t.Errorf("MD1 %v and MG1(cs2=0) %v disagree", rMD1, rMG1)
+				}
+			}
+		})
+	}
+}
+
+// TestGuardedMatchesUnguardedBelowThreshold checks the guard changes
+// nothing in the admissible region.
+func TestGuardedMatchesUnguardedBelowThreshold(t *testing.T) {
+	for _, rho := range []float64{0, 0.1, 0.5, 0.9, 0.95, 0.998} {
+		lambda := rho / 50
+		plain, err1 := MD1Response(50, lambda)
+		guarded, err2 := MD1ResponseGuarded(50, lambda, Guard{MaxRho: DefaultMaxRho})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("rho=%v: errors %v, %v", rho, err1, err2)
+		}
+		if plain != guarded {
+			t.Errorf("rho=%v: guarded %v != unguarded %v", rho, guarded, plain)
 		}
 	}
 }

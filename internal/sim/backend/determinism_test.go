@@ -1,0 +1,61 @@
+package backend
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"memhier/internal/machine"
+	"memhier/internal/workloads"
+)
+
+// TestSimulateDeterministicUnderConcurrency pins the pipeline's
+// determinism contract on the simulator side: simulating the same shared,
+// read-only trace from many goroutines at once yields a RunResult deeply
+// equal to a serial reference run — the heap's FIFO tiebreak
+// (cpuHeap.order) leaves no room for scheduling to leak into results.
+func TestSimulateDeterministicUnderConcurrency(t *testing.T) {
+	cfg, err := machine.ByName("C5") // 4-processor SMP
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = cfg.Scaled(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.ByName("fft", workloads.ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workloads.GenerateTrace(w, cfg.TotalProcs())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := Simulate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const runs = 8
+	results := make([]RunResult, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Simulate(tr, cfg)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(ref, results[i]) {
+			t.Errorf("run %d: RunResult diverged from serial reference\nref: %+v\ngot: %+v",
+				i, ref, results[i])
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package workloads
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"memhier/internal/trace"
+)
+
+// TestGenerateTraceConcurrent pins the property the parallel reproduction
+// pipeline depends on: a Workload value is immutable configuration, so
+// concurrent GenerateTrace calls on the same kernel — same or different
+// nproc — race on nothing and every generation of a given (kernel, nproc)
+// is event-for-event identical.
+func TestGenerateTraceConcurrent(t *testing.T) {
+	for _, w := range Suite(ScaleSmall) {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			ref, err := GenerateTrace(w, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const gens = 6
+			traces := make([]*trace.Trace, gens)
+			errs := make([]error, gens)
+			var wg sync.WaitGroup
+			for i := 0; i < gens; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					// Mix of repeat generations and a different nproc
+					// running alongside them.
+					np := 2
+					if i%3 == 2 {
+						np = 4
+					}
+					traces[i], errs[i] = GenerateTrace(w, np)
+				}(i)
+			}
+			wg.Wait()
+			for i := 0; i < gens; i++ {
+				if errs[i] != nil {
+					t.Fatalf("generation %d: %v", i, errs[i])
+				}
+				if traces[i].NumCPU() == 2 && !reflect.DeepEqual(ref.Streams, traces[i].Streams) {
+					t.Errorf("generation %d: trace diverged from reference", i)
+				}
+			}
+		})
+	}
+}
