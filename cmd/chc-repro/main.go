@@ -25,6 +25,7 @@ import (
 	"memhier/internal/core"
 	"memhier/internal/experiments"
 	"memhier/internal/machine"
+	"memhier/internal/profiling"
 )
 
 func main() {
@@ -41,6 +42,8 @@ func main() {
 		report    = flag.String("report", "", "write the full reproduction as a Markdown report to this file")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "artifact-level worker count for -all (output is identical for any value)")
 		progress  = flag.Bool("progress", false, "print per-artifact timing lines to stderr as artifacts finish")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit (inspect with `go tool pprof`)")
 	)
 	flag.Parse()
 
@@ -54,6 +57,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	run(err)
+	defer func() {
+		run(stopProf())
+	}()
 	if *parallel < 1 {
 		run(fmt.Errorf("-parallel must be >= 1, got %d", *parallel))
 	}

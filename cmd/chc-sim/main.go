@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"memhier/internal/machine"
+	"memhier/internal/profiling"
 	"memhier/internal/sim/backend"
 	"memhier/internal/trace"
 	"memhier/internal/workloads"
@@ -34,8 +35,20 @@ func main() {
 		paperScale = flag.Bool("paper-scale", false, "use the paper's full problem sizes (slow, memory-hungry)")
 		phases     = flag.Bool("phases", false, "print the per-phase profile (barrier-delimited)")
 		stream     = flag.Bool("stream", false, "stream the generator into the simulator (constant memory; use for -paper-scale)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit (inspect with `go tool pprof`)")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
 
 	cfg, err := machine.ByName(*config)
 	if err != nil {

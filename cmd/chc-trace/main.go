@@ -19,7 +19,6 @@ import (
 	"strings"
 
 	"memhier/internal/experiments"
-	"memhier/internal/stackdist"
 	"memhier/internal/trace"
 	"memhier/internal/workloads"
 )
@@ -40,7 +39,7 @@ func main() {
 		stats      = flag.Bool("stats", true, "print per-CPU statistics")
 		sharing    = flag.Bool("sharing", false, "print cross-machine sharing analysis")
 		perNode    = flag.Int("per-node", 1, "sharing: processors per machine")
-		distances  = flag.Bool("distances", false, "print a stack-distance summary of CPU 0's stream")
+		distances  = flag.Bool("distances", false, "print a stack-distance summary (all CPU streams, analyzed concurrently and merged)")
 	)
 	flag.Parse()
 
@@ -112,15 +111,12 @@ func main() {
 	}
 
 	if *distances {
-		an := stackdist.NewAnalyzer(1 << 16)
-		for _, e := range tr.Streams[0].Events {
-			if e.Kind == trace.Read || e.Kind == trace.Write {
-				an.Touch(e.Addr)
-			}
+		d, err := workloads.AnalyzeStreams(tr, 1)
+		if err != nil {
+			fail(err)
 		}
-		d := an.Distribution()
-		fmt.Printf("stack distances (cpu 0, item granularity): %d refs, %d distinct items\n",
-			an.References(), an.Distinct())
+		fmt.Printf("stack distances (%d CPUs merged, item granularity): %d refs, %d cold misses\n",
+			tr.NumCPU(), d.Total+d.Cold, d.Cold)
 		for _, q := range []float64{0.5, 0.9, 0.99} {
 			if x, err := d.Quantile(q); err == nil {
 				fmt.Printf("  P%.0f distance: %d\n", q*100, x)

@@ -33,7 +33,15 @@ func MeasureSharing(tr *trace.Trace, procsPerNode int) SharingStats {
 		valid uint64 // nodes whose copy survived the last foreign write
 		seen  uint64 // nodes that ever touched the block
 	}
-	blocks := make(map[uint64]*blockState)
+	// Value-typed and pre-sized: the per-block state is three words, so
+	// storing it inline avoids one heap allocation per distinct block, and
+	// the footprint bound (references / block sparsity) sizes the table past
+	// most of its growth rehashes.
+	hint := int(tr.MemoryRefs() / 8)
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	blocks := make(map[uint64]blockState, hint)
 	var refs, remote, coherence uint64
 	idx := make([]int, len(tr.Streams))
 	for {
@@ -53,8 +61,7 @@ func MeasureSharing(tr *trace.Trace, procsPerNode int) SharingStats {
 			block := e.Addr / backend.DSMBlockSize
 			st, ok := blocks[block]
 			if !ok {
-				st = &blockState{home: node}
-				blocks[block] = st
+				st = blockState{home: node}
 			}
 			refs++
 			if st.home != node {
@@ -71,6 +78,7 @@ func MeasureSharing(tr *trace.Trace, procsPerNode int) SharingStats {
 			} else {
 				st.valid |= bit
 			}
+			blocks[block] = st
 		}
 		if !progressed {
 			break

@@ -1,0 +1,60 @@
+// Package profiling wires the standard runtime/pprof profilers into the
+// command-line tools, so hot-path work on the simulators can be measured
+// with `go tool pprof` against real artifact runs (see EXPERIMENTS.md,
+// "Profiling").
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the two paths (empty disables that
+// profile) and returns a stop function that finalizes them: it stops the
+// CPU profile and writes the heap profile. The caller must invoke stop
+// before exiting — profiles are unusable otherwise — and should check its
+// error (a full disk surfaces there).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("profiling: closing %s: %w", cpuPath, err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("profiling: %w", err)
+				}
+				return firstErr
+			}
+			// An up-to-date heap profile needs the allocator's free counts
+			// settled; this is how net/http/pprof does it too.
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("profiling: writing %s: %w", memPath, err)
+			}
+		}
+		return firstErr
+	}, nil
+}

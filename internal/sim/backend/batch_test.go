@@ -1,0 +1,113 @@
+package backend
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"memhier/internal/machine"
+	"memhier/internal/trace"
+	"memhier/internal/workloads"
+)
+
+// randomTrace builds a balanced bulk-synchronous trace with a randomized
+// mix of reads, writes, compute gaps, and barriers. Addresses are drawn
+// from a working set small enough to provoke sharing, evictions, and
+// coherence traffic on every configuration.
+func randomTrace(rng *rand.Rand, nproc, phases, eventsPerPhase int) *trace.Trace {
+	tr := trace.New(nproc)
+	for p := 0; p < phases; p++ {
+		for cpu := 0; cpu < nproc; cpu++ {
+			s := tr.Streams[cpu]
+			n := 1 + rng.Intn(eventsPerPhase)
+			for i := 0; i < n; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					s.AddCompute(uint64(1 + rng.Intn(50)))
+				case 1:
+					s.AddWrite(uint64(rng.Intn(1 << 16)))
+				default:
+					s.AddRead(uint64(rng.Intn(1 << 16)))
+				}
+			}
+			s.AddBarrier()
+		}
+	}
+	// Unbalanced tails after the last barrier.
+	for cpu := 0; cpu < nproc; cpu++ {
+		s := tr.Streams[cpu]
+		for i := rng.Intn(eventsPerPhase); i > 0; i-- {
+			s.AddRead(uint64(rng.Intn(1 << 16)))
+		}
+	}
+	return tr
+}
+
+// TestRunMatchesReference cross-checks the batched engine against the
+// retained pop-one-event reference executor on seeded random traces: the
+// RunResults — wall time, per-phase profiles, every counter — must be
+// bit-identical on all three platform kinds.
+func TestRunMatchesReference(t *testing.T) {
+	cfgs := []machine.Config{
+		smpConfig(4),
+		wsConfig(4, machine.NetBus100),
+		csmpConfig(2, 2, machine.NetSwitch155),
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, 4, 6, 400)
+		for _, cfg := range cfgs {
+			sysA, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(tr, sysA)
+			if err != nil {
+				t.Fatalf("seed %d %s: batched Run: %v", seed, cfg.Name, err)
+			}
+			sysB, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := referenceRun(tr, sysB)
+			if err != nil {
+				t.Fatalf("seed %d %s: reference run: %v", seed, cfg.Name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d %s: batched engine diverged from reference:\n got %+v\nwant %+v",
+					seed, cfg.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestRunMatchesReferenceWorkload cross-checks on a real kernel trace, where
+// long compute runs exercise the batching path much harder than the random
+// mix does.
+func TestRunMatchesReferenceWorkload(t *testing.T) {
+	tr, err := workloads.GenerateTrace(workloads.NewRadix(1<<12, 64), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []machine.Config{smpConfig(4), wsConfig(4, machine.NetSwitch155)} {
+		sysA, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(tr, sysA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sysB, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := referenceRun(tr, sysB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: batched engine diverged from reference on Radix trace", cfg.Name)
+		}
+	}
+}

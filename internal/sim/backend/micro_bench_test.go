@@ -1,0 +1,90 @@
+package backend
+
+import (
+	"testing"
+
+	"memhier/internal/trace"
+)
+
+// Micro-benchmarks isolating the engine's three hot regimes. The workload
+// benchmarks in bench_test.go mix them; these synthetic traces let a
+// profile attribute regressions to one path: barrier release (heap refill),
+// the event-run batching fast path, and the coherence machinery that the
+// private-hit fast path must step aside for.
+
+// barrierHeavyTrace alternates one private reference with a barrier, so
+// almost every event ends an event run and exercises the release/refill
+// path of the scheduler.
+func barrierHeavyTrace(nproc, phases int) *trace.Trace {
+	tr := trace.New(nproc)
+	tr.Reserve(3 * phases)
+	for p := 0; p < phases; p++ {
+		for cpu, s := range tr.Streams {
+			s.AddCompute(uint64(1 + cpu)) // stagger clocks so releases are non-trivial
+			s.AddRead(uint64(cpu)<<20 + uint64(p%1024)*8)
+			s.AddBarrier()
+		}
+	}
+	return tr
+}
+
+// computeHeavyTrace is long private compute/reference runs with no
+// synchronization: the regime where event-run batching should reduce heap
+// traffic to almost nothing.
+func computeHeavyTrace(nproc, events int) *trace.Trace {
+	tr := trace.New(nproc)
+	tr.Reserve(events)
+	for cpu, s := range tr.Streams {
+		for i := 0; i < events/2; i++ {
+			s.AddCompute(20)
+			s.AddRead(uint64(cpu)<<20 + uint64(i%1024)*8)
+		}
+	}
+	return tr
+}
+
+// sharingHeavyTrace makes every processor write and read the same small set
+// of lines, so nearly every reference takes the full coherence path
+// (invalidation, dirty remote service) instead of the private-hit fast path.
+func sharingHeavyTrace(nproc, rounds int) *trace.Trace {
+	tr := trace.New(nproc)
+	tr.Reserve(3 * rounds)
+	for r := 0; r < rounds; r++ {
+		line := uint64(r%64) * 64
+		for _, s := range tr.Streams {
+			s.AddWrite(line)
+			s.AddRead(line + uint64((r+1)%64)*64)
+			s.AddCompute(2)
+		}
+		if r%256 == 255 {
+			for _, s := range tr.Streams {
+				s.AddBarrier()
+			}
+		}
+	}
+	return tr
+}
+
+func benchRun(b *testing.B, tr *trace.Trace) {
+	b.Helper()
+	b.ReportAllocs()
+	cfg := smpConfig(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunBarrierHeavy(b *testing.B) {
+	benchRun(b, barrierHeavyTrace(4, 20000))
+}
+
+func BenchmarkRunComputeHeavy(b *testing.B) {
+	benchRun(b, computeHeavyTrace(4, 120000))
+}
+
+func BenchmarkRunSharingHeavy(b *testing.B) {
+	benchRun(b, sharingHeavyTrace(4, 40000))
+}

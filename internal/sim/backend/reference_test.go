@@ -1,0 +1,170 @@
+package backend
+
+import (
+	"container/heap"
+	"fmt"
+
+	"memhier/internal/trace"
+)
+
+// This file retains the original unbatched executor as a reference
+// implementation: a container/heap scheduler that pays one pop+push per
+// event. The production Run must produce bit-identical RunResults
+// (TestRunMatchesReference); any divergence means the batching rewrite
+// changed simulation semantics.
+
+// refState is the reference executor's per-processor progress record.
+type refState struct {
+	cpu   int
+	clock float64
+	next  int // index into stream events
+	order int // FIFO tiebreak for determinism
+}
+
+type refHeap []*refState
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].order < h[j].order
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*refState)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// referenceRun is the pre-batching Run: pop the earliest processor, execute
+// exactly one event, push it back.
+func referenceRun(tr *trace.Trace, sys *System) (RunResult, error) {
+	want := sys.Config().TotalProcs()
+	if tr.NumCPU() != want {
+		return RunResult{}, fmt.Errorf("backend: trace has %d streams, %s simulates %d processors",
+			tr.NumCPU(), sys.Config().Name, want)
+	}
+	if err := tr.Validate(); err != nil {
+		return RunResult{}, err
+	}
+
+	states := make([]*refState, want)
+	h := make(refHeap, 0, want)
+	for i := 0; i < want; i++ {
+		states[i] = &refState{cpu: i, order: i}
+		h = append(h, states[i])
+	}
+	heap.Init(&h)
+
+	var res RunResult
+	res.Config = sys.Config().Name
+	waiting := make([]*refState, 0, want)
+	var barrierMax float64
+	var phaseStart float64
+	var phaseBase Stats
+
+	release := func() {
+		res.Barriers++
+		var wait float64
+		for _, w := range waiting {
+			wait += barrierMax - w.clock
+			w.clock = barrierMax
+			heap.Push(&h, w)
+		}
+		res.BarrierWaitCycles += wait
+		cur := sys.Stats()
+		res.Phases = append(res.Phases, PhaseStats{
+			Index:       len(res.Phases),
+			StartCycle:  phaseStart,
+			EndCycle:    barrierMax,
+			BarrierWait: wait,
+			Stats:       cur.Minus(phaseBase),
+		})
+		phaseStart = barrierMax
+		phaseBase = cur
+		waiting = waiting[:0]
+		barrierMax = 0
+	}
+
+	var tStart, tTotal float64
+	var refs uint64
+	for h.Len() > 0 {
+		st := heap.Pop(&h).(*refState)
+		ev := tr.Streams[st.cpu].Events
+		if st.next >= len(ev) {
+			if st.clock > res.WallCycles {
+				res.WallCycles = st.clock
+			}
+			continue
+		}
+		e := ev[st.next]
+		st.next++
+		switch e.Kind {
+		case trace.Compute:
+			st.clock += float64(e.N) * sys.lat.Instruction
+			heap.Push(&h, st)
+		case trace.Read, trace.Write:
+			tStart = st.clock
+			st.clock = sys.Access(st.cpu, e.Addr, e.Kind == trace.Write, st.clock)
+			tTotal += st.clock - tStart
+			refs++
+			heap.Push(&h, st)
+		case trace.Barrier:
+			if st.clock > barrierMax {
+				barrierMax = st.clock
+			}
+			waiting = append(waiting, st)
+			if len(waiting) == want {
+				release()
+			}
+		default:
+			return RunResult{}, fmt.Errorf("backend: unknown event kind %d", e.Kind)
+		}
+	}
+	if len(waiting) > 0 {
+		return RunResult{}, fmt.Errorf("backend: %d processors stuck at a barrier", len(waiting))
+	}
+	if tail := sys.Stats().Minus(phaseBase); tail.Refs > 0 || res.WallCycles > phaseStart {
+		res.Phases = append(res.Phases, PhaseStats{
+			Index:      len(res.Phases),
+			StartCycle: phaseStart,
+			EndCycle:   res.WallCycles,
+			Stats:      tail,
+		})
+	}
+
+	res.Instructions = tr.Instructions()
+	res.MemoryRefs = refs
+	if res.Instructions > 0 {
+		res.EInstr = res.WallCycles / float64(res.Instructions)
+	}
+	res.Seconds = res.EInstr / (sys.Config().ClockMHz * 1e6)
+	if refs > 0 {
+		res.AvgT = tTotal / float64(refs)
+	}
+	res.Stats = sys.Stats()
+	for c := 0; c < int(numClasses); c++ {
+		if res.Stats.Refs > 0 {
+			res.ClassShare[c] = float64(res.Stats.ClassCounts[c]) / float64(res.Stats.Refs)
+		}
+	}
+	if res.Stats.TotalBusCycles > 0 {
+		res.CoherenceShare = res.Stats.CoherenceBusCycles / res.Stats.TotalBusCycles
+	}
+	if res.WallCycles > 0 {
+		if sys.netBus != nil {
+			res.NetUtilization = sys.netBus.Utilization(res.WallCycles)
+		} else if len(sys.netPorts) > 0 {
+			var busy float64
+			for _, p := range sys.netPorts {
+				busy += p.BusyCycles()
+			}
+			res.NetUtilization = busy / (res.WallCycles * float64(len(sys.netPorts)))
+		}
+	}
+	return res, nil
+}

@@ -1,7 +1,6 @@
 package backend
 
 import (
-	"container/heap"
 	"fmt"
 
 	"memhier/internal/trace"
@@ -39,48 +38,56 @@ func StreamRun(sys *System, nproc int, generate func(sink trace.Sink) error) (Ru
 	var res RunResult
 	res.Config = sys.Config().Name
 	clocks := make([]float64, nproc)
+	idx := make([]int, nproc)
+	q := make(cpuQueue, 0, nproc)
 	var instructions, refs uint64
 	var tTotal float64
 	var phaseStart float64
 	var phaseBase Stats
 
 	for ph := range phases {
-		// Interleave this phase's per-cpu event runs in global time order.
-		h := make(cpuHeap, 0, nproc)
-		idx := make([]int, nproc)
-		states := make([]*cpuState, nproc)
+		// Interleave this phase's per-cpu event runs in global time order,
+		// with the same batched value-heap scheduler Run uses.
+		q = q[:0]
 		for cpu := 0; cpu < nproc; cpu++ {
-			states[cpu] = &cpuState{cpu: cpu, clock: clocks[cpu], order: cpu}
-			h = append(h, states[cpu])
+			idx[cpu] = 0
+			q = append(q, heapEnt{clock: clocks[cpu], cpu: int32(cpu)})
 		}
-		heap.Init(&h)
-		for h.Len() > 0 {
-			st := heap.Pop(&h).(*cpuState)
-			evs := ph.chunks[st.cpu]
-			if idx[st.cpu] >= len(evs) {
-				continue
+		q.heapify()
+		for len(q) > 0 {
+			cpu := q.pop().cpu
+			evs := ph.chunks[cpu]
+			clock := clocks[cpu]
+		run:
+			for {
+				if idx[cpu] >= len(evs) {
+					break run
+				}
+				e := evs[idx[cpu]]
+				idx[cpu]++
+				switch e.Kind {
+				case trace.Compute:
+					clock += float64(e.N) * sys.lat.Instruction
+					instructions += e.N
+				case trace.Read, trace.Write:
+					start := clock
+					clock = sys.Access(int(cpu), e.Addr, e.Kind == trace.Write, clock)
+					tTotal += clock - start
+					refs++
+					instructions++
+				default:
+					return RunResult{}, fmt.Errorf("backend: unexpected event kind %v inside a streamed phase", e.Kind)
+				}
+				if len(q) > 0 && !entLess(heapEnt{clock: clock, cpu: cpu}, q[0]) {
+					q.push(heapEnt{clock: clock, cpu: cpu})
+					break run
+				}
 			}
-			e := evs[idx[st.cpu]]
-			idx[st.cpu]++
-			switch e.Kind {
-			case trace.Compute:
-				st.clock += float64(e.N) * sys.lat.Instruction
-				instructions += e.N
-			case trace.Read, trace.Write:
-				start := st.clock
-				st.clock = sys.Access(st.cpu, e.Addr, e.Kind == trace.Write, st.clock)
-				tTotal += st.clock - start
-				refs++
-				instructions++
-			default:
-				return RunResult{}, fmt.Errorf("backend: unexpected event kind %v inside a streamed phase", e.Kind)
-			}
-			heap.Push(&h, st)
+			clocks[cpu] = clock
 		}
 		// Phase end: barrier rendezvous (or the run's tail).
 		var max float64
 		for cpu := 0; cpu < nproc; cpu++ {
-			clocks[cpu] = states[cpu].clock
 			if clocks[cpu] > max {
 				max = clocks[cpu]
 			}

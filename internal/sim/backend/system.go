@@ -128,8 +128,9 @@ type System struct {
 	netBus   *interconnect.Resource   // bus networks: one shared medium
 	netPorts []*interconnect.Resource // switch networks: per-node port
 
-	dir   map[uint64]*dirEntry // block -> directory entry (clusters only)
-	homes map[uint64]int       // block -> home node (first touch)
+	dir     map[uint64]*dirEntry // block -> directory entry (clusters only)
+	dirSlab []dirEntry           // chunked backing store for directory entries
+	homes   map[uint64]int       // block -> home node (first touch)
 
 	stats Stats
 }
@@ -190,9 +191,13 @@ func NewSystemOpts(cfg machine.Config, opts SystemOptions) (*System, error) {
 	if cfg.N > 64 {
 		return nil, fmt.Errorf("backend: %s: directory sharer mask supports at most 64 nodes, got %d", cfg.Name, cfg.N)
 	}
+	s.caches = make([]*cache.Cache, 0, cfg.TotalProcs())
 	for cpu := 0; cpu < cfg.TotalProcs(); cpu++ {
 		s.caches = append(s.caches, cache.New(int(cfg.CacheBytes), CacheLineSize, CacheAssoc))
 	}
+	s.membus = make([]*interconnect.Resource, 0, cfg.N)
+	s.iobus = make([]*interconnect.Resource, 0, cfg.N)
+	s.mems = make([]*memory.Memory, 0, cfg.N)
 	for node := 0; node < cfg.N; node++ {
 		s.membus = append(s.membus, interconnect.NewResource(fmt.Sprintf("membus%d", node)))
 		s.iobus = append(s.iobus, interconnect.NewResource(fmt.Sprintf("iobus%d", node)))
@@ -277,7 +282,14 @@ func (s *System) home(block uint64, toucher int) int {
 func (s *System) entry(block uint64) *dirEntry {
 	e, ok := s.dir[block]
 	if !ok {
-		e = &dirEntry{state: dirUncached, owner: -1}
+		// Entries are carved from slab chunks: one allocation per 512
+		// blocks instead of one per block. A chunk is never reallocated
+		// once entries point into it (append only while len < cap).
+		if len(s.dirSlab) == cap(s.dirSlab) {
+			s.dirSlab = make([]dirEntry, 0, 512)
+		}
+		s.dirSlab = append(s.dirSlab, dirEntry{state: dirUncached, owner: -1})
+		e = &s.dirSlab[len(s.dirSlab)-1]
 		s.dir[block] = e
 	}
 	return e
@@ -361,13 +373,17 @@ func (s *System) memTouch(node int, addr uint64, write bool, now float64) (float
 func (s *System) Access(cpu int, addr uint64, write bool, now float64) float64 {
 	s.stats.Refs++
 	myCache := s.caches[cpu]
+
+	// Private-hit fast path, ahead of all coherence machinery: a read hit
+	// in any state and a write hit on an already-Modified line need no
+	// protocol action — this is the overwhelming majority of references.
+	st, hit := myCache.Lookup(addr)
+	if hit && (!write || st == cache.Modified) {
+		return s.finish(ClassCacheHit, now, now+s.lat.CacheHit)
+	}
 	myNode := s.node(cpu)
 
-	st, hit := myCache.Lookup(addr)
 	if hit {
-		if !write || st == cache.Modified {
-			return s.finish(ClassCacheHit, now, now+s.lat.CacheHit)
-		}
 		if st == cache.Exclusive {
 			// MESI: the sole clean copy becomes Modified with no
 			// coherence transaction.

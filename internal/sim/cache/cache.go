@@ -4,7 +4,10 @@
 // state stored per line for the snooping and directory protocols.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // State is the MSI coherence state of a cache line.
 type State uint8
@@ -55,9 +58,12 @@ type Cache struct {
 	sets     int
 	assoc    int
 	lineSize int
-	lines    []line
-	tick     uint64
-	stats    Stats
+	// lineShift is log2(lineSize) when lineSize is a power of two, else -1;
+	// the hot lineTag path prefers the shift over a 64-bit division.
+	lineShift int8
+	lines     []line
+	tick      uint64
+	stats     Stats
 }
 
 // New returns a cache of sizeBytes capacity with the given line size and
@@ -75,11 +81,16 @@ func New(sizeBytes, lineSize, assoc int) *Cache {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
 	}
+	shift := int8(-1)
+	if lineSize&(lineSize-1) == 0 {
+		shift = int8(bits.TrailingZeros(uint(lineSize)))
+	}
 	return &Cache{
-		sets:     sets,
-		assoc:    assoc,
-		lineSize: lineSize,
-		lines:    make([]line, sets*assoc),
+		sets:      sets,
+		assoc:     assoc,
+		lineSize:  lineSize,
+		lineShift: shift,
+		lines:     make([]line, sets*assoc),
 	}
 }
 
@@ -96,7 +107,12 @@ func (c *Cache) Assoc() int { return c.assoc }
 func (c *Cache) Stats() Stats { return c.stats }
 
 // lineTag maps a byte address to its line identity.
-func (c *Cache) lineTag(addr uint64) uint64 { return addr / uint64(c.lineSize) }
+func (c *Cache) lineTag(addr uint64) uint64 {
+	if c.lineShift >= 0 {
+		return addr >> uint(c.lineShift)
+	}
+	return addr / uint64(c.lineSize)
+}
 
 func (c *Cache) set(tag uint64) []line {
 	s := int(tag) & (c.sets - 1)
@@ -196,13 +212,19 @@ func (c *Cache) SetState(addr uint64, st State) {
 	}
 }
 
-// Flush invalidates every line and returns how many were Modified.
+// Flush invalidates every line and returns how many were Modified. Each
+// valid line killed counts toward Stats.Invalidates, the same as a
+// coherence invalidation through SetState.
 func (c *Cache) Flush() (dirty int) {
 	for i := range c.lines {
-		if c.lines[i].state == Modified {
+		switch c.lines[i].state {
+		case Invalid:
+			continue
+		case Modified:
 			dirty++
 		}
 		c.lines[i].state = Invalid
+		c.stats.Invalidates++
 	}
 	return dirty
 }

@@ -154,6 +154,23 @@ func TestFlush(t *testing.T) {
 	}
 }
 
+func TestFlushCountsInvalidates(t *testing.T) {
+	c := New(256, 64, 2)
+	c.Fill(0, Modified)
+	c.Fill(64, Shared)
+	c.Fill(128, Exclusive)
+	base := c.Stats().Invalidates
+	c.Flush()
+	if got := c.Stats().Invalidates - base; got != 3 {
+		t.Errorf("Flush of 3 valid lines recorded %d invalidates, want 3", got)
+	}
+	// A second flush finds only invalid lines and must not count again.
+	c.Flush()
+	if got := c.Stats().Invalidates - base; got != 3 {
+		t.Errorf("flushing an empty cache recorded extra invalidates: %d, want 3", got)
+	}
+}
+
 func TestStateString(t *testing.T) {
 	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
 		t.Error("state mnemonics wrong")

@@ -4,21 +4,29 @@
 // and displaces the least recently used page.
 package memory
 
-import (
-	"container/list"
-	"fmt"
-)
+import "fmt"
 
 // PageSize is the residency granule in bytes.
 const PageSize = 4096
+
+// slot is one resident page in the intrusive LRU list. Slots live in a
+// single slice and link by index, so steady-state residency tracking does
+// no per-page allocation (unlike container/list, which allocates an
+// Element per insertion on the simulator's hot path).
+type slot struct {
+	page       uint64
+	prev, next int32 // slot indexes; -1 terminates
+	dirty      bool
+}
 
 // Memory tracks page residency with LRU replacement and per-page dirty
 // bits: evicting a dirty page costs a disk write on top of the fill read.
 type Memory struct {
 	capacity int // pages
-	order    *list.List
-	pages    map[uint64]*list.Element
-	dirty    map[uint64]bool
+	pages    map[uint64]int32
+	slots    []slot
+	head     int32 // most recently used; -1 when empty
+	tail     int32 // least recently used; -1 when empty
 
 	faults     uint64
 	accesses   uint64
@@ -31,16 +39,58 @@ func New(bytes int64) *Memory {
 	if pages < 1 {
 		pages = 1
 	}
+	// Pre-size the residency structures up to a bound: small memories
+	// (validation configurations) never grow them again, and paper-scale
+	// capacities start from a sensible floor instead of rehashing their
+	// way up through the fault path.
+	hint := pages
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
 	return &Memory{
 		capacity: pages,
-		order:    list.New(),
-		pages:    make(map[uint64]*list.Element, pages),
-		dirty:    make(map[uint64]bool, pages),
+		pages:    make(map[uint64]int32, hint),
+		slots:    make([]slot, 0, hint),
+		head:     -1,
+		tail:     -1,
 	}
 }
 
 // Pages returns the page capacity.
 func (m *Memory) Pages() int { return m.capacity }
+
+// unlink removes slot i from the LRU list.
+func (m *Memory) unlink(i int32) {
+	s := &m.slots[i]
+	if s.prev >= 0 {
+		m.slots[s.prev].next = s.next
+	} else {
+		m.head = s.next
+	}
+	if s.next >= 0 {
+		m.slots[s.next].prev = s.prev
+	} else {
+		m.tail = s.prev
+	}
+}
+
+// toFront makes slot i the most recently used.
+func (m *Memory) toFront(i int32) {
+	if m.head == i {
+		return
+	}
+	m.unlink(i)
+	s := &m.slots[i]
+	s.prev = -1
+	s.next = m.head
+	if m.head >= 0 {
+		m.slots[m.head].prev = i
+	}
+	m.head = i
+	if m.tail < 0 {
+		m.tail = i
+	}
+}
 
 // Touch accesses the page holding addr. It reports whether the page was
 // resident; on a fault the page is brought in, evicting the LRU page if
@@ -56,29 +106,38 @@ func (m *Memory) Touch(addr uint64) (resident bool) {
 func (m *Memory) TouchW(addr uint64, write bool) (resident, evictedDirty bool) {
 	m.accesses++
 	page := addr / PageSize
-	if e, ok := m.pages[page]; ok {
-		m.order.MoveToFront(e)
+	if i, ok := m.pages[page]; ok {
+		m.toFront(i)
 		if write {
-			m.dirty[page] = true
+			m.slots[i].dirty = true
 		}
 		return true, false
 	}
 	m.faults++
-	if m.order.Len() >= m.capacity {
-		back := m.order.Back()
-		victim := back.Value.(uint64)
-		if m.dirty[victim] {
+	var i int32
+	if len(m.slots) < m.capacity {
+		i = int32(len(m.slots))
+		m.slots = append(m.slots, slot{})
+	} else {
+		// Full: reuse the LRU victim's slot.
+		i = m.tail
+		victim := &m.slots[i]
+		if victim.dirty {
 			evictedDirty = true
 			m.writebacks++
-			delete(m.dirty, victim)
 		}
-		delete(m.pages, victim)
-		m.order.Remove(back)
+		delete(m.pages, victim.page)
+		m.unlink(i)
 	}
-	m.pages[page] = m.order.PushFront(page)
-	if write {
-		m.dirty[page] = true
+	m.slots[i] = slot{page: page, prev: -1, next: m.head, dirty: write}
+	if m.head >= 0 {
+		m.slots[m.head].prev = i
 	}
+	m.head = i
+	if m.tail < 0 {
+		m.tail = i
+	}
+	m.pages[page] = i
 	return false, evictedDirty
 }
 
@@ -86,7 +145,7 @@ func (m *Memory) TouchW(addr uint64, write bool) (resident, evictedDirty bool) {
 func (m *Memory) Writebacks() uint64 { return m.writebacks }
 
 // Resident returns the number of resident pages.
-func (m *Memory) Resident() int { return m.order.Len() }
+func (m *Memory) Resident() int { return len(m.pages) }
 
 // Faults returns the number of page faults (disk transfers).
 func (m *Memory) Faults() uint64 { return m.faults }
@@ -96,5 +155,5 @@ func (m *Memory) Accesses() uint64 { return m.accesses }
 
 // String summarizes occupancy.
 func (m *Memory) String() string {
-	return fmt.Sprintf("memory{%d/%d pages, %d faults}", m.order.Len(), m.capacity, m.faults)
+	return fmt.Sprintf("memory{%d/%d pages, %d faults}", len(m.pages), m.capacity, m.faults)
 }

@@ -19,18 +19,85 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"memhier/internal/trace"
 )
 
 // Analyzer ingests a reference stream and produces stack-distance
 // statistics. The zero value is not usable; call NewAnalyzer.
+//
+// Storage is laid out for the ingest hot path: the distance histogram is a
+// dense slice indexed by distance (a distance never exceeds the number of
+// distinct data, so the slice is bounded by the footprint), the Fenwick
+// tree is pre-sized from the capacity hint so hinted ingestion never runs
+// the tree-growth path, and the datum -> last-position table is a
+// linear-probing hash table that resolves lookup and update with a single
+// probe per reference (a Go map costs two hashed operations here).
 type Analyzer struct {
-	last map[uint64]int // datum -> position of last reference (1-based in tree)
-	tree []int          // Fenwick tree over reference positions; 1 if position is the latest ref to its datum
-	pos  int            // number of references ingested
-	hist map[int]uint64 // distance -> count (finite distances)
-	cold uint64         // first-time references (infinite distance)
-	max  int            // max finite distance observed
+	last lastTable // datum -> position of last reference (1-based in tree)
+	tree []int32   // Fenwick tree over reference positions; 1 if position is the latest ref to its datum
+	pos  int       // number of references ingested
+	hist []uint64  // hist[d] = count of references at finite distance d
+	cold uint64    // first-time references (infinite distance)
+	max  int       // max finite distance observed
 }
+
+// lastTable is an open-addressing (linear probing) hash table mapping a
+// datum to the 1-based position of its previous reference. A slot with
+// position 0 is empty — positions are 1-based, so no separate occupancy
+// marks are needed. The table doubles at 50% load.
+type lastTable struct {
+	keys []uint64
+	pos  []int32
+	n    int
+	mask uint64
+}
+
+func newLastTable(hint int) lastTable {
+	size := 16
+	for size < 2*hint {
+		size *= 2
+	}
+	return lastTable{
+		keys: make([]uint64, size),
+		pos:  make([]int32, size),
+		mask: uint64(size - 1),
+	}
+}
+
+// slot returns the index holding key, or the empty slot where it belongs.
+func (t *lastTable) slot(key uint64) int {
+	// Fibonacci hashing spreads clustered line addresses across the table.
+	i := (key * 0x9E3779B97F4A7C15) & t.mask
+	for t.pos[i] != 0 && t.keys[i] != key {
+		i = (i + 1) & t.mask
+	}
+	return int(i)
+}
+
+func (t *lastTable) grow() {
+	old := *t
+	size := 2 * len(old.keys)
+	t.keys = make([]uint64, size)
+	t.pos = make([]int32, size)
+	t.mask = uint64(size - 1)
+	for i, p := range old.pos {
+		if p != 0 {
+			j := t.slot(old.keys[i])
+			t.keys[j] = old.keys[i]
+			t.pos[j] = p
+		}
+	}
+}
+
+func (t *lastTable) reset() {
+	clear(t.pos)
+	t.n = 0
+}
+
+// maxRefs bounds one Analyzer's stream length: tree nodes hold int32
+// marker counts (halving the footprint the Fenwick walks traverse).
+const maxRefs = math.MaxInt32
 
 // NewAnalyzer returns an Analyzer expecting roughly capacityHint references
 // (the structure grows as needed; the hint only pre-sizes storage).
@@ -38,25 +105,74 @@ func NewAnalyzer(capacityHint int) *Analyzer {
 	if capacityHint < 16 {
 		capacityHint = 16
 	}
-	return &Analyzer{
-		last: make(map[uint64]int, capacityHint/4),
-		tree: make([]int, 1, capacityHint+1),
-		hist: make(map[int]uint64),
+	if capacityHint > maxRefs {
+		capacityHint = maxRefs
 	}
+	tableHint := capacityHint / 4
+	if tableHint > 1<<20 {
+		tableHint = 1 << 20 // the table doubles on demand past this
+	}
+	return &Analyzer{
+		last: newLastTable(tableHint),
+		tree: make([]int32, capacityHint+1),
+	}
+}
+
+// Reset returns the analyzer to its empty state, keeping the allocated
+// tree, histogram, and hash-table storage for reuse on the next stream.
+func (a *Analyzer) Reset() {
+	a.last.reset()
+	t := a.tree[:cap(a.tree)]
+	clear(t)
+	a.tree = t
+	clear(a.hist)
+	a.pos = 0
+	a.cold = 0
+	a.max = 0
 }
 
 func (a *Analyzer) add(i, delta int) {
 	for ; i < len(a.tree); i += i & (-i) {
-		a.tree[i] += delta
+		a.tree[i] += int32(delta)
 	}
 }
 
 func (a *Analyzer) sum(i int) int {
-	s := 0
+	s := int32(0)
 	for ; i > 0; i -= i & (-i) {
 		s += a.tree[i]
 	}
-	return s
+	return int(s)
+}
+
+// rangeSum returns the marker count in (p, q], p <= q: sum(q) - sum(p)
+// computed by peeling both prefix paths until they meet at their common
+// ancestor. When the previous reference is recent (the common case under
+// locality) this walks O(log(q-p)) nodes instead of two full prefix walks.
+func (a *Analyzer) rangeSum(p, q int) int {
+	s := int32(0)
+	for q > p {
+		s += a.tree[q]
+		q -= q & (-q)
+	}
+	for p > q {
+		s -= a.tree[p]
+		p -= p & (-p)
+	}
+	return int(s)
+}
+
+// grow extends the Fenwick tree to cover position pos. A new node at index
+// i covers the range (i-lowbit(i), i]; initialize it with the mass already
+// in that range so that later prefix sums over grown indices stay correct.
+func (a *Analyzer) grow(pos int) {
+	if pos > maxRefs {
+		panic("stackdist: more than 2^31-1 references in one analyzer")
+	}
+	for len(a.tree) <= pos {
+		i := len(a.tree)
+		a.tree = append(a.tree, int32(a.sum(i-1)-a.sum(i-(i&-i))))
+	}
 }
 
 // Touch ingests one reference to the given datum (an opaque identity, e.g.
@@ -64,29 +180,84 @@ func (a *Analyzer) sum(i int) int {
 // first-time (cold) reference.
 func (a *Analyzer) Touch(datum uint64) int {
 	a.pos++
-	for len(a.tree) <= a.pos {
-		// A new Fenwick node at index i covers the range (i-lowbit(i), i];
-		// initialize it with the mass already in that range so that later
-		// prefix sums over grown indices stay correct.
-		i := len(a.tree)
-		a.tree = append(a.tree, a.sum(i-1)-a.sum(i-(i&-i)))
+	if len(a.tree) <= a.pos {
+		a.grow(a.pos)
 	}
 	d := -1
-	if p, ok := a.last[datum]; ok {
+	i := a.last.slot(datum)
+	if p := int(a.last.pos[i]); p != 0 {
 		// Markers strictly after p and before the current position are the
 		// distinct data touched in between.
-		d = a.sum(a.pos-1) - a.sum(p)
+		d = a.rangeSum(p, a.pos-1)
 		a.add(p, -1)
-		a.hist[d]++
-		if d > a.max {
-			a.max = d
-		}
+		a.count(d)
 	} else {
+		a.last.keys[i] = datum
+		a.last.n++
 		a.cold++
 	}
-	a.last[datum] = a.pos
+	a.last.pos[i] = int32(a.pos)
 	a.add(a.pos, 1)
+	if 2*a.last.n > len(a.last.keys) {
+		a.last.grow()
+	}
 	return d
+}
+
+// count records one finite distance in the dense histogram.
+func (a *Analyzer) count(d int) {
+	if d >= len(a.hist) {
+		if d < cap(a.hist) {
+			a.hist = a.hist[:d+1]
+		} else {
+			grown := make([]uint64, d+1, max(2*cap(a.hist), d+1))
+			copy(grown, a.hist)
+			a.hist = grown
+		}
+	}
+	a.hist[d]++
+	if d > a.max {
+		a.max = d
+	}
+}
+
+// TouchAll ingests every memory reference of a batch of trace events at the
+// given line granularity (a power of two; 1 means item granularity),
+// skipping compute and barrier events. It is the bulk entry point for
+// characterization passes: one call per event run, no per-reference call
+// overhead or distance returns.
+func (a *Analyzer) TouchAll(events []trace.Event, lineSize int) {
+	if lineSize < 1 || lineSize&(lineSize-1) != 0 {
+		panic(fmt.Sprintf("stackdist: line size %d not a power of two", lineSize))
+	}
+	shift := 0
+	for 1<<shift < lineSize {
+		shift++
+	}
+	for _, e := range events {
+		if e.Kind != trace.Read && e.Kind != trace.Write {
+			continue
+		}
+		datum := e.Addr >> shift
+		a.pos++
+		if len(a.tree) <= a.pos {
+			a.grow(a.pos)
+		}
+		i := a.last.slot(datum)
+		if p := int(a.last.pos[i]); p != 0 {
+			a.count(a.rangeSum(p, a.pos-1))
+			a.add(p, -1)
+		} else {
+			a.last.keys[i] = datum
+			a.last.n++
+			a.cold++
+		}
+		a.last.pos[i] = int32(a.pos)
+		a.add(a.pos, 1)
+		if 2*a.last.n > len(a.last.keys) {
+			a.last.grow()
+		}
+	}
 }
 
 // References returns the total number of references ingested.
@@ -96,24 +267,30 @@ func (a *Analyzer) References() uint64 { return uint64(a.pos) }
 func (a *Analyzer) Cold() uint64 { return a.cold }
 
 // Distinct returns the number of distinct data seen.
-func (a *Analyzer) Distinct() int { return len(a.last) }
+func (a *Analyzer) Distinct() int { return a.last.n }
 
 // Distribution extracts the empirical distance distribution accumulated so
 // far. It is safe to keep ingesting afterwards.
 func (a *Analyzer) Distribution() Distribution {
-	ds := make([]int, 0, len(a.hist))
-	for d := range a.hist {
-		ds = append(ds, d)
+	n := 0
+	for _, c := range a.hist {
+		if c > 0 {
+			n++
+		}
 	}
-	sort.Ints(ds)
 	dist := Distribution{
-		Distances: ds,
-		Counts:    make([]uint64, len(ds)),
+		Distances: make([]int, 0, n),
+		Counts:    make([]uint64, 0, n),
 		Cold:      a.cold,
 	}
-	for i, d := range ds {
-		dist.Counts[i] = a.hist[d]
-		dist.Total += a.hist[d]
+	// The dense histogram is already in ascending distance order.
+	for d, c := range a.hist {
+		if c == 0 {
+			continue
+		}
+		dist.Distances = append(dist.Distances, d)
+		dist.Counts = append(dist.Counts, c)
+		dist.Total += c
 	}
 	return dist
 }

@@ -66,6 +66,17 @@ type Stream struct {
 // NewStream returns an empty stream for the given logical CPU.
 func NewStream(cpu int) *Stream { return &Stream{CPU: cpu} }
 
+// Reserve grows the stream's event capacity to hold at least n more events
+// without reallocation. Under-reserving is safe (appends grow as usual);
+// it only forgoes part of the saving.
+func (s *Stream) Reserve(n int) {
+	if free := cap(s.Events) - len(s.Events); free < n {
+		grown := make([]Event, len(s.Events), len(s.Events)+n)
+		copy(grown, s.Events)
+		s.Events = grown
+	}
+}
+
 // AddRead appends a load of the given byte address.
 func (s *Stream) AddRead(addr uint64) {
 	s.Events = append(s.Events, Event{Kind: Read, Addr: addr})
@@ -141,6 +152,16 @@ func New(nproc int) *Trace {
 
 // NumCPU returns the number of processor streams.
 func (t *Trace) NumCPU() int { return len(t.Streams) }
+
+// Reserve pre-sizes every stream for about perCPU further events, so a
+// producer that knows its event count up front (see workloads.EventHinter)
+// skips the append growth chain — the dominant allocation cost of trace
+// generation.
+func (t *Trace) Reserve(perCPU int) {
+	for _, s := range t.Streams {
+		s.Reserve(perCPU)
+	}
+}
 
 // MemoryRefs returns the total M across all streams.
 func (t *Trace) MemoryRefs() uint64 {

@@ -160,6 +160,60 @@ func TestSerializationRoundTrip(t *testing.T) {
 	}
 }
 
+// TestAddComputeCoalesces pins the coalescing contract: consecutive
+// AddCompute calls merge into the preceding Compute event, the instruction
+// counters stay consistent with the merged events, Validate accepts the
+// result, and the coalesced form survives a serialization round trip.
+func TestAddComputeCoalesces(t *testing.T) {
+	tr := New(1)
+	s := tr.Streams[0]
+	s.AddCompute(3)
+	s.AddCompute(0) // no-op, must not break the run
+	s.AddCompute(4)
+	s.AddRead(64)
+	s.AddCompute(5)
+	s.AddCompute(6)
+	s.AddBarrier()
+	s.AddCompute(2) // after a barrier: a fresh Compute event
+
+	want := []Event{
+		{Kind: Compute, N: 7},
+		{Kind: Read, Addr: 64},
+		{Kind: Compute, N: 11},
+		{Kind: Barrier},
+		{Kind: Compute, N: 2},
+	}
+	if !reflect.DeepEqual(s.Events, want) {
+		t.Fatalf("coalesced events:\n got %+v\nwant %+v", s.Events, want)
+	}
+	if s.ComputeInstrs() != 20 {
+		t.Errorf("ComputeInstrs = %d, want 20", s.ComputeInstrs())
+	}
+	if s.Instructions() != 21 {
+		t.Errorf("Instructions = %d, want 21", s.Instructions())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	if _, err := got.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rs := got.Streams[0]
+	if !reflect.DeepEqual(rs.Events, want) {
+		t.Errorf("round-tripped events:\n got %+v\nwant %+v", rs.Events, want)
+	}
+	if rs.ComputeInstrs() != s.ComputeInstrs() || rs.Instructions() != s.Instructions() ||
+		rs.Barriers() != s.Barriers() {
+		t.Errorf("round-tripped counters mismatch: %+v vs %+v", rs, s)
+	}
+}
+
 func TestSerializationPropertyRoundTrip(t *testing.T) {
 	f := func(ops []uint32) bool {
 		tr := New(1)

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"sync"
 
 	"memhier/internal/locality"
 	"memhier/internal/sim/cache"
@@ -106,25 +107,73 @@ func Characterize(w Workload, opts CharacterizeOptions) (Characterization, error
 
 	an := stackdist.NewAnalyzer(1 << 16)
 	var counts trace.CountingSink
-	sink := trace.FuncSink(func(_ int, e trace.Event) {
-		counts.Emit(0, e)
-		if e.Kind == trace.Read || e.Kind == trace.Write {
-			an.Touch(trace.LineAddr(e.Addr, lineSize))
-			if lineAn != nil {
-				lineAn.Touch(trace.LineAddr(e.Addr, 64))
+
+	// The measurement consumers — the item-granularity analyzer, the
+	// line-granularity analyzer for the κ baseline, and one LRU simulation
+	// per conflict-curve capacity — are independent single-pass readers of
+	// the same reference stream. Fan generated events out to them in chunks
+	// over channels so they run concurrently; every consumer sees the full
+	// stream in order, so results are identical to the serial pass.
+	var wg sync.WaitGroup
+	var chans []chan []trace.Event
+	consume := func(fn func([]trace.Event)) {
+		ch := make(chan []trace.Event, 8)
+		chans = append(chans, ch)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for evs := range ch {
+				fn(evs)
 			}
-			if len(refCaches) > 0 {
-				refAccesses++
-				for i, rc := range refCaches {
+		}()
+	}
+	consume(func(evs []trace.Event) { an.TouchAll(evs, lineSize) })
+	if lineAn != nil {
+		consume(func(evs []trace.Event) { lineAn.TouchAll(evs, 64) })
+	}
+	for i := range refCaches {
+		i, rc := i, refCaches[i]
+		consume(func(evs []trace.Event) {
+			for _, e := range evs {
+				if e.Kind == trace.Read || e.Kind == trace.Write {
 					if _, hit := rc.Lookup(e.Addr); !hit {
 						refMisses[i]++
 						rc.Fill(e.Addr, cache.Shared)
 					}
 				}
 			}
+		})
+	}
+
+	const chunkEvents = 1 << 15
+	buf := make([]trace.Event, 0, chunkEvents)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		for _, ch := range chans {
+			ch <- buf
+		}
+		// Consumers share the flushed chunk read-only; start a fresh one.
+		buf = make([]trace.Event, 0, chunkEvents)
+	}
+	sink := trace.FuncSink(func(_ int, e trace.Event) {
+		counts.Emit(0, e)
+		if e.Kind == trace.Read || e.Kind == trace.Write {
+			refAccesses++
+		}
+		buf = append(buf, e)
+		if len(buf) == chunkEvents {
+			flush()
 		}
 	})
-	if err := w.Run(1, sink); err != nil {
+	err := w.Run(1, sink)
+	flush()
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	if err != nil {
 		return Characterization{}, fmt.Errorf("workloads: characterizing %s: %w", w.Name(), err)
 	}
 
@@ -198,6 +247,46 @@ func Characterize(w Workload, opts CharacterizeOptions) (Characterization, error
 		Conflict:      conflict,
 		ConflictCurve: curve,
 	}, nil
+}
+
+// AnalyzeStreams computes the stack-distance distribution of every
+// processor's reference stream and merges them into one distribution, the
+// per-CPU counterpart of Characterize's single-stream measurement. Each
+// stream is analyzed concurrently by its own Analyzer (batched through
+// TouchAll), then the per-CPU distributions are combined with
+// stackdist.Merge. lineSize is the measurement granule (1 = data item; else
+// a power-of-two line size).
+func AnalyzeStreams(tr *trace.Trace, lineSize int) (stackdist.Distribution, error) {
+	if lineSize < 1 || lineSize&(lineSize-1) != 0 {
+		return stackdist.Distribution{}, fmt.Errorf("workloads: line size %d not a power of two", lineSize)
+	}
+	if tr.NumCPU() == 0 {
+		return stackdist.Distribution{}, nil
+	}
+	dists := make([]stackdist.Distribution, tr.NumCPU())
+	var wg sync.WaitGroup
+	for i := range tr.Streams {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := tr.Streams[i]
+			// The stream's reference count bounds its footprint, so the
+			// analyzer never regrows (capped to keep huge traces sane).
+			hint := int(s.MemoryRefs())
+			if hint > 1<<20 {
+				hint = 1 << 20
+			}
+			an := stackdist.NewAnalyzer(hint)
+			an.TouchAll(s.Events, lineSize)
+			dists[i] = an.Distribution()
+		}(i)
+	}
+	wg.Wait()
+	merged := dists[0]
+	for _, d := range dists[1:] {
+		merged = stackdist.Merge(merged, d)
+	}
+	return merged, nil
 }
 
 func sortInts(xs []int) {

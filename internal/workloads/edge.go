@@ -31,6 +31,13 @@ func NewEdge(w, h, iters int) *Edge {
 // Name implements Workload.
 func (e *Edge) Name() string { return "EDGE" }
 
+// EventHint implements EventHinter. Every iteration convolves each pixel's
+// 3×3 neighborhood plus the exchange/threshold phases: ~24 events per pixel
+// per iteration measured; 26 leaves room for boundary rows.
+func (e *Edge) EventHint(nproc int) int {
+	return 26 * e.w * e.h * e.iters / nproc
+}
+
 // Description implements Workload.
 func (e *Edge) Description() string {
 	return fmt.Sprintf("iterative edge detection, %dx%d bitmap, %d iterations", e.w, e.h, e.iters)

@@ -1,0 +1,63 @@
+package workloads
+
+import "testing"
+
+// TestEventHintBounds keeps the kernels' EventHint estimates honest: every
+// hint must cover the busiest processor's actual event count (so the
+// pre-sized slice never regrows) without over-reserving past 3x (so a hint
+// never wastes multiples of the trace's real memory).
+func TestEventHintBounds(t *testing.T) {
+	ws := []Workload{
+		NewFFT(1 << 12),
+		NewLU(96, 8),
+		NewRadix(1<<15, 256),
+		NewEdge(48, 48, 3),
+		NewTPCC(8, 20000),
+	}
+	for _, w := range ws {
+		h, ok := w.(EventHinter)
+		if !ok {
+			t.Errorf("%s does not implement EventHinter", w.Name())
+			continue
+		}
+		for _, nproc := range []int{1, 4} {
+			tr, err := GenerateTrace(w, nproc)
+			if err != nil {
+				t.Fatalf("%s nproc=%d: %v", w.Name(), nproc, err)
+			}
+			max := 0
+			for _, s := range tr.Streams {
+				if len(s.Events) > max {
+					max = len(s.Events)
+				}
+			}
+			hint := h.EventHint(nproc)
+			if hint < max {
+				t.Errorf("%s nproc=%d: hint %d < busiest stream %d (pre-sized slice would regrow)",
+					w.Name(), nproc, hint, max)
+			}
+			if hint > 3*max {
+				t.Errorf("%s nproc=%d: hint %d > 3x busiest stream %d (wasteful over-reservation)",
+					w.Name(), nproc, hint, max)
+			}
+		}
+	}
+}
+
+// TestGenerateTraceSingleAllocation verifies the hint actually lands: after
+// generation, the busiest stream's backing array must be the pre-sized one
+// (capacity exactly the hint), proving no growth reallocation happened.
+func TestGenerateTraceSingleAllocation(t *testing.T) {
+	w := NewRadix(1<<12, 256)
+	const nproc = 2
+	tr, err := GenerateTrace(w, nproc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.EventHint(nproc)
+	for _, s := range tr.Streams {
+		if cap(s.Events) != want {
+			t.Errorf("cpu %d: event slice capacity %d, want pre-sized %d", s.CPU, cap(s.Events), want)
+		}
+	}
+}

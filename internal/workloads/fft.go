@@ -41,6 +41,14 @@ func (f *FFT) Description() string {
 // Points returns the transform size.
 func (f *FFT) Points() int { return f.n }
 
+// EventHint implements EventHinter. The six-step FFT emits ~4.6·n·log2(n)
+// events in total (three transposes at Θ(n), two rounds of row FFTs at
+// Θ(n·log n) dominating); 5·n·log2(n) bounds the busiest processor's share
+// with room for partition imbalance.
+func (f *FFT) EventHint(nproc int) int {
+	return 5 * f.n * bits.Len(uint(f.n-1)) / nproc
+}
+
 // Input returns the kernel's deterministic input signal.
 func (f *FFT) Input() []complex128 {
 	x := make([]complex128, f.n)

@@ -30,6 +30,17 @@ func NewRadix(keys, radix int) *Radix {
 // Name implements Workload.
 func (r *Radix) Name() string { return "Radix" }
 
+// EventHint implements EventHinter. Each pass histograms and permutes every
+// key (~9 events per key per pass measured after register filtering); the
+// radix term covers the per-processor histogram-merge and bucket-offset
+// phases, which scan other processors' histograms and so do not shrink
+// with nproc.
+func (r *Radix) EventHint(nproc int) int {
+	logR := bits.Len(uint(r.radix - 1))
+	passes := (32 + logR - 1) / logR
+	return 10*r.keys*passes/nproc + 8*r.radix*passes
+}
+
 // Description implements Workload.
 func (r *Radix) Description() string {
 	return fmt.Sprintf("radix sort, %d keys, radix %d", r.keys, r.radix)

@@ -38,6 +38,13 @@ func NewTPCC(warehouses, txns int) *TPCC {
 // Name implements Workload.
 func (t *TPCC) Name() string { return "TPC-C" }
 
+// EventHint implements EventHinter. A transaction walks the B-tree-like
+// index and touches a bounded row set: ~20 events per transaction measured;
+// 22 covers per-processor skew.
+func (t *TPCC) EventHint(nproc int) int {
+	return 22 * t.txns / nproc
+}
+
 // Description implements Workload.
 func (t *TPCC) Description() string {
 	return fmt.Sprintf("synthetic OLTP, %d warehouses, %d transactions", t.warehouses, t.txns)

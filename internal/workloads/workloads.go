@@ -34,9 +34,25 @@ type Workload interface {
 	Run(nproc int, sink trace.Sink) error
 }
 
+// EventHinter is optionally implemented by workloads that can estimate, from
+// their problem size alone, how many events the busiest processor will emit.
+// GenerateTrace uses the hint to pre-size the trace's event slices so
+// materializing a stream costs one allocation instead of a growth chain.
+// Hints are estimates: under-hinting just falls back to normal slice growth.
+type EventHinter interface {
+	// EventHint returns an approximate upper bound on the number of trace
+	// events any single processor emits when run over nproc processors.
+	EventHint(nproc int) int
+}
+
 // GenerateTrace runs the workload and materializes its full trace.
 func GenerateTrace(w Workload, nproc int) (*trace.Trace, error) {
 	tr := trace.New(nproc)
+	if h, ok := w.(EventHinter); ok {
+		if n := h.EventHint(nproc); n > 0 {
+			tr.Reserve(n)
+		}
+	}
 	if err := w.Run(nproc, tr); err != nil {
 		return nil, fmt.Errorf("workloads: running %s: %w", w.Name(), err)
 	}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench.sh — run the tracked benchmark families and record the results.
+#
+# Usage: scripts/bench.sh [-short] [output.json]
+#
+# Runs the simulator-engine and stack-distance benchmark families with
+# -benchtime=1x -count=3 (best-of-3 per benchmark) and writes a JSON array
+# of {name, ns_op, allocs_op} to BENCH_PR2.json (or the given path).
+# -short drops to -count=1: the CI smoke mode that only proves the
+# benchmarks still compile and run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+count=3
+out=BENCH_PR2.json
+for arg in "$@"; do
+  case "$arg" in
+    -short) count=1 ;;
+    *) out=$arg ;;
+  esac
+done
+
+pattern='^(BenchmarkSimulate|BenchmarkRun|BenchmarkStreamRun|BenchmarkAccessCacheHit|BenchmarkTouch)'
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+for pkg in ./internal/sim/backend ./internal/stackdist; do
+  go test "$pkg" -run '^$' -bench "$pattern" -benchtime=1x -count="$count" -benchmem | tee -a "$raw"
+done
+
+awk -v out="$out" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    ns = ""; al = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "allocs/op") al = $(i - 1)
+    }
+    if (ns == "") next
+    if (!(name in best)) order[++n] = name
+    if (!(name in best) || ns + 0 < best[name]) {
+        best[name] = ns + 0
+        allocs[name] = al + 0
+    }
+}
+END {
+    printf "[\n" > out
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "  {\"name\": \"%s\", \"ns_op\": %d, \"allocs_op\": %d}%s\n", \
+            name, best[name], allocs[name], (i < n ? "," : "") > out
+    }
+    printf "]\n" > out
+}' "$raw"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks, best of $count)"
