@@ -21,7 +21,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"memhier/internal/core"
 	"memhier/internal/cost"
@@ -60,23 +59,20 @@ func main() {
 			fail(fmt.Errorf("reading %s: %w", *workloadFile, err))
 		}
 	} else if *measured {
-		k, err := workloads.ByName(strings.ToLower(*workload), workloads.ScaleSmall)
+		fmt.Printf("collecting and analyzing the %s address stream...\n", *workload)
+		var c workloads.Characterization
+		var err error
+		wl, c, err = experiments.MeasuredWorkload(*workload)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("collecting and analyzing the %s address stream...\n", k.Name())
-		c, err := workloads.Characterize(k, workloads.CharacterizeOptions{LineSize: 64})
-		if err != nil {
-			fail(err)
-		}
-		wl = experiments.ModelWorkload(c)
 		fmt.Printf("  alpha=%.3f beta=%.2f gamma=%.3f kappa=%.2f footprint=%d lines (R2 %.3f)\n",
 			c.Params.Alpha, c.Params.Beta, c.Params.Gamma, c.Conflict, c.Distinct, c.Fit.R2)
 	} else {
-		var ok bool
-		wl, ok = core.PaperWorkload(*workload)
-		if !ok {
-			fail(fmt.Errorf("unknown paper workload %q (or pass -measured with a kernel name)", *workload))
+		var err error
+		wl, err = core.PaperWorkloadByName(*workload)
+		if err != nil {
+			fail(fmt.Errorf("%w (or pass -measured with a kernel name)", err))
 		}
 	}
 

@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"memhier/internal/workloads"
 )
@@ -39,7 +38,7 @@ func main() {
 	if *paperScale {
 		scale = workloads.ScalePaper
 	}
-	k, err := workloads.ByName(strings.ToLower(*workload), scale)
+	k, err := workloads.ByName(*workload, scale)
 	if err != nil {
 		fail(err)
 	}

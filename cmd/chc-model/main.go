@@ -46,20 +46,6 @@ func parseSize(s string) (int64, error) {
 	return v * mult, nil
 }
 
-func parseNet(s string) (machine.NetworkKind, error) {
-	switch strings.ToLower(s) {
-	case "", "none":
-		return machine.NetNone, nil
-	case "10", "10mb", "ethernet":
-		return machine.NetBus10, nil
-	case "100", "100mb", "fast-ethernet":
-		return machine.NetBus100, nil
-	case "155", "atm", "switch":
-		return machine.NetSwitch155, nil
-	}
-	return 0, fmt.Errorf("unknown network %q (want 10, 100, atm)", s)
-}
-
 func main() {
 	var (
 		config       = flag.String("config", "", "catalog configuration C1-C15")
@@ -92,19 +78,12 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		net, err := parseNet(*netStr)
+		net, err := machine.ParseNetwork(*netStr)
 		if err != nil {
 			fail(err)
 		}
-		var k machine.PlatformKind
-		switch strings.ToLower(*kind) {
-		case "smp":
-			k = machine.SMP
-		case "ws":
-			k = machine.ClusterWS
-		case "csmp":
-			k = machine.ClusterSMP
-		default:
+		k, err := machine.ParsePlatformKind(*kind)
+		if err != nil {
 			fail(fmt.Errorf("need -config or -kind (smp, ws, csmp)"))
 		}
 		cfg = machine.Config{Name: "custom", Kind: k, N: *nMach, Procs: *nProc,
@@ -123,22 +102,17 @@ func main() {
 			fail(fmt.Errorf("reading %s: %w", *workloadFile, err))
 		}
 	} else if *measured {
-		k, err := workloads.ByName(strings.ToLower(*workload), workloads.ScaleSmall)
+		var c workloads.Characterization
+		wl, c, err = experiments.MeasuredWorkload(*workload)
 		if err != nil {
 			fail(err)
 		}
-		c, err := workloads.Characterize(k, workloads.CharacterizeOptions{LineSize: 64})
-		if err != nil {
-			fail(err)
-		}
-		wl = experiments.ModelWorkload(c)
 		fmt.Printf("measured characterization: alpha=%.3f beta=%.2f gamma=%.3f kappa=%.2f footprint=%d lines\n",
 			c.Params.Alpha, c.Params.Beta, c.Params.Gamma, c.Conflict, c.Distinct)
 	} else {
-		var ok bool
-		wl, ok = core.PaperWorkload(*workload)
-		if !ok {
-			fail(fmt.Errorf("unknown paper workload %q", *workload))
+		wl, err = core.PaperWorkloadByName(*workload)
+		if err != nil {
+			fail(err)
 		}
 	}
 
@@ -148,15 +122,5 @@ func main() {
 		fail(err)
 	}
 
-	fmt.Printf("platform:  %s (%s, n=%d, N=%d, cache %dKB, mem %dMB, net %v)\n",
-		cfg.Name, cfg.Kind, cfg.Procs, cfg.N, cfg.CacheBytes>>10, cfg.MemoryBytes>>20, cfg.Net)
-	fmt.Printf("workload:  %s (alpha=%.2f beta=%.2f gamma=%.2f)\n",
-		wl.Name, wl.Locality.Alpha, wl.Locality.Beta, wl.Locality.Gamma)
-	fmt.Printf("T        = %.3f cycles/reference (barrier part %.3f)\n", res.T, res.Barrier)
-	fmt.Printf("E(Instr) = %.4f cycles = %.4g seconds at %g MHz\n", res.EInstr, res.Seconds, cfg.ClockMHz)
-	fmt.Println("levels:")
-	for _, lv := range res.Levels {
-		fmt.Printf("  %-14s miss=%.4f service=%.0f contended=%.1f utilization=%.3f cycles/ref=%.3f\n",
-			lv.Name, lv.MissFraction, lv.Uncontended, lv.Contended, lv.Utilization, lv.CyclesPerRef)
-	}
+	core.RenderResult(os.Stdout, wl, res)
 }

@@ -98,24 +98,20 @@ func main() {
 		fmt.Fprintf(out, "calibrated coherence adjustment δ = %.2f (mean |model−sim| = %.1f%%)\n", best, diff)
 		fmt.Fprintf(out, "(the paper's empirically determined value was 12.4%%)\n")
 	case *table != 0:
+		// The tables are served from the same named-artifact registry that
+		// -all renders, so the dispatch lives in one place.
 		s := experiments.NewSuite(opts)
-		switch *table {
-		case 1:
-			experiments.Table1().Render(out)
-		case 2:
-			_, t, err := s.Table2()
-			run(err)
-			t.Render(out)
-			fmt.Fprintln(out)
-			experiments.PaperTable2().Render(out)
-		case 3:
-			experiments.Table3().Render(out)
-		case 4:
-			experiments.Table4().Render(out)
-		case 5:
-			experiments.Table5().Render(out)
-		default:
+		if *table < 1 || *table > 5 {
 			run(fmt.Errorf("no table %d (have 1-5)", *table))
+		}
+		names := []string{fmt.Sprintf("table%d", *table)}
+		if *table == 2 {
+			names = append(names, "table2-paper")
+		}
+		for _, name := range names {
+			a, err := s.Artifact(name)
+			run(err)
+			run(a.Render(out))
 		}
 	case *figure != 0:
 		s := experiments.NewSuite(opts)

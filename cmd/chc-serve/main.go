@@ -1,0 +1,195 @@
+// Command chc-serve runs the memory-hierarchy prediction service: the
+// Du–Zhang analytical model, budget optimizer, upgrade advisor, locality
+// fitter, and execution-driven validator behind an HTTP JSON API.
+//
+// Endpoints:
+//
+//	POST /v1/predict   {"config":{"name":"C4"},"workload":{"name":"fft"}}
+//	POST /v1/optimize  {"budget":5000,"workload":{"name":"radix"}}
+//	POST /v1/advise    {"config":{"name":"C1"},"budget":3000,"workload":{"name":"tpcc"}}
+//	POST /v1/fit       {"xs":[...],"ps":[...]}
+//	POST /v1/validate  {"config":{"name":"C4"},"workload":"fft"}
+//	GET  /healthz /readyz /metrics
+//
+// Identical requests are answered from a sharded LRU cache with
+// single-flight deduplication; /v1/validate runs on a bounded worker pool
+// that sheds load with 429 + Retry-After once the queue is full. SIGINT or
+// SIGTERM triggers a graceful shutdown: /readyz starts failing, in-flight
+// requests complete, then the process exits.
+//
+// The -bench flag turns the binary into a load generator instead: it
+// starts an in-process server, replays a mixed request stream at the
+// given concurrency, and writes a throughput record (for BENCH_PR3.json).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"memhier/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		cacheSize  = flag.Int("cache", 4096, "result cache entries")
+		simWorkers = flag.Int("sim-workers", 0, "simulation workers (default: NumCPU)")
+		simQueue   = flag.Int("sim-queue", 0, "simulation queue depth (default: 2x workers)")
+		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "analytical request deadline")
+		simTimeout = flag.Duration("sim-timeout", 5*time.Minute, "/v1/validate deadline")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
+		bench      = flag.Bool("bench", false, "run the load generator instead of serving")
+		benchConc  = flag.Int("bench-concurrency", 8, "load generator client goroutines")
+		benchDur   = flag.Duration("bench-duration", 3*time.Second, "load generator run time")
+		benchOut   = flag.String("bench-out", "", "write the throughput record to this file (default stdout)")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		CacheEntries:   *cacheSize,
+		SimWorkers:     *simWorkers,
+		SimQueueDepth:  *simQueue,
+		RequestTimeout: *reqTimeout,
+		SimTimeout:     *simTimeout,
+	}
+
+	if *bench {
+		if err := runBench(cfg, *benchConc, *benchDur, *benchOut); err != nil {
+			log.Fatalf("chc-serve -bench: %v", err)
+		}
+		return
+	}
+
+	s := server.New(cfg)
+	s.Publish()
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("chc-serve listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("chc-serve: %v", err)
+	case sig := <-sigc:
+		log.Printf("chc-serve: %v: draining", sig)
+	}
+
+	// Graceful shutdown: fail readiness first so load balancers stop
+	// routing here, then drain HTTP handlers, then the simulation pool.
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("chc-serve: shutdown: %v", err)
+	}
+	s.Close()
+	log.Print("chc-serve: drained")
+}
+
+// benchMix is the load generator's request stream: a cache-friendly
+// predict mix over the paper's configurations and workloads plus the
+// occasional optimize call.
+func benchMix() []struct{ path, body string } {
+	var mix []struct{ path, body string }
+	for _, c := range []string{"C1", "C4", "C8", "C11", "C15"} {
+		for _, w := range []string{"fft", "lu", "radix", "edge", "tpcc"} {
+			mix = append(mix, struct{ path, body string }{
+				"/v1/predict",
+				fmt.Sprintf(`{"config":{"name":%q},"workload":{"name":%q}}`, c, w),
+			})
+		}
+	}
+	mix = append(mix, struct{ path, body string }{
+		"/v1/optimize", `{"budget":5000,"workload":{"name":"radix"}}`,
+	})
+	return mix
+}
+
+// runBench drives an in-process handler (no sockets: measures the service
+// stack, not the kernel's TCP path) and writes a JSON throughput record.
+func runBench(cfg server.Config, concurrency int, duration time.Duration, out string) error {
+	s := server.New(cfg)
+	defer s.Close()
+	h := s.Handler()
+	mix := benchMix()
+
+	var requests, failures atomic.Int64
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			i := c
+			for time.Now().Before(deadline) {
+				m := mix[i%len(mix)]
+				i++
+				req, err := http.NewRequest(http.MethodPost, m.path, bytes.NewReader([]byte(m.body)))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				rec := &countingWriter{header: make(http.Header)}
+				h.ServeHTTP(rec, req)
+				requests.Add(1)
+				if rec.status >= 400 {
+					failures.Add(1)
+				}
+			}
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	record := map[string]any{
+		"benchmark":      "chc-serve-load",
+		"concurrency":    concurrency,
+		"duration_s":     elapsed.Seconds(),
+		"requests":       requests.Load(),
+		"failures":       failures.Load(),
+		"requests_per_s": float64(requests.Load()) / elapsed.Seconds(),
+		"metrics":        s.Metrics(),
+	}
+	b, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(out, b, 0o644)
+}
+
+// countingWriter is a minimal ResponseWriter for the in-process load
+// generator: it discards bodies and keeps the status.
+type countingWriter struct {
+	header http.Header
+	status int
+}
+
+func (w *countingWriter) Header() http.Header { return w.header }
+func (w *countingWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return io.Discard.Write(b)
+}
+func (w *countingWriter) WriteHeader(code int) { w.status = code }

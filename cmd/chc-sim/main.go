@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"memhier/internal/machine"
 	"memhier/internal/profiling"
@@ -63,7 +62,7 @@ func main() {
 	if *paperScale {
 		scale = workloads.ScalePaper
 	}
-	k, err := workloads.ByName(strings.ToLower(*workload), scale)
+	k, err := workloads.ByName(*workload, scale)
 	if err != nil {
 		fail(err)
 	}

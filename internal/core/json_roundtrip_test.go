@@ -1,0 +1,145 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"memhier/internal/locality"
+	"memhier/internal/machine"
+)
+
+// roundTrip marshals v, unmarshals into a fresh value of the same type,
+// and re-marshals, failing unless value and bytes are both stable. This is
+// the drift guard for every payload type the chc-serve API exposes: if a
+// field gains a tag, changes type, or loses its encoder, one of the three
+// comparisons breaks.
+func roundTrip(t *testing.T, v any) {
+	t.Helper()
+	first, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	out := reflect.New(reflect.TypeOf(v))
+	if err := json.Unmarshal(first, out.Interface()); err != nil {
+		t.Fatalf("unmarshal %T from %s: %v", v, first, err)
+	}
+	got := out.Elem().Interface()
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("%T round trip changed the value:\n got %+v\nwant %+v", v, got, v)
+	}
+	second, err := json.Marshal(got)
+	if err != nil {
+		t.Fatalf("re-marshal %T: %v", v, err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("%T encoding not stable:\nfirst  %s\nsecond %s", v, first, second)
+	}
+}
+
+// TestAPITypesJSONRoundTrip walks every request/response building block
+// the prediction service serializes: workloads, machine configurations,
+// solved results, per-level stats, locality parameters, and fit stats.
+func TestAPITypesJSONRoundTrip(t *testing.T) {
+	for _, wl := range append(PaperWorkloads(), PaperTPCC()) {
+		roundTrip(t, wl)
+	}
+	roundTrip(t, Workload{
+		Name:              "custom",
+		Locality:          locality.Params{Alpha: 1.4, Beta: 250, Gamma: 0.33},
+		HitMass:           0.25,
+		BytesPerItem:      64,
+		FootprintItems:    1 << 18,
+		ConflictFactor:    1.2,
+		ConflictCurve:     []ConflictPoint{{CapacityItems: 1024, Kappa: 1.5}, {CapacityItems: 65536, Kappa: 1.1}},
+		RemoteShare:       0.15,
+		CoherenceMissRate: 0.02,
+	})
+	for _, cfg := range machine.Catalog() {
+		roundTrip(t, cfg)
+	}
+	roundTrip(t, LevelStats{Name: "remote memory", MissFraction: 0.01,
+		Uncontended: 3275, Contended: 4100.5, Utilization: 0.4,
+		CyclesPerRef: 41.005, CapacityItems: 1 << 20})
+	roundTrip(t, locality.Params{Alpha: 1.21, Beta: 103.26, Gamma: 0.2})
+	roundTrip(t, locality.FitStats{RMSE: 0.01, R2: 0.998, Iterations: 42, Points: 512})
+}
+
+// TestResultJSONRoundTrip solves the model for a sample of catalog
+// configurations and round-trips the full Result — the richest payload
+// /v1/predict derives from — including the embedded machine.Config with
+// its text-encoded platform and network kinds.
+func TestResultJSONRoundTrip(t *testing.T) {
+	for _, name := range []string{"C1", "C4", "C8", "C11", "C15"} {
+		cfg, err := machine.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wl := range append(PaperWorkloads(), PaperTPCC()) {
+			res, err := Evaluate(cfg, wl, Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, wl.Name, err)
+			}
+			roundTrip(t, res)
+		}
+	}
+}
+
+// TestWorkloadJSONRoundTripRandom fuzzes the workload schema with a
+// deterministic generator: random in-domain parameter draws must survive
+// marshal→unmarshal→marshal unchanged (the custom codec validates on
+// decode, so every draw is kept inside the model's domain).
+func TestWorkloadJSONRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		wl := Workload{
+			Name: "fuzz",
+			Locality: locality.Params{
+				Alpha: 1 + math.Nextafter(0, 1) + rng.Float64()*2,
+				Beta:  math.Ldexp(1+rng.Float64(), rng.Intn(20)),
+				Gamma: 0.05 + 0.9*rng.Float64(),
+			},
+			HitMass:           0.99 * rng.Float64(),
+			BytesPerItem:      float64(int(8) << rng.Intn(4)),
+			FootprintItems:    float64(rng.Intn(1 << 22)),
+			RemoteShare:       rng.Float64(),
+			CoherenceMissRate: rng.Float64(),
+		}
+		if rng.Intn(2) == 0 {
+			wl.ConflictFactor = 1 + rng.Float64()
+		} else {
+			cap := 1 + rng.Float64()*1024
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				wl.ConflictCurve = append(wl.ConflictCurve, ConflictPoint{
+					CapacityItems: cap, Kappa: 1 + rng.Float64(),
+				})
+				cap *= 2 + rng.Float64()
+			}
+		}
+		roundTrip(t, wl)
+	}
+}
+
+// TestPaperWorkloadByName checks the error-returning registry accessor:
+// canonical names, case-insensitive spellings, kernel aliases, and the
+// error listing the available set.
+func TestPaperWorkloadByName(t *testing.T) {
+	for alias, want := range map[string]string{
+		"FFT": "FFT", "fft": "FFT", "Lu": "LU", "radix": "Radix",
+		"edge": "EDGE", "EDGE": "EDGE", "tpcc": "TPC-C", "TPC-C": "TPC-C",
+		"tpc-c": "TPC-C", " fft ": "FFT",
+	} {
+		wl, err := PaperWorkloadByName(alias)
+		if err != nil {
+			t.Fatalf("PaperWorkloadByName(%q): %v", alias, err)
+		}
+		if wl.Name != want {
+			t.Errorf("PaperWorkloadByName(%q) = %q, want %q", alias, wl.Name, want)
+		}
+	}
+	if _, err := PaperWorkloadByName("barnes"); err == nil {
+		t.Fatal("expected an error for an unknown workload")
+	}
+}

@@ -242,29 +242,31 @@ type Level struct {
 	SharingLevel bool
 }
 
-// LevelStats reports one level's share of the solved model.
+// LevelStats reports one level's share of the solved model. The JSON
+// encoding is part of the chc-serve API surface.
 type LevelStats struct {
-	Name          string
-	MissFraction  float64 // fraction of references paying this penalty
-	Uncontended   float64 // τ_i
-	Contended     float64 // M/D/1 response at the solution
-	Utilization   float64 // offered load at the shared server
-	CyclesPerRef  float64 // MissFraction × Contended
-	CapacityItems float64
+	Name          string  `json:"name"`
+	MissFraction  float64 `json:"miss_fraction"`      // fraction of references paying this penalty
+	Uncontended   float64 `json:"uncontended_cycles"` // τ_i
+	Contended     float64 `json:"contended_cycles"`   // M/D/1 response at the solution
+	Utilization   float64 `json:"utilization"`        // offered load at the shared server
+	CyclesPerRef  float64 `json:"cycles_per_ref"`     // MissFraction × Contended
+	CapacityItems float64 `json:"capacity_items"`
 }
 
-// Result is a solved model evaluation.
+// Result is a solved model evaluation. The JSON encoding is part of the
+// chc-serve API surface.
 type Result struct {
-	Config  machine.Config
-	T       float64 // average memory access time per reference, cycles
-	Barrier float64 // barrier contribution included in T, cycles
+	Config  machine.Config `json:"config"`
+	T       float64        `json:"t_cycles"`       // average memory access time per reference, cycles
+	Barrier float64        `json:"barrier_cycles"` // barrier contribution included in T, cycles
 	// EInstr is the average execution time per instruction across the
 	// whole platform, (1/(nN))·(1/S + γT), in cycles (eq. 4).
-	EInstr float64
+	EInstr float64 `json:"e_instr_cycles"`
 	// Seconds is EInstr converted with the configured clock.
-	Seconds    float64
-	Levels     []LevelStats
-	Iterations int // fixed-point bisection steps
+	Seconds    float64      `json:"seconds"`
+	Levels     []LevelStats `json:"levels"`
+	Iterations int          `json:"iterations"` // fixed-point bisection steps
 }
 
 // Evaluate solves the model for one platform configuration and workload.

@@ -1,6 +1,11 @@
 package core
 
-import "memhier/internal/locality"
+import (
+	"fmt"
+	"strings"
+
+	"memhier/internal/locality"
+)
 
 // PaperWorkloads returns the paper's Table 2 characterizations (plus the
 // TPC-C measurement quoted in §5.2) as model workloads. β is in data items,
@@ -46,4 +51,28 @@ func PaperWorkload(name string) (Workload, bool) {
 		}
 	}
 	return Workload{}, false
+}
+
+// PaperWorkloadNames returns the canonical Table 2 workload names in the
+// paper's order.
+func PaperWorkloadNames() []string {
+	return []string{"FFT", "LU", "Radix", "EDGE", "TPC-C"}
+}
+
+// PaperWorkloadByName is the error-returning registry lookup shared by the
+// CLIs and the chc-serve API: it resolves a Table 2 workload
+// case-insensitively and accepts the kernel-style aliases ("fft", "tpcc",
+// "tpc-c"). The error names the available set.
+func PaperWorkloadByName(name string) (Workload, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "tpcc" || key == "tpc-c" {
+		return PaperTPCC(), nil
+	}
+	for _, w := range PaperWorkloads() {
+		if strings.ToLower(w.Name) == key {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("core: unknown paper workload %q (have %s)",
+		name, strings.Join(PaperWorkloadNames(), ", "))
 }

@@ -214,12 +214,12 @@ func describe(c machine.Config) string {
 // Scored is one feasible configuration with its price and modeled
 // performance.
 type Scored struct {
-	Config machine.Config
-	Cost   float64
-	EInstr float64 // modeled cycles per instruction (cluster-wide)
+	Config machine.Config `json:"config"`
+	Cost   float64        `json:"cost"`
+	EInstr float64        `json:"e_instr_cycles"` // modeled cycles per instruction (cluster-wide)
 	// Seconds is EInstr in wall time — the ranking key, so platforms with
 	// different clocks compare fairly.
-	Seconds float64
+	Seconds float64 `json:"seconds"`
 }
 
 // Optimize solves eq. 6: the feasible configuration with minimal modeled
@@ -307,12 +307,12 @@ func (c Catalog) UpgradeCost(old, next machine.Config) (float64, error) {
 
 // UpgradePlan is the outcome of the upgrade optimization.
 type UpgradePlan struct {
-	From        machine.Config
-	To          machine.Config
-	UpgradeCost float64
-	OldEInstr   float64
-	NewEInstr   float64
-	Speedup     float64 // OldEInstr / NewEInstr
+	From        machine.Config `json:"from"`
+	To          machine.Config `json:"to"`
+	UpgradeCost float64        `json:"upgrade_cost"`
+	OldEInstr   float64        `json:"old_e_instr_cycles"`
+	NewEInstr   float64        `json:"new_e_instr_cycles"`
+	Speedup     float64        `json:"speedup"` // OldEInstr / NewEInstr
 }
 
 // Upgrade finds the best configuration reachable from the existing cluster

@@ -22,9 +22,9 @@ import (
 // paper's stack-distance model and the memory-reference fraction γ.
 // Locality improves as α grows or β shrinks.
 type Params struct {
-	Alpha float64 // decay exponent, > 1
-	Beta  float64 // scale (characteristic stack distance), > 0
-	Gamma float64 // fraction of instructions that reference memory, in [0, 1]
+	Alpha float64 `json:"alpha"` // decay exponent, > 1
+	Beta  float64 `json:"beta"`  // scale (characteristic stack distance), > 0
+	Gamma float64 `json:"gamma"` // fraction of instructions that reference memory, in [0, 1]
 }
 
 // Validate reports whether the parameters are inside the model's domain.
@@ -93,10 +93,10 @@ func (p Params) Rescale(nproc int) Params {
 
 // FitStats summarizes fit quality.
 type FitStats struct {
-	RMSE       float64 // root mean squared residual of the CDF fit
-	R2         float64 // coefficient of determination
-	Iterations int     // LM iterations used
-	Points     int     // number of fitted points
+	RMSE       float64 `json:"rmse"`       // root mean squared residual of the CDF fit
+	R2         float64 `json:"r2"`         // coefficient of determination
+	Iterations int     `json:"iterations"` // LM iterations used
+	Points     int     `json:"points"`     // number of fitted points
 }
 
 // FitOptions tunes the least-squares fit. The zero value selects sensible

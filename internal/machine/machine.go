@@ -6,7 +6,10 @@
 // 200 MHz processor).
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // PlatformKind classifies the three parallel systems of Table 1.
 type PlatformKind int
@@ -29,6 +32,44 @@ func (k PlatformKind) String() string {
 		return "cluster of SMPs"
 	}
 	return fmt.Sprintf("PlatformKind(%d)", int(k))
+}
+
+// MarshalText encodes the platform kind as its short CLI/API spelling
+// ("smp", "ws", "csmp"), so machine.Config JSON stays human-readable.
+func (k PlatformKind) MarshalText() ([]byte, error) {
+	switch k {
+	case SMP:
+		return []byte("smp"), nil
+	case ClusterWS:
+		return []byte("ws"), nil
+	case ClusterSMP:
+		return []byte("csmp"), nil
+	}
+	return nil, fmt.Errorf("machine: unknown platform kind %d", int(k))
+}
+
+// UnmarshalText parses a platform kind via ParsePlatformKind.
+func (k *PlatformKind) UnmarshalText(text []byte) error {
+	v, err := ParsePlatformKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// ParsePlatformKind parses the CLI/API spellings of the platform classes:
+// "smp", "ws" (cluster of workstations), "csmp" (cluster of SMPs).
+func ParsePlatformKind(s string) (PlatformKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "smp":
+		return SMP, nil
+	case "ws", "cluster-ws", "workstations":
+		return ClusterWS, nil
+	case "csmp", "cluster-smp", "smp-cluster":
+		return ClusterSMP, nil
+	}
+	return 0, fmt.Errorf("machine: unknown platform kind %q (want smp, ws, csmp)", s)
 }
 
 // ExtraLevels returns the additional memory-hierarchy levels (Table 1's
@@ -74,16 +115,61 @@ func (n NetworkKind) String() string {
 // IsBus reports whether the network is bus-based (a single shared medium).
 func (n NetworkKind) IsBus() bool { return n == NetBus10 || n == NetBus100 }
 
-// Config is one cluster platform configuration.
+// MarshalText encodes the network as its short CLI/API spelling ("none",
+// "10mb", "100mb", "atm").
+func (n NetworkKind) MarshalText() ([]byte, error) {
+	switch n {
+	case NetNone:
+		return []byte("none"), nil
+	case NetBus10:
+		return []byte("10mb"), nil
+	case NetBus100:
+		return []byte("100mb"), nil
+	case NetSwitch155:
+		return []byte("atm"), nil
+	}
+	return nil, fmt.Errorf("machine: unknown network kind %d", int(n))
+}
+
+// UnmarshalText parses a network via ParseNetwork.
+func (n *NetworkKind) UnmarshalText(text []byte) error {
+	v, err := ParseNetwork(string(text))
+	if err != nil {
+		return err
+	}
+	*n = v
+	return nil
+}
+
+// ParseNetwork parses the CLI/API spellings of the cluster networks: "10"
+// or "10mb" (Ethernet bus), "100" or "100mb" (Fast Ethernet bus), "155",
+// "atm" or "switch" (the ATM switch), and "" or "none" for no network.
+func ParseNetwork(s string) (NetworkKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "none":
+		return NetNone, nil
+	case "10", "10mb", "ethernet":
+		return NetBus10, nil
+	case "100", "100mb", "fast-ethernet":
+		return NetBus100, nil
+	case "155", "155mb", "atm", "switch":
+		return NetSwitch155, nil
+	}
+	return 0, fmt.Errorf("machine: unknown network %q (want 10, 100, atm)", s)
+}
+
+// Config is one cluster platform configuration. The JSON encoding is part
+// of the chc-serve API surface: kinds and networks serialize as their short
+// text spellings via the TextMarshaler implementations above.
 type Config struct {
-	Name        string
-	Kind        PlatformKind
-	N           int   // machines in the cluster
-	Procs       int   // processors per machine (n)
-	CacheBytes  int64 // per-processor cache capacity
-	MemoryBytes int64 // per-machine memory capacity
-	Net         NetworkKind
-	ClockMHz    float64 // processor clock; instruction rate is 1/cycle
+	Name        string       `json:"name"`
+	Kind        PlatformKind `json:"kind"`
+	N           int          `json:"machines"`     // machines in the cluster
+	Procs       int          `json:"procs"`        // processors per machine (n)
+	CacheBytes  int64        `json:"cache_bytes"`  // per-processor cache capacity
+	MemoryBytes int64        `json:"memory_bytes"` // per-machine memory capacity
+	Net         NetworkKind  `json:"net"`
+	ClockMHz    float64      `json:"clock_mhz"` // processor clock; instruction rate is 1/cycle
 }
 
 // TotalProcs returns n·N, the processor count of the whole platform.
@@ -218,7 +304,7 @@ func Catalog() []Config {
 // ByName returns the named catalog configuration (C1–C15).
 func ByName(name string) (Config, error) {
 	for _, c := range Catalog() {
-		if c.Name == name {
+		if strings.EqualFold(c.Name, strings.TrimSpace(name)) {
 			return c, nil
 		}
 	}

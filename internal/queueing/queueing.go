@@ -39,6 +39,31 @@ type Guard struct {
 	MaxRho float64
 }
 
+// SaturationError is the typed rejection of the guarded response
+// functions: it carries the offending utilization (and the guard in
+// force) so callers can surface ρ structurally — e.g. in a JSON error
+// body — instead of parsing the message. It wraps ErrSaturated or
+// ErrNearSaturated, so existing errors.Is checks keep working.
+type SaturationError struct {
+	Rho    float64 // offered load λτ at the rejected operating point
+	MaxRho float64 // guard threshold in force (1 for true saturation)
+	Tau    float64 // service time
+	Lambda float64 // arrival rate
+	kind   error   // ErrSaturated or ErrNearSaturated
+}
+
+// Error renders the same message the untyped errors carried.
+func (e *SaturationError) Error() string {
+	if e.kind == ErrSaturated {
+		return fmt.Sprintf("%v: rho=%.4f (tau=%v, lambda=%v)", e.kind, e.Rho, e.Tau, e.Lambda)
+	}
+	return fmt.Sprintf("%v: rho=%.6f exceeds guard %.6f (tau=%v, lambda=%v)",
+		e.kind, e.Rho, e.MaxRho, e.Tau, e.Lambda)
+}
+
+// Unwrap exposes the sentinel (ErrSaturated or ErrNearSaturated).
+func (e *SaturationError) Unwrap() error { return e.kind }
+
 func (g Guard) maxRho() float64 {
 	if g.MaxRho <= 0 {
 		return 1
@@ -49,11 +74,10 @@ func (g Guard) maxRho() float64 {
 // check validates the offered load rho against the guard.
 func (g Guard) check(rho, tau, lambda float64) error {
 	if rho >= 1 {
-		return fmt.Errorf("%w: rho=%.4f (tau=%v, lambda=%v)", ErrSaturated, rho, tau, lambda)
+		return &SaturationError{Rho: rho, MaxRho: 1, Tau: tau, Lambda: lambda, kind: ErrSaturated}
 	}
 	if max := g.maxRho(); rho > max {
-		return fmt.Errorf("%w: rho=%.6f exceeds guard %.6f (tau=%v, lambda=%v)",
-			ErrNearSaturated, rho, max, tau, lambda)
+		return &SaturationError{Rho: rho, MaxRho: max, Tau: tau, Lambda: lambda, kind: ErrNearSaturated}
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package queueing
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -421,5 +422,56 @@ func TestGuardedMatchesUnguardedBelowThreshold(t *testing.T) {
 		if plain != guarded {
 			t.Errorf("rho=%v: guarded %v != unguarded %v", rho, guarded, plain)
 		}
+	}
+}
+
+// TestSaturationErrorCarriesRho checks the guard rejections are typed:
+// errors.As must extract a SaturationError with the offending utilization
+// and guard threshold, through both direct and wrapped chains, for the
+// near-saturated and truly saturated regimes alike. This is what lets the
+// prediction service report ρ in a structured JSON error body.
+func TestSaturationErrorCarriesRho(t *testing.T) {
+	const tau = 50.0
+	cases := []struct {
+		name     string
+		rho      float64
+		g        Guard
+		sentinel error
+		wantMax  float64
+	}{
+		{"near-saturated default guard", 0.9995, Guard{MaxRho: DefaultMaxRho}, ErrNearSaturated, DefaultMaxRho},
+		{"near-saturated tight guard", 0.96, Guard{MaxRho: 0.95}, ErrNearSaturated, 0.95},
+		{"saturated", 1.25, Guard{}, ErrSaturated, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lambda := tc.rho / tau
+			_, err := MD1ResponseGuarded(tau, lambda, tc.g)
+			if err == nil {
+				t.Fatalf("rho=%v: expected a guard rejection", tc.rho)
+			}
+			// Wrap once more, the way core.Evaluate's fixed point does,
+			// to prove the typed value survives %w chains.
+			err = fmt.Errorf("core: saturated at solution: %w", err)
+			var sat *SaturationError
+			if !errors.As(err, &sat) {
+				t.Fatalf("errors.As found no SaturationError in %v", err)
+			}
+			if math.Abs(sat.Rho-tc.rho) > 1e-12 {
+				t.Errorf("Rho = %v, want %v", sat.Rho, tc.rho)
+			}
+			if sat.MaxRho != tc.wantMax {
+				t.Errorf("MaxRho = %v, want %v", sat.MaxRho, tc.wantMax)
+			}
+			if sat.Tau != tau || math.Abs(sat.Lambda-lambda) > 1e-18 {
+				t.Errorf("context (tau=%v, lambda=%v), want (%v, %v)", sat.Tau, sat.Lambda, tau, lambda)
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Errorf("chain lost sentinel %v", tc.sentinel)
+			}
+			if sat.Unwrap() != tc.sentinel {
+				t.Errorf("Unwrap() = %v, want %v", sat.Unwrap(), tc.sentinel)
+			}
+		})
 	}
 }

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func benchRequest(b *testing.B, body any) []byte {
+	b.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return buf
+}
+
+// BenchmarkServePredictMiss measures the uncached request path: decode,
+// resolve, solve the model fixed point, render, insert.
+func BenchmarkServePredictMiss(b *testing.B) {
+	s := New(Config{CacheEntries: 1, CacheShards: 1})
+	defer s.Close()
+	h := s.Handler()
+	// Alternate between two keys in a one-entry cache so every request
+	// evicts the other and recomputes.
+	reqs := [][]byte{
+		benchRequest(b, PredictRequest{Config: ConfigSpec{Name: "C4"}, Workload: WorkloadSpec{Name: "fft"}}),
+		benchRequest(b, PredictRequest{Config: ConfigSpec{Name: "C8"}, Workload: WorkloadSpec{Name: "lu"}}),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(reqs[i%2]))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServePredictHit measures the cached request path: decode,
+// canonicalize, LRU lookup, write bytes.
+func BenchmarkServePredictHit(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	body := benchRequest(b, PredictRequest{Config: ConfigSpec{Name: "C4"}, Workload: WorkloadSpec{Name: "fft"}})
+	warm := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+	h.ServeHTTP(httptest.NewRecorder(), warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "hit" {
+			b.Fatalf("status=%d cache=%s", rec.Code, rec.Header().Get("X-Cache"))
+		}
+	}
+}
+
+// BenchmarkServePredictHitParallel exercises shard-lock contention on the
+// hot cached path.
+func BenchmarkServePredictHitParallel(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	configs := []string{"C1", "C4", "C8", "C11", "C15"}
+	var bodies [][]byte
+	for _, c := range configs {
+		body := benchRequest(b, PredictRequest{Config: ConfigSpec{Name: c}, Workload: WorkloadSpec{Name: "fft"}})
+		warm := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+		h.ServeHTTP(httptest.NewRecorder(), warm)
+		bodies = append(bodies, body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(bodies[i%len(bodies)]))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status = %d", rec.Code)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServeCanonicalKey isolates the request-keying cost paid on
+// every API call, hit or miss.
+func BenchmarkServeCanonicalKey(b *testing.B) {
+	req := PredictRequest{Config: ConfigSpec{Name: "C4"}, Workload: WorkloadSpec{Name: "fft"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := canonicalKey("predict", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

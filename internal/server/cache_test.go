@@ -1,0 +1,135 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func ok(body string) func() (entry, error) {
+	return func() (entry, error) { return entry{status: 200, body: []byte(body)}, nil }
+}
+
+func TestCacheHitAndMiss(t *testing.T) {
+	c := newResultCache(8, 2)
+	ctx := context.Background()
+
+	ent, how, err := c.do(ctx, "k", ok("v1"))
+	if err != nil || how != outcomeMiss || string(ent.body) != "v1" {
+		t.Fatalf("first do = %q %v %v", ent.body, how, err)
+	}
+	ent, how, err = c.do(ctx, "k", ok("v2"))
+	if err != nil || how != outcomeHit || string(ent.body) != "v1" {
+		t.Fatalf("second do = %q %v %v, want cached v1", ent.body, how, err)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(4, 1) // one shard, capacity 4
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		c.do(ctx, fmt.Sprintf("k%d", i), ok("v"))
+	}
+	// Touch k0 so k1 is the LRU victim.
+	if _, how, _ := c.do(ctx, "k0", ok("x")); how != outcomeHit {
+		t.Fatalf("k0 = %v, want hit", how)
+	}
+	c.do(ctx, "k4", ok("v")) // evicts k1
+	if _, how, _ := c.do(ctx, "k1", ok("recomputed")); how != outcomeMiss {
+		t.Errorf("k1 after eviction = %v, want miss", how)
+	}
+	if _, how, _ := c.do(ctx, "k0", ok("x")); how != outcomeHit {
+		t.Errorf("k0 = %v, want hit (recently used, not evicted)", how)
+	}
+	if c.len() != 4 {
+		t.Errorf("len = %d, want capacity 4", c.len())
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newResultCache(8, 1)
+	ctx := context.Background()
+
+	boom := errors.New("boom")
+	_, how, err := c.do(ctx, "k", func() (entry, error) { return entry{}, boom })
+	if how != outcomeMiss || err != boom {
+		t.Fatalf("do = %v %v", how, err)
+	}
+	// Non-2xx results are shared with waiters but not cached either.
+	c.do(ctx, "k4xx", func() (entry, error) { return entry{status: 400, body: []byte("bad")}, nil })
+	if c.len() != 0 {
+		t.Fatalf("len = %d after error and 4xx, want 0", c.len())
+	}
+	if _, how, err = c.do(ctx, "k", ok("fine")); how != outcomeMiss || err != nil {
+		t.Errorf("retry = %v %v, want a fresh miss", how, err)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := newResultCache(8, 4)
+	const waiters = 16
+	var computations atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	outcomes := make([]outcome, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, how, err := c.do(context.Background(), "same", func() (entry, error) {
+				computations.Add(1)
+				<-release
+				return entry{status: 200, body: []byte("shared")}, nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			outcomes[i] = how
+		}(i)
+	}
+	// Wait until one goroutine holds the flight, then release. Spin rather
+	// than sleep: the leader increments before blocking on release.
+	for computations.Load() == 0 {
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computations.Load(); n != 1 {
+		t.Fatalf("computations = %d, want 1", n)
+	}
+	var misses int
+	for _, how := range outcomes {
+		if how == outcomeMiss {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 leader", misses)
+	}
+}
+
+func TestCacheWaiterHonorsContext(t *testing.T) {
+	c := newResultCache(8, 1)
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go c.do(context.Background(), "k", func() (entry, error) {
+		close(leaderIn)
+		<-release
+		return entry{status: 200, body: []byte("late")}, nil
+	})
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.do(ctx, "k", ok("unused"))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+}

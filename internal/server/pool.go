@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned when the simulation queue is full: the caller
+// should shed the request with 429 + Retry-After instead of queueing
+// without bound.
+var ErrOverloaded = errors.New("server: overloaded: simulation queue is full")
+
+// ErrShuttingDown is returned for work submitted after drain began.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// workerPool runs expensive jobs (simulations) on a fixed number of
+// workers behind a bounded queue. Submissions beyond workers+queue are
+// rejected immediately — load shedding, not convoying.
+type workerPool struct {
+	mu     sync.RWMutex
+	closed bool
+	limit  int64 // max accepted jobs: workers running + queueDepth waiting
+	jobs   chan *poolJob
+	wg     sync.WaitGroup
+	queued atomic.Int64 // jobs accepted but not yet finished
+}
+
+type poolJob struct {
+	ctx  context.Context
+	fn   func()
+	done chan struct{}
+}
+
+// newWorkerPool starts workers goroutines behind a queue of queueDepth
+// waiting jobs (minimums of one worker, zero queue).
+func newWorkerPool(workers, queueDepth int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	p := &workerPool{
+		limit: int64(workers + queueDepth),
+		jobs:  make(chan *poolJob, workers+queueDepth),
+	}
+	// Admission is gated on the accepted-jobs counter, not channel
+	// capacity: a running job has left the channel but still occupies a
+	// worker, so counting channel slots alone would admit up to
+	// 2×workers+queueDepth jobs. With accepted ≤ limit and running jobs
+	// outside the channel, the buffered send below can never block.
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.run()
+	}
+	return p
+}
+
+func (p *workerPool) run() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		if j.ctx.Err() == nil { // skip work whose requester already left
+			j.fn()
+		}
+		p.queued.Add(-1)
+		close(j.done)
+	}
+}
+
+// do runs fn on a pool worker. It fails fast with ErrOverloaded when the
+// queue is full and returns ctx.Err() if the context expires while the job
+// is queued or running (an accepted job still runs to completion so its
+// result can be cached; fn must tolerate an absent requester).
+func (p *workerPool) do(ctx context.Context, fn func()) error {
+	j := &poolJob{ctx: ctx, fn: fn, done: make(chan struct{})}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrShuttingDown
+	}
+	if p.queued.Add(1) > p.limit {
+		p.queued.Add(-1)
+		p.mu.RUnlock()
+		return ErrOverloaded
+	}
+	p.jobs <- j // cannot block: accepted jobs ≤ limit = channel capacity
+	p.mu.RUnlock()
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// depth reports jobs accepted and not yet finished (queued + running).
+func (p *workerPool) depth() int64 { return p.queued.Load() }
+
+// shutdown stops intake and waits for every accepted job to finish —
+// the draining half of graceful shutdown.
+func (p *workerPool) shutdown() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

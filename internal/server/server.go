@@ -1,0 +1,572 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"memhier/internal/core"
+	"memhier/internal/cost"
+	"memhier/internal/experiments"
+	"memhier/internal/locality"
+	"memhier/internal/machine"
+	"memhier/internal/queueing"
+	"memhier/internal/sim/backend"
+	"memhier/internal/workloads"
+)
+
+// Config tunes the service. The zero value selects production defaults.
+type Config struct {
+	// CacheEntries bounds the result cache (default 4096 responses,
+	// spread over CacheShards shards, default 16).
+	CacheEntries int
+	CacheShards  int
+	// SimWorkers bounds concurrent simulations (default NumCPU);
+	// SimQueueDepth bounds simulations waiting for a worker (default
+	// 2×SimWorkers). Submissions beyond workers+queue are shed with 429.
+	SimWorkers    int
+	SimQueueDepth int
+	// RequestTimeout is the context deadline of the analytical endpoints
+	// (default 30s); SimTimeout is the deadline of /v1/validate (default
+	// 5m — a scaled-down simulation takes seconds, paper-scale minutes).
+	RequestTimeout time.Duration
+	SimTimeout     time.Duration
+	// RetryAfter is the client back-off hint on shed requests (default 2s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = runtime.NumCPU()
+	}
+	if c.SimQueueDepth < 0 {
+		c.SimQueueDepth = 0
+	} else if c.SimQueueDepth == 0 {
+		c.SimQueueDepth = 2 * c.SimWorkers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.SimTimeout <= 0 {
+		c.SimTimeout = 5 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// endpointNames is the fixed metrics vocabulary.
+var endpointNames = []string{"predict", "optimize", "advise", "fit", "validate", "healthz", "readyz", "metrics"}
+
+// Server is the chc-serve service: handlers, result cache, simulation
+// worker pool, and operational state.
+type Server struct {
+	cfg      Config
+	cache    *resultCache
+	pool     *workerPool
+	metrics  *serverMetrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	// Computation seams, overridable in tests to control timing and
+	// failure injection; production values are the real packages.
+	evaluate func(machine.Config, core.Workload, core.Options) (core.Result, error)
+	simulate func(cfg machine.Config, kernel string) (backend.RunResult, error)
+	resolve  func(name string, measured bool) (core.Workload, error)
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    newResultCache(cfg.CacheEntries, cfg.CacheShards),
+		pool:     newWorkerPool(cfg.SimWorkers, cfg.SimQueueDepth),
+		evaluate: core.Evaluate,
+		simulate: runSimulation,
+		resolve:  experiments.ResolveWorkload,
+	}
+	s.metrics = newServerMetrics(endpointNames, s.pool.depth, s.cache.len)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/predict", s.instrument("predict", s.handlePredict))
+	s.mux.HandleFunc("/v1/optimize", s.instrument("optimize", s.handleOptimize))
+	s.mux.HandleFunc("/v1/advise", s.instrument("advise", s.handleAdvise))
+	s.mux.HandleFunc("/v1/fit", s.instrument("fit", s.handleFit))
+	s.mux.HandleFunc("/v1/validate", s.instrument("validate", s.handleValidate))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReadyz))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips /readyz to failing so load balancers stop routing new
+// traffic; call it before http.Server.Shutdown, which then drains the
+// in-flight requests.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close stops the simulation worker pool after completing accepted jobs.
+func (s *Server) Close() { s.pool.shutdown() }
+
+// Publish registers the metrics snapshot in the process-wide expvar
+// namespace under "chcserve" (call at most once per process; tests read
+// /metrics instead).
+func (s *Server) Publish() {
+	expvar.Publish("chcserve", expvar.Func(func() any { return s.metrics.snapshot() }))
+}
+
+// Metrics returns the current metrics snapshot (for the load generator and
+// tests).
+func (s *Server) Metrics() map[string]any { return s.metrics.snapshot() }
+
+// instrument wraps a handler with request counting and latency recording.
+func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.observe(name, time.Since(start), sw.status)
+	}
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ---- operational endpoints ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.metrics.snapshot())
+}
+
+// ---- request plumbing ----
+
+// decode reads one JSON request body, rejecting unknown fields so typos
+// fail loudly instead of silently selecting defaults.
+func (s *Server) decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: decoding request: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	w.Write(buf.Bytes())
+}
+
+// fail maps an error to its status and JSON body: queue shed → 429 with
+// Retry-After, saturation → 422 with ρ, deadline → 503, everything else →
+// the given default status.
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	resp := ErrorResponse{Error: err.Error()}
+	var sat *queueing.SaturationError
+	switch {
+	case errors.Is(err, ErrOverloaded) || errors.Is(err, ErrShuttingDown):
+		status = http.StatusTooManyRequests
+		s.metrics.Shed.Add(1)
+		retry := int(s.cfg.RetryAfter / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		resp.RetryAfterSeconds = retry
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+	case errors.As(err, &sat):
+		status = http.StatusUnprocessableEntity
+		resp.Rho = sat.Rho
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// post guards an API handler: POST only, with a per-request deadline.
+func (s *Server) post(w http.ResponseWriter, r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc, bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, http.StatusMethodNotAllowed, errors.New("server: use POST with a JSON body"))
+		return nil, nil, false
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, true
+}
+
+// serveCached runs the cache+singleflight protocol around compute and
+// writes the resulting bytes, tagging the response with X-Cache.
+func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, key string, compute func() (entry, error)) {
+	ent, how, err := s.cache.do(ctx, key, compute)
+	switch how {
+	case outcomeHit:
+		s.metrics.CacheHits.Add(1)
+		w.Header().Set("X-Cache", "hit")
+	case outcomeShared:
+		s.metrics.DedupWaits.Add(1)
+		w.Header().Set("X-Cache", "dedup")
+	default:
+		s.metrics.CacheMisses.Add(1)
+		w.Header().Set("X-Cache", "miss")
+	}
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(ent.status)
+	w.Write(ent.body)
+}
+
+// render marshals a successful response body into a cacheable entry.
+func render(v any) (entry, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return entry{}, err
+	}
+	return entry{status: http.StatusOK, body: buf.Bytes()}, nil
+}
+
+// ---- API endpoints ----
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, ok := s.post(w, r, s.cfg.RequestTimeout)
+	if !ok {
+		return
+	}
+	defer cancel()
+	var req PredictRequest
+	if err := s.decode(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := req.Config.Resolve()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	wspec, err := canonicalWorkload(req.Workload)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := canonicalKey("predict", PredictRequest{Config: configKey(cfg), Workload: wspec, Delta: req.Delta})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.serveCached(ctx, w, key, func() (entry, error) {
+		wl, err := s.resolveSpec(wspec)
+		if err != nil {
+			return entry{}, err
+		}
+		res, err := s.evaluate(cfg, wl, core.Options{CoherenceAdjust: req.Delta})
+		if err != nil {
+			return entry{}, err
+		}
+		var text bytes.Buffer
+		core.RenderResult(&text, wl, res)
+		return render(PredictResponse{Result: res, Workload: wl, Text: text.String()})
+	})
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, ok := s.post(w, r, s.cfg.RequestTimeout)
+	if !ok {
+		return
+	}
+	defer cancel()
+	var req OptimizeRequest
+	if err := s.decode(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Budget <= 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: budget must be positive, got %v", req.Budget))
+		return
+	}
+	top := req.Top
+	if top <= 0 {
+		top = 5
+	} else if top > 50 {
+		top = 50
+	}
+	wspec, err := canonicalWorkload(req.Workload)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := canonicalKey("optimize", OptimizeRequest{Budget: req.Budget, Workload: wspec, Top: top, Delta: req.Delta})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.serveCached(ctx, w, key, func() (entry, error) {
+		wl, err := s.resolveSpec(wspec)
+		if err != nil {
+			return entry{}, err
+		}
+		opts := core.Options{CoherenceAdjust: req.Delta}
+		best, all, err := cost.Optimize(req.Budget, wl, cost.DefaultCatalog(), cost.DefaultSpace(), opts)
+		if err != nil {
+			return entry{}, err
+		}
+		n := top
+		if n > len(all) {
+			n = len(all)
+		}
+		return render(OptimizeResponse{
+			Workload:  wl.Name,
+			Principle: cost.Recommend(wl).String(),
+			Feasible:  len(all),
+			Best:      best,
+			Top:       all[:n],
+		})
+	})
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, ok := s.post(w, r, s.cfg.RequestTimeout)
+	if !ok {
+		return
+	}
+	defer cancel()
+	var req AdviseRequest
+	if err := s.decode(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := req.Config.Resolve()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Budget < 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: negative budget increase %v", req.Budget))
+		return
+	}
+	wspec, err := canonicalWorkload(req.Workload)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := canonicalKey("advise", AdviseRequest{Config: configKey(cfg), Budget: req.Budget, Workload: wspec, Delta: req.Delta})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.serveCached(ctx, w, key, func() (entry, error) {
+		wl, err := s.resolveSpec(wspec)
+		if err != nil {
+			return entry{}, err
+		}
+		opts := core.Options{CoherenceAdjust: req.Delta}
+		plan, err := cost.Upgrade(cfg, req.Budget, wl, cost.DefaultCatalog(), cost.DefaultSpace(), opts)
+		if err != nil {
+			return entry{}, err
+		}
+		advice, err := cost.UpgradeAdvice(cfg, wl, opts)
+		if err != nil {
+			return entry{}, err
+		}
+		return render(AdviseResponse{
+			Workload:  wl.Name,
+			Principle: cost.Recommend(wl).String(),
+			Plan:      plan,
+			Advice:    advice,
+		})
+	})
+}
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, ok := s.post(w, r, s.cfg.RequestTimeout)
+	if !ok {
+		return
+	}
+	defer cancel()
+	var req FitRequest
+	if err := s.decode(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := canonicalKey("fit", req)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.serveCached(ctx, w, key, func() (entry, error) {
+		params, stats, err := locality.Fit(req.Xs, req.Ps, locality.FitOptions{Weights: req.Weights})
+		if err != nil {
+			return entry{}, err
+		}
+		params.Gamma = req.Gamma
+		return render(FitResponse{Params: params, Stats: stats})
+	})
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, ok := s.post(w, r, s.cfg.SimTimeout)
+	if !ok {
+		return
+	}
+	defer cancel()
+	var req ValidateRequest
+	if err := s.decode(r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	kernel, err := canonicalKernelName(req.Workload)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	divisor := req.Divisor
+	if divisor == 0 {
+		divisor = 16
+	}
+	if divisor < 1 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: divisor must be >= 1, got %d", divisor))
+		return
+	}
+	cfg, err := req.Config.Resolve()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if divisor > 1 {
+		if cfg, err = cfg.Scaled(divisor); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	key, err := canonicalKey("validate", ValidateRequest{Config: configKey(cfg), Workload: kernel})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.serveCached(ctx, w, key, func() (entry, error) {
+		// The expensive leg: bounded workers, bounded queue, shed beyond.
+		var res backend.RunResult
+		var simErr error
+		if err := s.pool.do(ctx, func() {
+			res, simErr = s.simulate(cfg, kernel)
+		}); err != nil {
+			return entry{}, err
+		}
+		if simErr != nil {
+			return entry{}, simErr
+		}
+		share := make(map[string]float64, int(backend.ClassDisk-backend.ClassCacheHit)+1)
+		for c := backend.ClassCacheHit; c <= backend.ClassDisk; c++ {
+			share[c.String()] = res.ClassShare[c]
+		}
+		return render(ValidateResponse{
+			Platform:       cfg.Name,
+			Workload:       kernel,
+			EInstr:         res.EInstr,
+			Seconds:        res.Seconds,
+			AvgT:           res.AvgT,
+			WallCycles:     res.WallCycles,
+			Instructions:   res.Instructions,
+			MemoryRefs:     res.MemoryRefs,
+			Barriers:       res.Barriers,
+			ClassShare:     share,
+			CoherenceShare: res.CoherenceShare,
+			NetUtilization: res.NetUtilization,
+		})
+	})
+}
+
+// resolveSpec turns a canonicalized workload spec into a model workload.
+func (s *Server) resolveSpec(w WorkloadSpec) (core.Workload, error) {
+	if w.Inline != nil {
+		return *w.Inline, nil
+	}
+	return s.resolve(w.Name, w.Measured)
+}
+
+// configKey reduces a resolved configuration to its canonical request
+// form: catalog configurations key on their name alone, custom ones on
+// the full resolved field set.
+func configKey(cfg machine.Config) ConfigSpec {
+	if cfg.Name != "custom" {
+		return ConfigSpec{Name: cfg.Name}
+	}
+	net, _ := cfg.Net.MarshalText()
+	kind, _ := cfg.Kind.MarshalText()
+	return ConfigSpec{
+		Kind: string(kind), Machines: cfg.N, Procs: cfg.Procs,
+		CacheBytes: cfg.CacheBytes, MemoryBytes: cfg.MemoryBytes,
+		Net: string(net), ClockMHz: cfg.ClockMHz,
+	}
+}
+
+// runSimulation is the production simulate seam: generate the kernel's
+// trace at the small scale and run the execution-driven simulator.
+func runSimulation(cfg machine.Config, kernel string) (backend.RunResult, error) {
+	k, err := workloads.ByName(kernel, workloads.ScaleSmall)
+	if err != nil {
+		return backend.RunResult{}, err
+	}
+	tr, err := workloads.GenerateTrace(k, cfg.TotalProcs())
+	if err != nil {
+		return backend.RunResult{}, err
+	}
+	return backend.Simulate(tr, cfg)
+}

@@ -18,6 +18,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"memhier/internal/trace"
 )
@@ -223,9 +224,15 @@ func Suite(s Scale) []Workload {
 	}
 }
 
-// ByName returns the named workload ("fft", "lu", "radix", "edge", "tpcc";
-// case-sensitive, lower case) at the given scale.
+// ByName returns the named workload ("fft", "lu", "radix", "edge", "tpcc")
+// at the given scale. Lookup is case-insensitive and accepts the paper's
+// "TPC-C" spelling, so every CLI and the prediction service share one
+// registry without local normalization.
 func ByName(name string, s Scale) (Workload, error) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "tpc-c" {
+		name = "tpcc"
+	}
 	switch name {
 	case "fft":
 		return Suite(s)[0], nil
