@@ -1,0 +1,84 @@
+// Command chc-lint runs the repository's custom static-analysis suite —
+// the checks behind the determinism and correctness contracts that go vet
+// cannot see:
+//
+//	detorder   no map-order, wall-clock, environment, or global-rand
+//	           dependence in //chc:deterministic packages
+//	floateq    no exact floating-point equality in model arithmetic
+//	errwrap    fmt.Errorf must wrap error arguments with %w, not %v/%s
+//	guardedby  fields annotated "guarded by mu" are only touched with the
+//	           lock held
+//
+// Usage:
+//
+//	chc-lint [-list] [packages]
+//
+// Packages default to ./... resolved from the current directory. The exit
+// status is 1 when any diagnostic is reported, 2 on operational errors —
+// the same convention as go vet, so CI can gate on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memhier/internal/lint"
+	"memhier/internal/lint/detorder"
+	"memhier/internal/lint/errwrap"
+	"memhier/internal/lint/floateq"
+	"memhier/internal/lint/guardedby"
+)
+
+// analyzers is the full suite, in stable output order.
+var analyzers = []*lint.Analyzer{
+	detorder.Analyzer,
+	errwrap.Analyzer,
+	floateq.Analyzer,
+	guardedby.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and their contracts, then exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s:\n%s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "chc-lint: %s: type error: %v\n", pkg.Path, terr)
+		}
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chc-lint:", err)
+	os.Exit(2)
+}

@@ -40,6 +40,7 @@ func main() {
 		delta     = flag.Float64("delta", 0, "coherence rate adjustment (default: paper's 0.124)")
 		calibrate = flag.Bool("calibrate", false, "search the coherence adjustment minimizing model-vs-sim error")
 		report    = flag.String("report", "", "write the full reproduction as a Markdown report to this file")
+		stamp     = flag.Bool("stamp", false, "embed the current UTC time in the report header (makes -report output differ run-to-run)")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "artifact-level worker count for -all (output is identical for any value)")
 		progress  = flag.Bool("progress", false, "print per-artifact timing lines to stderr as artifacts finish")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
@@ -49,6 +50,11 @@ func main() {
 
 	opts := experiments.Options{Divisor: *divisor}
 	opts.Model.CoherenceAdjust = *delta
+	if *stamp {
+		// The wall clock stays in the CLI layer: experiments is a
+		// //chc:deterministic package and embeds only what it is handed.
+		opts.GeneratedAt = time.Now().UTC().Format("2006-01-02 15:04 UTC")
+	}
 	out := os.Stdout
 
 	run := func(err error) {

@@ -25,6 +25,8 @@
 // M/D/1 utilization far beyond 1 (processors cannot issue new blocking
 // references while stalled), so the model is closed with a fixed point on
 // T, solved by bisection. All times are in CPU cycles.
+//
+//chc:deterministic
 package core
 
 import (

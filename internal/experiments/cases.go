@@ -8,6 +8,7 @@ import (
 	"memhier/internal/cost"
 	"memhier/internal/machine"
 	"memhier/internal/sim/backend"
+	"memhier/internal/stopwatch"
 	"memhier/internal/tabulate"
 	"memhier/internal/workloads"
 )
@@ -151,20 +152,20 @@ func (s *Suite) ModelVsSimSpeed() (SpeedComparison, error) {
 		return SpeedComparison{}, err
 	}
 
-	start := time.Now()
+	elapsed := stopwatch.Start()
 	const evals = 100
 	for i := 0; i < evals; i++ {
 		if _, err := core.Evaluate(cfg, wl, s.opts.Model); err != nil {
 			return SpeedComparison{}, err
 		}
 	}
-	modelTime := time.Since(start) / evals
+	modelTime := elapsed() / evals
 
-	start = time.Now()
+	elapsed = stopwatch.Start()
 	if _, err := backend.Simulate(tr, cfg); err != nil {
 		return SpeedComparison{}, err
 	}
-	simTime := time.Since(start)
+	simTime := elapsed()
 
 	sc := SpeedComparison{ModelTime: modelTime, SimTime: simTime}
 	if modelTime > 0 {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"sync"
-	"time"
 
 	"memhier/internal/core"
 	"memhier/internal/machine"
@@ -17,7 +16,6 @@ import (
 // WriteAll (`chc-repro -report`).
 func WriteReport(w io.Writer, opts Options) error {
 	s := NewSuite(opts)
-	now := time.Now().UTC().Format("2006-01-02 15:04 UTC")
 
 	// The three validation figures dominate the report's cost and are
 	// independent; compute them concurrently against the shared Suite
@@ -34,7 +32,13 @@ func WriteReport(w io.Writer, opts Options) error {
 	}
 
 	fmt.Fprintf(w, "# Reproduction report — Du & Zhang, IPPS 1999\n\n")
-	fmt.Fprintf(w, "_The Impact of Memory Hierarchies on Cluster Computing._ Generated %s.\n\n", now)
+	fmt.Fprintf(w, "_The Impact of Memory Hierarchies on Cluster Computing._")
+	// No wall-clock read here: an implicit timestamp would make every run's
+	// report differ. Callers that want one say so through GeneratedAt.
+	if opts.GeneratedAt != "" {
+		fmt.Fprintf(w, " Generated %s.", opts.GeneratedAt)
+	}
+	fmt.Fprintf(w, "\n\n")
 
 	section := func(title, narrative string, tables ...*tabulate.Table) {
 		fmt.Fprintf(w, "## %s\n\n", title)

@@ -17,6 +17,8 @@
 // the rest block until it lands — so the reproduction pipeline can fan
 // tables and figures out over a worker pool without duplicating the
 // expensive trace generation.
+//
+//chc:deterministic
 package experiments
 
 import (
@@ -41,6 +43,11 @@ type Options struct {
 	// Model passes through analytical-model options (ablations,
 	// calibration).
 	Model core.Options
+	// GeneratedAt, when non-empty, is embedded in the report header.
+	// Leaving it empty (the default) keeps WriteReport byte-identical
+	// run-to-run; callers that want a stamp (chc-repro -stamp) must say
+	// so explicitly and thereby opt out of determinism.
+	GeneratedAt string
 }
 
 func (o Options) divisor() int {
@@ -64,7 +71,7 @@ type flight[T any] struct {
 // map's lifetime — every computation here is deterministic.
 type flightMap[T any] struct {
 	mu    sync.Mutex
-	calls map[string]*flight[T]
+	calls map[string]*flight[T] // guarded by mu
 	// computes counts compute invocations, observable by tests asserting
 	// the exactly-once guarantee under concurrent demand.
 	computes atomic.Int64

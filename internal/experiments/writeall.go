@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"memhier/internal/core"
+	"memhier/internal/stopwatch"
 )
 
 // Artifact is one independently renderable deliverable of the reproduction
@@ -134,10 +135,10 @@ func RenderArtifacts(w io.Writer, arts []Artifact, workers int, progress Progres
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			start := time.Now()
+			elapsed := stopwatch.Start()
 			errs[i] = arts[i].Render(&bufs[i])
 			if progress != nil {
-				progress(arts[i].Name, time.Since(start), errs[i])
+				progress(arts[i].Name, elapsed(), errs[i])
 			}
 		}(i)
 	}

@@ -1,0 +1,165 @@
+// Package analysistest runs a lint.Analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` comments, the same
+// convention as golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture directory holds one package of plain Go files (standard-library
+// imports only — fixtures are type-checked without module resolution). A
+// line that should trigger the analyzer carries a trailing
+// `// want "regexp"` comment; several expectations may sit on one line as
+// separate quoted strings. A fixture file with no want comments is a
+// negative fixture: it demonstrates the approved idiom and must produce no
+// diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"memhier/internal/lint"
+)
+
+// expectation is one `// want` entry: a position and a message pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// One FileSet and source importer per test process: the importer caches the
+// (expensive) standard-library type-checking across fixtures.
+var (
+	fixtureFset = token.NewFileSet()
+	fixtureImp  = importer.ForCompiler(fixtureFset, "source", nil)
+)
+
+// Run analyzes the fixture package in dir (relative to the test's working
+// directory, conventionally "testdata/src/<name>") with the analyzer and
+// reports any mismatch between produced diagnostics and want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	pkg, expects, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var diags []lint.Diagnostic
+	got, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	diags = got
+
+	for i := range diags {
+		d := &diags[i]
+		if e := match(expects, d); e != nil {
+			e.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", dir, d)
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+func match(expects []*expectation, d *lint.Diagnostic) *expectation {
+	for _, e := range expects {
+		if e.matched || e.line != d.Pos.Line || filepath.Base(e.file) != filepath.Base(d.Pos.Filename) {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			return e
+		}
+	}
+	return nil
+}
+
+// loadFixture parses and type-checks every .go file in dir as one package
+// and collects its want comments.
+func loadFixture(dir string) (*lint.Package, []*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := fixtureFset
+	pkg := &lint.Package{Path: "fixture/" + filepath.Base(dir), Dir: dir, Fset: fset}
+	var expects []*expectation
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		es, err := parseWants(fset, f)
+		if err != nil {
+			return nil, nil, err
+		}
+		expects = append(expects, es...)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Slice(pkg.Files, func(i, j int) bool {
+		return fset.Position(pkg.Files[i].Pos()).Filename < fset.Position(pkg.Files[j].Pos()).Filename
+	})
+
+	pkg.Info = lint.NewTypesInfo()
+	conf := types.Config{
+		Importer: fixtureImp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, pkg.Info)
+	if tpkg == nil {
+		return nil, nil, err
+	}
+	if len(pkg.TypeErrors) > 0 {
+		return nil, nil, fmt.Errorf("fixture does not type-check: %w", pkg.TypeErrors[0])
+	}
+	pkg.Types = tpkg
+	return pkg, expects, nil
+}
+
+func parseWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
+	var expects []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			quoted := quotedRe.FindAllStringSubmatch(m[1], -1)
+			if len(quoted) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+			}
+			for _, q := range quoted {
+				re, err := regexp.Compile(q[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern: %w", pos.Filename, pos.Line, err)
+				}
+				expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return expects, nil
+}

@@ -1,0 +1,254 @@
+// Package detorder enforces the reproduction pipeline's determinism
+// contract inside packages marked `//chc:deterministic`: no map-iteration
+// order may leak into rendered output, and no wall clock, process
+// environment, or global (unseeded) randomness may influence results.
+//
+// The paper's validation methodology (model vs. simulator, Figures 2–4)
+// only holds if both sides are exactly reproducible run-to-run; these are
+// the three ways Go code silently stops being reproducible.
+package detorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"memhier/internal/lint"
+)
+
+// Analyzer flags order- and environment-dependence in deterministic packages.
+var Analyzer = &lint.Analyzer{
+	Name: "detorder",
+	Doc: `detorder reports three contract violations in //chc:deterministic packages:
+
+  - for-range over a map whose body feeds order-dependent sinks (append,
+    printing, io writes, string or floating-point accumulation). The
+    approved idiom collects the keys, sorts them, and ranges over the
+    sorted slice; a loop that only appends into a slice later passed to a
+    sort function is accepted as the first half of that idiom.
+  - time.Now: wall-clock readings make artifacts differ run-to-run. Pure
+    duration measurement belongs in the unmarked internal/stopwatch
+    package or behind an explicit //chc:allow detorder directive.
+  - global math/rand functions and os.Getenv/LookupEnv/Environ: results
+    must depend only on explicit inputs and explicitly seeded generators.`,
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if !pass.Deterministic() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, fn, n)
+		case *ast.FuncLit:
+			// Keep descending: closures inherit the contract.
+		}
+		return true
+	})
+}
+
+// checkCall flags nondeterministic sources.
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	switch {
+	case pass.IsPkgFunc(call, "time", "Now"):
+		pass.Reportf(call.Pos(), "time.Now in a deterministic package: results must not depend on the wall clock (use internal/stopwatch for pure duration measurement, or inject the timestamp)")
+	case pass.IsPkgFunc(call, "os", "Getenv", "LookupEnv", "Environ"):
+		pass.Reportf(call.Pos(), "environment read in a deterministic package: results must depend only on explicit inputs")
+	default:
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		path := fn.Pkg().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return
+		}
+		if strings.HasPrefix(fn.Name(), "New") {
+			return // rand.New(rand.NewSource(seed)) is the approved idiom
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+			pass.Reportf(call.Pos(), "global %s.%s in a deterministic package: use an explicitly seeded *rand.Rand", path, fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags range-over-map loops whose bodies are order-dependent.
+func checkMapRange(pass *lint.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	sink, appendsOnly, targets := scanBody(pass, rng.Body)
+	if sink == "" {
+		return
+	}
+	if appendsOnly && allSorted(pass, fn, targets) {
+		return // collect-then-sort idiom: the order is re-established below.
+	}
+	pass.Reportf(rng.Pos(), "map iteration order reaches %s; collect the keys, sort them, and range over the sorted slice", sink)
+}
+
+// scanBody looks for order-dependent sinks in a range body. It returns a
+// description of the first non-append sink (empty if none), whether every
+// sink found was an append, and the rendered append targets.
+func scanBody(pass *lint.Pass, body *ast.BlockStmt) (sink string, appendsOnly bool, targets []string) {
+	appendsOnly = true
+	note := func(s string) {
+		if sink == "" {
+			sink = s
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass, n) {
+				note("an append")
+				if len(n.Args) > 0 {
+					targets = append(targets, types.ExprString(n.Args[0]))
+				}
+				return true
+			}
+			if s := callSink(pass, n); s != "" {
+				note(s)
+				appendsOnly = false
+			}
+		case *ast.AssignStmt:
+			if s := accumSink(pass, n); s != "" {
+				note(s)
+				appendsOnly = false
+			}
+		}
+		return true
+	})
+	return sink, appendsOnly, targets
+}
+
+func isBuiltinAppend(pass *lint.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// printNames are fmt functions that emit in call order.
+var printNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// writerMethods are method names whose calls emit output in call order.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Render": true, "AddRow": true,
+}
+
+func callSink(pass *lint.Pass, call *ast.CallExpr) string {
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return ""
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && printNames[fn.Name()] {
+		return "fmt." + fn.Name()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && writerMethods[fn.Name()] {
+		return "a " + fn.Name() + " call"
+	}
+	return ""
+}
+
+// accumSink flags op= accumulation whose result depends on iteration order:
+// string concatenation and floating-point arithmetic (FP addition is not
+// associative, so even a sum's low bits depend on visit order).
+func accumSink(pass *lint.Pass, as *ast.AssignStmt) string {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return ""
+	}
+	if len(as.Lhs) != 1 {
+		return ""
+	}
+	tv, ok := pass.TypesInfo.Types[as.Lhs[0]]
+	if !ok {
+		return ""
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch {
+	case basic.Info()&types.IsFloat != 0:
+		return "a floating-point accumulation (FP addition is order-dependent)"
+	case basic.Info()&types.IsString != 0 && as.Tok == token.ADD_ASSIGN:
+		return "a string concatenation"
+	}
+	return ""
+}
+
+// sortFuncs maps package path → function names that establish order.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Ints": true, "Strings": true, "Float64s": true,
+		"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+	},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// allSorted reports whether every append target is passed to a sort
+// function somewhere in the enclosing function (covering sort.Sort(byX(t))
+// via one level of wrapping).
+func allSorted(pass *lint.Pass, fn *ast.FuncDecl, targets []string) bool {
+	if len(targets) == 0 {
+		return false
+	}
+	sorted := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		callee := pass.CalleeFunc(call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		names := sortFuncs[callee.Pkg().Path()]
+		if names == nil || !names[callee.Name()] {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		if wrap, ok := arg.(*ast.CallExpr); ok && len(wrap.Args) == 1 {
+			arg = ast.Unparen(wrap.Args[0]) // sort.Sort(byName(keys))
+		}
+		sorted[types.ExprString(arg)] = true
+		return true
+	})
+	for _, t := range targets {
+		if !sorted[t] {
+			return false
+		}
+	}
+	return true
+}

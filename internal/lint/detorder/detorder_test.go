@@ -1,0 +1,16 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"memhier/internal/lint/analysistest"
+	"memhier/internal/lint/detorder"
+)
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/det", detorder.Analyzer)
+}
+
+func TestDetorderIgnoresUnmarkedPackages(t *testing.T) {
+	analysistest.Run(t, "testdata/src/unmarked", detorder.Analyzer)
+}

@@ -1,0 +1,69 @@
+// Package det exercises the detorder analyzer: every construct flagged
+// here leaks map-iteration order, the wall clock, the environment, or
+// global randomness into results that must be reproducible.
+//
+//chc:deterministic
+package det
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// appendUnsorted leaks map order into the returned slice.
+func appendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order reaches an append"
+		out = append(out, k)
+	}
+	return out
+}
+
+// printUnsorted leaks map order straight into the output stream.
+func printUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration order reaches fmt.Fprintf"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// sumFloats leaks map order into float bits: FP addition is not associative.
+func sumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "floating-point accumulation"
+		s += v
+	}
+	return s
+}
+
+// concat leaks map order into a string.
+func concat(m map[string]string) string {
+	s := ""
+	for _, v := range m { // want "string concatenation"
+		s += v
+	}
+	return s
+}
+
+// wallClock reads the wall clock.
+func wallClock() int64 {
+	return time.Now().Unix() // want "time.Now in a deterministic package"
+}
+
+// globalRand uses the process-global generator.
+func globalRand() int {
+	return rand.Intn(10) // want "global math/rand.Intn"
+}
+
+// env reads the process environment.
+func env() string {
+	return os.Getenv("HOME") // want "environment read in a deterministic package"
+}
+
+// allowed demonstrates an explicit, justified suppression.
+func allowed() time.Time {
+	//chc:allow detorder -- fixture: directive on the preceding line
+	return time.Now()
+}

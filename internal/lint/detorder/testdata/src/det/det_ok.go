@@ -1,0 +1,62 @@
+package det
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+)
+
+// renderSorted is the approved idiom: collect the keys, sort them, range
+// over the sorted slice. The collection loop's append is recognized as the
+// first half of the idiom because its target is later passed to sort.
+func renderSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// sortInterface covers the sort.Sort(byX(keys)) spelling of the idiom.
+type byLen []string
+
+func (b byLen) Len() int           { return len(b) }
+func (b byLen) Less(i, j int) bool { return len(b[i]) < len(b[j]) }
+func (b byLen) Swap(i, j int)      { b[i], b[j] = b[j], b[i] }
+
+func sortInterface(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Sort(byLen(keys))
+	return keys
+}
+
+// copyMap is order-independent: map writes commute.
+func copyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// countInts is order-independent: integer addition is associative.
+func countInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// seeded uses an explicitly seeded generator — reproducible by construction.
+func seeded() int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(10)
+}

@@ -1,0 +1,21 @@
+// Package unmarked has no //chc:deterministic marker: detorder must stay
+// silent even though every construct here would be flagged in a marked
+// package.
+package unmarked
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+func wallClock() time.Time { return time.Now() }
+
+func env() string { return os.Getenv("HOME") }
+
+func printUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

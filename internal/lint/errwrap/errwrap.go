@@ -1,0 +1,113 @@
+// Package errwrap keeps typed errors inspectable across layers: a
+// fmt.Errorf that formats an error argument with %v or %s flattens it to
+// text, so errors.Is/errors.As stop seeing the cause. The repo depends on
+// exactly this — queueing.SaturationError carries rho from the M/D/1 solver
+// through core.Evaluate up to chc-serve's 422 responses — so every error
+// argument to fmt.Errorf must travel under %w.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"memhier/internal/lint"
+)
+
+// Analyzer flags fmt.Errorf calls that format an error with %v/%s.
+var Analyzer = &lint.Analyzer{
+	Name: "errwrap",
+	Doc: `errwrap reports fmt.Errorf calls whose format string applies %v or %s
+to an argument of type error. Use %w so the wrapped error stays visible to
+errors.Is and errors.As (typed errors like queueing.SaturationError must
+survive wrapping across layers). Formats using explicit argument indexes
+(%[1]v) are skipped.`,
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !pass.IsPkgFunc(call, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constantString(pass, call.Args[0])
+			if !ok || strings.Contains(format, "%[") {
+				return true
+			}
+			for _, v := range verbs(format) {
+				argIdx := 1 + v.arg
+				if v.verb != 'v' && v.verb != 's' {
+					continue
+				}
+				if argIdx >= len(call.Args) {
+					continue // malformed format; vet's printf check owns this
+				}
+				arg := call.Args[argIdx]
+				t := pass.TypesInfo.Types[arg].Type
+				if t == nil || !types.Implements(t, errIface) {
+					continue
+				}
+				pass.Reportf(arg.Pos(), "error formatted with %%%c; use %%w so the cause survives errors.Is/errors.As", v.verb)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func constantString(pass *lint.Pass, e ast.Expr) (string, bool) {
+	tv := pass.TypesInfo.Types[e]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// verb is one conversion in a format string and the index of the argument
+// it consumes (0-based over the variadic args).
+type verb struct {
+	verb rune
+	arg  int
+}
+
+// verbs scans a Printf-style format, accounting for * width/precision
+// arguments. It is deliberately simpler than fmt's scanner: explicit
+// argument indexes are rejected upstream.
+func verbs(format string) []verb {
+	var out []verb
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(runes) && runes[i] == '%' {
+			continue
+		}
+		// flags, width, precision — '*' consumes an argument.
+		for i < len(runes) {
+			c := runes[i]
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0.", c) || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(runes) {
+			break
+		}
+		out = append(out, verb{verb: runes[i], arg: arg})
+		arg++
+	}
+	return out
+}

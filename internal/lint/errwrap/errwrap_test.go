@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"memhier/internal/lint/analysistest"
+	"memhier/internal/lint/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ew", errwrap.Analyzer)
+}

@@ -1,0 +1,79 @@
+// Package ew exercises the errwrap analyzer. errwrap needs no package
+// marker: typed errors must survive wrapping everywhere.
+package ew
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SaturationError mirrors the repo's typed queueing error: it only stays
+// visible to errors.As if every wrap on the way up uses %w.
+type SaturationError struct{ Rho float64 }
+
+func (e *SaturationError) Error() string { return fmt.Sprintf("saturated: rho=%g", e.Rho) }
+
+func flattenV(err error) error {
+	return fmt.Errorf("solving: %v", err) // want "error formatted with %v; use %w"
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("solving: %s", err) // want "error formatted with %s; use %w"
+}
+
+func flattenTyped(e *SaturationError) error {
+	return fmt.Errorf("model: %v", e) // want "error formatted with %v; use %w"
+}
+
+func flattenSecond(name string, err error) error {
+	return fmt.Errorf("running %s: %v", name, err) // want "error formatted with %v; use %w"
+}
+
+func starWidth(err error) error {
+	return fmt.Errorf("%*d things went wrong: %v", 5, 3, err) // want "error formatted with %v; use %w"
+}
+
+// wrap is the approved idiom.
+func wrap(err error) error {
+	return fmt.Errorf("solving: %w", err)
+}
+
+// nonError formats a plain value: %v is fine.
+func nonError(rho float64) error {
+	return fmt.Errorf("queueing: utilization %v out of range", rho)
+}
+
+// errorString formats the message, not the error: fine (the cause is
+// deliberately not propagated, and no error value is flattened).
+func errorString(err error) error {
+	return fmt.Errorf("solving: %s", err.Error())
+}
+
+// percentLiteral must not confuse the verb scanner.
+func percentLiteral(err error) error {
+	return fmt.Errorf("100%% failure: %w", err)
+}
+
+// indexed formats are skipped (conservative).
+func indexed(err error) error {
+	return fmt.Errorf("%[1]v", err)
+}
+
+// notErrorf: other fmt functions are out of scope — a log line does not
+// need to preserve the error chain.
+func notErrorf(err error) string {
+	return fmt.Sprintf("failed: %v", err)
+}
+
+// allowed demonstrates a justified suppression: the cause is deliberately
+// flattened at an API boundary.
+func allowed(err error) error {
+	//chc:allow errwrap -- fixture: flattening at the boundary on purpose
+	return fmt.Errorf("redacted: %v", err)
+}
+
+var errSentinel = errors.New("sentinel")
+
+func sentinelWrap() error {
+	return fmt.Errorf("op: %w", errSentinel)
+}

@@ -1,0 +1,75 @@
+// Package floateq forbids exact floating-point equality in packages marked
+// `//chc:deterministic`. The model-vs-simulator comparisons in core and
+// experiments must never silently hinge on two float64 computations landing
+// on the same bits; comparisons belong behind a tolerance
+// (math.Abs(a-b) <= eps).
+//
+// Two idioms stay legal:
+//
+//   - comparison against an exact-zero constant (`x == 0`): zero is a
+//     sentinel ("unset option", "guard the division"), not an arithmetic
+//     result, and tolerance-comparing against it would change meaning;
+//   - self-comparison (`x != x`), the classic NaN probe.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"memhier/internal/lint"
+)
+
+// Analyzer flags ==/!= between floating-point operands.
+var Analyzer = &lint.Analyzer{
+	Name: "floateq",
+	Doc: `floateq reports == and != between floating-point operands in
+//chc:deterministic packages. Exact float equality makes model/simulator
+agreement depend on bit-identical arithmetic; compare with a tolerance
+(math.Abs(a-b) <= eps) instead. Comparisons against the exact constant 0
+(sentinel/guard checks) and x != x (NaN probe) are allowed.`,
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	if !pass.Deterministic() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, y := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+			if !isFloat(x.Type) || !isFloat(y.Type) {
+				return true
+			}
+			if isZeroConst(x) || isZeroConst(y) {
+				return true
+			}
+			if x.Value != nil && y.Value != nil {
+				return true // constant folding, decided at compile time
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x: the NaN probe
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps) — exact equality depends on bit-identical arithmetic", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(tv types.TypeAndValue) bool {
+	return tv.Value != nil && tv.Value.Kind() != constant.Unknown && constant.Sign(tv.Value) == 0
+}

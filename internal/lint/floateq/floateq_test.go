@@ -1,0 +1,16 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"memhier/internal/lint/analysistest"
+	"memhier/internal/lint/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, "testdata/src/feq", floateq.Analyzer)
+}
+
+func TestFloateqIgnoresUnmarkedPackages(t *testing.T) {
+	analysistest.Run(t, "testdata/src/unmarked", floateq.Analyzer)
+}

@@ -1,0 +1,57 @@
+// Package feq exercises the floateq analyzer.
+//
+//chc:deterministic
+package feq
+
+import "math"
+
+const tol = 1e-9
+
+// exactEquality is the violation: model/sim agreement must not depend on
+// bit-identical arithmetic.
+func exactEquality(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func exactInequality(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func namedFloat(a, b float32) bool {
+	type celsius = float32
+	var c celsius = celsius(a)
+	return c == b // want "floating-point == comparison"
+}
+
+func constantCompare(a float64) bool {
+	return a == 0.75 // want "floating-point == comparison"
+}
+
+// almostEqual is the approved idiom: compare within a tolerance.
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// zeroSentinel is allowed: exact zero is a sentinel/guard, not an
+// arithmetic result.
+func zeroSentinel(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+// nanProbe is allowed: x != x is the classic NaN check.
+func nanProbe(x float64) bool {
+	return x != x
+}
+
+// intCompare is out of scope.
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+// allowedCompare demonstrates a justified suppression.
+func allowedCompare(a, b float64) bool {
+	return a == b //chc:allow floateq -- fixture: trailing directive
+}

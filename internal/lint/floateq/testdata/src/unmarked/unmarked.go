@@ -1,0 +1,5 @@
+// Package unmarked has no //chc:deterministic marker: floateq must stay
+// silent here.
+package unmarked
+
+func exactEquality(a, b float64) bool { return a == b }

@@ -1,0 +1,174 @@
+// Package guardedby checks the repo's lock-annotation convention: a struct
+// field whose declaration carries a `// guarded by mu` comment may only be
+// touched from a method of that struct while the named mutex is held. The
+// sharded response cache, single-flight maps, and worker pool in
+// internal/server and internal/experiments carry exactly these comments.
+//
+// The check is syntactic and flow-insensitive: a method that accesses a
+// guarded field must contain a `recv.mu.Lock()` or `recv.mu.RLock()` call
+// somewhere in its body. Methods whose names end in "Locked" declare that
+// their caller holds the lock and are exempt; that suffix is the approved
+// way to split a locked method into helpers.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"memhier/internal/lint"
+)
+
+// Analyzer flags guarded-field accesses without the guarding lock in scope.
+var Analyzer = &lint.Analyzer{
+	Name: "guardedby",
+	Doc: `guardedby reports accesses to struct fields annotated "// guarded by mu"
+from methods of the same struct that never acquire mu (no mu.Lock/RLock
+call syntactically in the method body). Helpers that run under a caller's
+lock must be named with a "Locked" suffix.`,
+	Run: run,
+}
+
+var guardRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guards maps a struct's type name → guarded field name → mutex field name.
+type guards map[*types.TypeName]map[string]string
+
+func run(pass *lint.Pass) error {
+	g := collectGuards(pass)
+	if len(g) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			checkMethod(pass, g, fn)
+		}
+	}
+	return nil
+}
+
+// collectGuards finds `// guarded by <mu>` annotations on struct fields.
+func collectGuards(pass *lint.Pass) guards {
+	g := guards{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if g[tn] == nil {
+						g[tn] = map[string]string{}
+					}
+					g[tn][name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkMethod verifies one method against its receiver struct's guards.
+func checkMethod(pass *lint.Pass, g guards, fn *ast.FuncDecl) {
+	recv := fn.Recv.List[0]
+	tn := receiverTypeName(pass, recv.Type)
+	fields := g[tn]
+	if fields == nil || len(recv.Names) == 0 {
+		return
+	}
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		return // contract: the caller holds the lock.
+	}
+	recvObj := pass.TypesInfo.Defs[recv.Names[0]]
+	if recvObj == nil {
+		return
+	}
+
+	locked := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := muSel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recvObj {
+			locked[muSel.Sel.Name] = true
+		}
+		return true
+	})
+
+	reported := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recvObj {
+			return true
+		}
+		mu, guarded := fields[sel.Sel.Name]
+		if !guarded || locked[mu] || reported[sel.Sel.Name] {
+			return true
+		}
+		reported[sel.Sel.Name] = true
+		pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, but %s never acquires %s.%s (hold the lock, or name the method with a Locked suffix if the caller holds it)",
+			id.Name, sel.Sel.Name, mu, fn.Name.Name, id.Name, mu)
+		return true
+	})
+}
+
+// receiverTypeName resolves a method receiver's type expression to the
+// named type it declares a method on.
+func receiverTypeName(pass *lint.Pass, expr ast.Expr) *types.TypeName {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(pass, t.X)
+	case *ast.IndexExpr: // generic receiver T[P]
+		return receiverTypeName(pass, t.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(pass, t.X)
+	case *ast.Ident:
+		tn, _ := pass.TypesInfo.Uses[t].(*types.TypeName)
+		return tn
+	}
+	return nil
+}

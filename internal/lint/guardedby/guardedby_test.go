@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"memhier/internal/lint/analysistest"
+	"memhier/internal/lint/guardedby"
+)
+
+func TestGuardedby(t *testing.T) {
+	analysistest.Run(t, "testdata/src/gb", guardedby.Analyzer)
+}

@@ -1,0 +1,67 @@
+// Package gb exercises the guardedby analyzer.
+package gb
+
+import "sync"
+
+// counter annotates its state the way the repo's sharded cache and worker
+// pool do.
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// hits is also protected; the annotation may sit in a doc comment.
+	// guarded by mu
+	hits int
+	free int // unguarded: accessible without the lock
+}
+
+// inc holds the lock: the approved idiom.
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.hits++
+}
+
+// get forgets the lock.
+func (c *counter) get() int {
+	return c.n // want "c.n is guarded by mu, but get never acquires c.mu"
+}
+
+// reset touches two guarded fields without the lock; each is reported once.
+func (c *counter) reset() {
+	c.n = 0    // want "c.n is guarded by mu, but reset never acquires c.mu"
+	c.hits = 0 // want "c.hits is guarded by mu, but reset never acquires c.mu"
+}
+
+// bumpLocked declares via its name that the caller holds the lock.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// touchFree reads an unguarded field: no lock needed.
+func (c *counter) touchFree() int {
+	return c.free
+}
+
+// rwstate covers RLock and RWMutex.
+type rwstate struct {
+	mu   sync.RWMutex
+	data map[string]int // guarded by mu
+}
+
+func (s *rwstate) lookup(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[k]
+}
+
+func (s *rwstate) peek(k string) int {
+	return s.data[k] // want "s.data is guarded by mu, but peek never acquires s.mu"
+}
+
+// allowed demonstrates a justified suppression (e.g. a read that races
+// benignly by design and is documented as such).
+func (s *rwstate) allowed(k string) int {
+	//chc:allow guardedby -- fixture: documented benign race
+	return s.data[k]
+}

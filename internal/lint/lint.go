@@ -1,0 +1,214 @@
+// Package lint is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface this repository needs: named
+// analyzers that walk type-checked packages and report position-tagged
+// diagnostics. It exists because the repo's correctness story — byte-identical
+// reproduction artifacts, typed errors surviving wrapping, lock-guarded
+// shared state — rests on conventions `go vet` cannot see, and the build
+// environment is hermetic (no module downloads), so the framework itself
+// has to live in-tree on the standard library alone.
+//
+// The API mirrors go/analysis closely enough that the analyzers in the
+// subpackages (detorder, floateq, errwrap, guardedby) could be ported to
+// real *analysis.Analyzer values by changing imports only.
+//
+// Two comment directives drive the suite:
+//
+//   - `//chc:deterministic` in a package's doc block declares that the
+//     package is part of the reproduction pipeline and must be exactly
+//     reproducible run-to-run. detorder and floateq only fire inside
+//     marked packages.
+//   - `//chc:allow <analyzer> [-- reason]` on the offending line (or the
+//     line above it) suppresses one diagnostic. Suppressions are for code
+//     whose wall-clock or ordering behaviour is the measurement itself
+//     (e.g. the §5.3 model-vs-simulator speed comparison); they are not a
+//     substitute for fixing order-dependent rendering.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //chc:allow
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives diagnostics that survived suppression checks.
+	report func(Diagnostic)
+	// allowed maps filename → line → analyzer names suppressed there.
+	allowed map[string]map[int][]string
+	// deterministic caches the //chc:deterministic marker lookup.
+	deterministic *bool
+}
+
+// A Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos unless a `//chc:allow <name>`
+// directive on the same line or the line immediately above suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+var allowRe = regexp.MustCompile(`^//chc:allow\s+([a-z0-9_,]+)`)
+
+func (p *Pass) suppressed(pos token.Position) bool {
+	if p.allowed == nil {
+		p.allowed = map[string]map[int][]string{}
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := allowRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					cp := p.Fset.Position(c.Pos())
+					byLine := p.allowed[cp.Filename]
+					if byLine == nil {
+						byLine = map[int][]string{}
+						p.allowed[cp.Filename] = byLine
+					}
+					names := strings.Split(m[1], ",")
+					// A directive on its own line covers the next line;
+					// a trailing directive covers its own line.
+					byLine[cp.Line] = append(byLine[cp.Line], names...)
+				}
+			}
+		}
+	}
+	byLine := p.allowed[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Deterministic reports whether the package carries the
+// `//chc:deterministic` marker in any of its file comments (by convention
+// it sits in the package doc block).
+func (p *Pass) Deterministic() bool {
+	if p.deterministic != nil {
+		return *p.deterministic
+	}
+	det := false
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == "//chc:deterministic" {
+					det = true
+				}
+			}
+		}
+	}
+	p.deterministic = &det
+	return det
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for builtins, type conversions, and calls of function-typed values.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call invokes a package-level function (not a
+// method) named one of names from the package with the given import path.
+func (p *Pass) IsPkgFunc(call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := p.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics sorted by file, line, and column — a deterministic order, as
+// befits the suite.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -48,6 +48,8 @@ func FitDensity(xs, ds []float64, opts FitOptions) (Params, FitStats, error) {
 	}
 	distinct := false
 	for i := 1; i < len(fx); i++ {
+		// Exact identity on raw inputs (see Fit): any difference suffices.
+		//chc:allow floateq -- degenerate-input guard compares identities
 		if fx[i] != fx[0] {
 			distinct = true
 			break

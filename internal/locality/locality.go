@@ -10,6 +10,8 @@
 // plus the memory-reference fraction γ = M/(m+M). The package fits (α, β)
 // to an empirical CDF by damped Gauss–Newton (Levenberg–Marquardt) least
 // squares, built from scratch on the standard library.
+//
+//chc:deterministic
 package locality
 
 import (
@@ -134,6 +136,9 @@ func Fit(xs, ps []float64, opts FitOptions) (Params, FitStats, error) {
 		if math.IsNaN(ps[i]) || ps[i] < 0 || ps[i] > 1 {
 			return Params{}, FitStats{}, fmt.Errorf("locality: invalid p[%d]=%v", i, ps[i])
 		}
+		// Exact identity on raw inputs, not on arithmetic results: any
+		// bitwise difference between two x values is enough to fit a line.
+		//chc:allow floateq -- degenerate-input guard compares identities
 		if i > 0 && xs[i] != xs[0] {
 			distinct = true
 		}

@@ -10,6 +10,8 @@
 // 633 for the 155 Mb ATM switch (SAR segmentation). A three-hop transfer
 // of remotely cached data costs exactly twice a two-hop one, as in the
 // paper's table.
+//
+//chc:deterministic
 package netmodel
 
 import (

@@ -5,6 +5,8 @@
 // All quantities are expressed in abstract time units (CPU cycles in this
 // repository). An arrival rate is therefore in requests per cycle and a
 // service time in cycles; their product is the offered load (utilization).
+//
+//chc:deterministic
 package queueing
 
 import (

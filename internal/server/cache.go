@@ -36,10 +36,10 @@ type flight struct {
 // entries plus the in-flight table for single-flight dedup.
 type cacheShard struct {
 	mu      sync.Mutex
-	cap     int
-	order   *list.List               // front = most recently used
-	items   map[string]*list.Element // key → element holding *cacheItem
-	flights map[string]*flight
+	cap     int                      // immutable after construction
+	order   *list.List               // guarded by mu; front = most recently used
+	items   map[string]*list.Element // guarded by mu; key → element holding *cacheItem
+	flights map[string]*flight       // guarded by mu
 }
 
 type cacheItem struct {
@@ -114,16 +114,17 @@ func (c *resultCache) do(ctx context.Context, key string, compute func() (entry,
 	sh.mu.Lock()
 	delete(sh.flights, key)
 	if f.err == nil && f.ent.status >= 200 && f.ent.status < 300 {
-		sh.insert(key, f.ent)
+		sh.insertLocked(key, f.ent)
 	}
 	sh.mu.Unlock()
 	close(f.done)
 	return f.ent, outcomeMiss, f.err
 }
 
-// insert adds the entry under the shard lock, evicting from the LRU tail
-// past capacity.
-func (sh *cacheShard) insert(key string, ent entry) {
+// insertLocked adds the entry, evicting from the LRU tail past capacity.
+// The caller holds sh.mu — the Locked suffix is the guardedby analyzer's
+// contract for helpers that run under a caller's lock.
+func (sh *cacheShard) insertLocked(key string, ent entry) {
 	if el, ok := sh.items[key]; ok {
 		el.Value.(*cacheItem).ent = ent
 		sh.order.MoveToFront(el)

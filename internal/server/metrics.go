@@ -15,10 +15,10 @@ var latencyBucketsMs = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 10
 // histogram is a fixed-bucket latency histogram.
 type histogram struct {
 	mu      sync.Mutex
-	buckets []uint64 // len(latencyBucketsMs)+1, last is overflow
-	count   uint64
-	sumMs   float64
-	maxMs   float64
+	buckets []uint64 // guarded by mu; len(latencyBucketsMs)+1, last is overflow
+	count   uint64   // guarded by mu
+	sumMs   float64  // guarded by mu
+	maxMs   float64  // guarded by mu
 }
 
 func newHistogram() *histogram {

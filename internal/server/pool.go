@@ -20,7 +20,7 @@ var ErrShuttingDown = errors.New("server: shutting down")
 // rejected immediately — load shedding, not convoying.
 type workerPool struct {
 	mu     sync.RWMutex
-	closed bool
+	closed bool  // guarded by mu
 	limit  int64 // max accepted jobs: workers running + queueDepth waiting
 	jobs   chan *poolJob
 	wg     sync.WaitGroup

@@ -12,6 +12,10 @@ type heapEnt struct {
 // ties. Keys are unique (one entry per CPU), so the pop sequence is fully
 // determined regardless of the heap's internal arrangement.
 func entLess(a, b heapEnt) bool {
+	// The == is an exact tiebreak inside a total order, not an arithmetic
+	// comparison: two clocks either are the same bits (tie → cpu decides)
+	// or they are not. A tolerance here would make the order intransitive.
+	//chc:allow floateq -- exact tiebreak in a comparator
 	return a.clock < b.clock || (a.clock == b.clock && a.cpu < b.cpu)
 }
 

@@ -15,6 +15,8 @@
 // CPU cycles using the paper's latency table. Shared media (memory buses,
 // the cluster network, I/O buses) are serially occupied resources, so
 // contention emerges from the simulation rather than from a formula.
+//
+//chc:deterministic
 package backend
 
 import (

@@ -2,6 +2,8 @@
 // cache used by all five back-end simulators: two-way set-associative with
 // 64-byte lines for the SMP configurations (paper §5.1), with coherence
 // state stored per line for the snooping and directory protocols.
+//
+//chc:deterministic
 package cache
 
 import (

@@ -5,6 +5,8 @@
 // drain, which is exactly how the paper's latency numbers behave (the
 // quoted remote latencies are the serialization time of one block
 // transfer).
+//
+//chc:deterministic
 package interconnect
 
 // Resource is a single serially-occupied medium.

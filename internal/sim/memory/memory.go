@@ -2,6 +2,8 @@
 // set of resident pages backed by disk: the level-2/level-4 capacity of the
 // paper's hierarchy. An access to a non-resident page costs a disk transfer
 // and displaces the least recently used page.
+//
+//chc:deterministic
 package memory
 
 import "fmt"

@@ -13,6 +13,8 @@
 // a reference at position t to a datum last seen at position p has distance
 // equal to the number of markers in (p, t), maintained in O(log n) per
 // reference.
+//
+//chc:deterministic
 package stackdist
 
 import (

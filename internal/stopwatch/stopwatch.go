@@ -1,0 +1,20 @@
+// Package stopwatch is the one place reproduction code may touch the wall
+// clock. Packages marked //chc:deterministic must not call time.Now — a
+// timestamp formatted into an artifact makes runs differ byte-for-byte —
+// but measuring *how long* something took is part of the paper's own
+// methodology (§5.3 compares model evaluation time against simulation
+// time). The compromise: this tiny, unmarked, auditable package hands out
+// elapsed durations and nothing else. A duration can still be rendered,
+// but only an artifact that declares itself non-deterministic
+// (Artifact.Deterministic == false) may do so; detorder keeps everything
+// else honest.
+package stopwatch
+
+import "time"
+
+// Start begins timing and returns a function that reports the time elapsed
+// since the call to Start.
+func Start() func() time.Duration {
+	t0 := time.Now()
+	return func() time.Duration { return time.Since(t0) }
+}

@@ -1,5 +1,7 @@
 // Package tabulate renders aligned text tables and CSV series for the
 // experiment harness's reproduction of the paper's tables and figures.
+//
+//chc:deterministic
 package tabulate
 
 import (

@@ -8,6 +8,8 @@
 // and barrier crossings. Every memory reference itself also counts as one
 // instruction, matching the paper's accounting where a program consists of
 // m non-referencing and M referencing instructions.
+//
+//chc:deterministic
 package trace
 
 import (

@@ -13,6 +13,8 @@
 // The SPMD structure follows the paper (§3): one process per processor,
 // equal-weight partitions, phases of local computation alternating with
 // communication/synchronization.
+//
+//chc:deterministic
 package workloads
 
 import (

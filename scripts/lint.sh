@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Build and run the repository's static-analysis suite (cmd/chc-lint) over
+# every package. Exits nonzero on any finding, so CI can gate on it the
+# same way it gates on go vet.
+#
+# Usage: scripts/lint.sh [packages...]   (defaults to ./...)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build -o /tmp/chc-lint ./cmd/chc-lint
+/tmp/chc-lint "${@:-./...}"
+echo "chc-lint: clean"
