@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"memhier/internal/faults"
 	"memhier/internal/server"
 )
 
@@ -54,6 +55,8 @@ func main() {
 		benchConc  = flag.Int("bench-concurrency", 8, "load generator client goroutines")
 		benchDur   = flag.Duration("bench-duration", 3*time.Second, "load generator run time")
 		benchOut   = flag.String("bench-out", "", "write the throughput record to this file (default stdout)")
+		faultName  = flag.String("faults", "", "inject faults from this profile (none, latency, errors, panics, saturation, timeouts, mixed); empty disables injection")
+		faultSeed  = flag.Int64("faults-seed", 1, "fault injection seed (same seed, same fault sequence)")
 	)
 	flag.Parse()
 
@@ -63,6 +66,14 @@ func main() {
 		SimQueueDepth:  *simQueue,
 		RequestTimeout: *reqTimeout,
 		SimTimeout:     *simTimeout,
+	}
+	if *faultName != "" {
+		profile, err := faults.ProfileByName(*faultName)
+		if err != nil {
+			log.Fatalf("chc-serve: %v", err)
+		}
+		cfg.Faults = faults.NewInjector(profile, *faultSeed)
+		log.Printf("chc-serve: fault injection enabled: profile %s, seed %d", profile.Name, *faultSeed)
 	}
 
 	if *bench {

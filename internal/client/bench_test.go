@@ -1,0 +1,71 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"memhier/internal/server"
+)
+
+// BenchmarkClientRetry measures one logical call that fails once with a
+// retryable 503 and succeeds on the retry — the client's failure-path
+// overhead (error decoding, breaker bookkeeping, jitter computation) with
+// backoff sleeps shrunk to stay out of the measurement.
+func BenchmarkClientRetry(b *testing.B) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1)%2 == 1 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "injected", Code: "transient"})
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{
+		BaseBackoff:      time.Microsecond,
+		MaxBackoff:       10 * time.Microsecond,
+		FailureThreshold: -1,
+		Seed:             1,
+	})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		meta, err := c.Post(ctx, "/v1/predict", struct{}{}, nil)
+		if err != nil {
+			b.Fatalf("Post: %v", err)
+		}
+		if meta.Attempts != 2 {
+			b.Fatalf("attempts = %d, want 2", meta.Attempts)
+		}
+	}
+}
+
+// BenchmarkClientHit measures the no-failure path: one attempt, decode,
+// done.
+func BenchmarkClientHit(b *testing.B) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Cache", "hit")
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, Options{Seed: 1})
+	ctx := context.Background()
+	var out map[string]bool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Post(ctx, "/v1/predict", struct{}{}, &out); err != nil {
+			b.Fatalf("Post: %v", err)
+		}
+	}
+}

@@ -1,0 +1,480 @@
+// Package client is the resilient Go client for the chc-serve service:
+// typed calls for every API endpoint with transparent retries,
+// exponential backoff with full jitter, Retry-After honoring on 429
+// shedding responses, and a consecutive-failure circuit breaker that
+// fails fast while the service is down instead of piling retries onto it.
+//
+// Defaults (all overridable via Options): 3 retries (4 attempts total),
+// backoff base 50ms doubling per attempt with full jitter, capped at 2s;
+// a server-supplied Retry-After extends the pause up to 5s; the breaker
+// opens after 5 consecutive failed attempts and stays open for 2s, then
+// lets one probe through (success closes it, failure reopens).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memhier/internal/server"
+)
+
+// Options tunes a Client. The zero value selects the documented defaults.
+type Options struct {
+	// MaxRetries is the number of re-attempts after the first try
+	// (default 3; negative means no retries).
+	MaxRetries int
+	// BaseBackoff is the first-retry backoff ceiling; attempt n waits a
+	// uniformly random duration in [0, min(MaxBackoff, BaseBackoff·2ⁿ)]
+	// — "full jitter" (default 50ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the jitter ceiling (default 2s).
+	MaxBackoff time.Duration
+	// RetryAfterCap bounds how long a server-supplied Retry-After is
+	// honored (default 5s): a hinted pause longer than this waits only
+	// the cap.
+	RetryAfterCap time.Duration
+	// FailureThreshold is the number of consecutive failed attempts that
+	// opens the circuit breaker (default 5; negative disables the breaker).
+	FailureThreshold int
+	// OpenFor is how long an open breaker rejects calls before letting a
+	// probe through (default 2s).
+	OpenFor time.Duration
+	// HTTPClient overrides the transport (default http.DefaultClient; the
+	// chaos harness injects an in-process transport).
+	HTTPClient *http.Client
+	// Seed seeds the jitter and request-ID generator (0 = 1): a seeded
+	// client produces a deterministic backoff schedule.
+	Seed int64
+	// Observer, when set, sees every wire attempt — including ones that
+	// are later retried. The chaos harness uses it to check invariants on
+	// each response, not just the final one.
+	Observer func(Attempt)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.RetryAfterCap <= 0 {
+		o.RetryAfterCap = 5 * time.Second
+	}
+	if o.FailureThreshold == 0 {
+		o.FailureThreshold = 5
+	} else if o.FailureThreshold < 0 {
+		o.FailureThreshold = 0 // disabled
+	}
+	if o.OpenFor <= 0 {
+		o.OpenFor = 2 * time.Second
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// ErrCircuitOpen is returned (wrapped) while the breaker is open: the
+// call failed fast without touching the network.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// APIError is a non-2xx response decoded into the service's error
+// contract. It is returned (wrapped) when retries are exhausted or the
+// status is not retryable.
+type APIError struct {
+	Status      int     // HTTP status
+	Code        string  // machine-readable error class
+	Message     string  // human-readable error text
+	RequestID   string  // the ID echoed by the server
+	Rho         float64 // utilization, on saturation rejections
+	RetryAfter  int     // seconds, on 429 shedding responses
+	ContentType string  // response Content-Type (the contract says JSON)
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// Attempt is one wire exchange, reported to Options.Observer.
+type Attempt struct {
+	Path      string
+	RequestID string // the ID sent (constant across retries of one call)
+	Status    int    // 0 when the attempt failed before a response
+	Header    http.Header
+	Body      []byte // response body (nil when Err is a transport error)
+	Err       error  // transport error, if any
+}
+
+// Meta describes how a successful call was answered.
+type Meta struct {
+	Status    int
+	Attempts  int    // wire attempts made (1 = no retries needed)
+	RequestID string // the ID this call carried
+	Cache     string // X-Cache: hit, miss, or dedup (API endpoints)
+	Body      []byte // raw response bytes (byte-identical across cache hits)
+}
+
+// Client is a resilient chc-serve client; safe for concurrent use.
+type Client struct {
+	base string
+	opts Options
+
+	mu  sync.Mutex
+	rng *rand.Rand // guarded by mu
+
+	breaker breaker
+	ids     atomic.Uint64
+}
+
+// New builds a Client for the service at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts Options) *Client {
+	opts = opts.withDefaults()
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		breaker: breaker{
+			threshold: opts.FailureThreshold,
+			openFor:   opts.OpenFor,
+		},
+	}
+}
+
+// ---- typed endpoint calls ----
+
+// Predict calls /v1/predict.
+func (c *Client) Predict(ctx context.Context, req server.PredictRequest) (server.PredictResponse, Meta, error) {
+	var resp server.PredictResponse
+	meta, err := c.Post(ctx, "/v1/predict", req, &resp)
+	return resp, meta, err
+}
+
+// Optimize calls /v1/optimize.
+func (c *Client) Optimize(ctx context.Context, req server.OptimizeRequest) (server.OptimizeResponse, Meta, error) {
+	var resp server.OptimizeResponse
+	meta, err := c.Post(ctx, "/v1/optimize", req, &resp)
+	return resp, meta, err
+}
+
+// Advise calls /v1/advise.
+func (c *Client) Advise(ctx context.Context, req server.AdviseRequest) (server.AdviseResponse, Meta, error) {
+	var resp server.AdviseResponse
+	meta, err := c.Post(ctx, "/v1/advise", req, &resp)
+	return resp, meta, err
+}
+
+// Fit calls /v1/fit.
+func (c *Client) Fit(ctx context.Context, req server.FitRequest) (server.FitResponse, Meta, error) {
+	var resp server.FitResponse
+	meta, err := c.Post(ctx, "/v1/fit", req, &resp)
+	return resp, meta, err
+}
+
+// Validate calls /v1/validate (the simulation-backed endpoint; expect
+// longer latencies and 429 shedding under load).
+func (c *Client) Validate(ctx context.Context, req server.ValidateRequest) (server.ValidateResponse, Meta, error) {
+	var resp server.ValidateResponse
+	meta, err := c.Post(ctx, "/v1/validate", req, &resp)
+	return resp, meta, err
+}
+
+// Ready reports whether the service answers /readyz with 200.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: readyz returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Post sends one JSON request to path, retrying retryable failures, and
+// decodes the 200 body into out (skipped when out is nil). All retries of
+// one call carry the same X-Request-ID.
+func (c *Client) Post(ctx context.Context, path string, in, out any) (Meta, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return Meta{}, fmt.Errorf("client: encoding %s request: %w", path, err)
+	}
+	id := c.nextRequestID()
+	meta := Meta{RequestID: id}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := c.breaker.allow(); err != nil {
+			if lastErr != nil {
+				return meta, fmt.Errorf("%w (last failure: %w)", err, lastErr)
+			}
+			return meta, err
+		}
+		meta.Attempts++
+		status, header, respBody, err := c.roundTrip(ctx, path, id, body)
+		if ob := c.opts.Observer; ob != nil {
+			ob(Attempt{Path: path, RequestID: id, Status: status, Header: header, Body: respBody, Err: err})
+		}
+
+		switch {
+		case err != nil:
+			// Transport-level failure. Context expiry is the caller's
+			// deadline, not the server's health: don't retry, don't count
+			// it against the breaker.
+			if ctx.Err() != nil {
+				return meta, fmt.Errorf("client: %s: %w", path, ctx.Err())
+			}
+			c.breaker.failure()
+			lastErr = fmt.Errorf("client: %s: %w", path, err)
+		case status >= 200 && status < 300:
+			c.breaker.success()
+			meta.Status = status
+			meta.Cache = header.Get("X-Cache")
+			meta.Body = respBody
+			if out != nil {
+				if err := json.Unmarshal(respBody, out); err != nil {
+					return meta, fmt.Errorf("client: decoding %s response: %w", path, err)
+				}
+			}
+			return meta, nil
+		default:
+			apiErr := decodeAPIError(status, header, respBody)
+			meta.Status = status
+			if !retryable(status) {
+				// A well-formed rejection (4xx) is not a service failure:
+				// it closes the breaker like a success.
+				c.breaker.success()
+				return meta, fmt.Errorf("client: %s: %w", path, apiErr)
+			}
+			c.breaker.failure()
+			lastErr = fmt.Errorf("client: %s: %w", path, apiErr)
+		}
+
+		if attempt >= c.opts.MaxRetries {
+			return meta, lastErr
+		}
+		if err := c.sleepBackoff(ctx, attempt, retryAfterOf(lastErr)); err != nil {
+			return meta, err
+		}
+	}
+}
+
+// retryable reports whether a status is worth retrying: shedding (429)
+// and server-side failures (500, 502, 503, 504).
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// roundTrip performs one wire attempt.
+func (c *Client) roundTrip(ctx context.Context, path, id string, body []byte) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", id)
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, b, nil
+}
+
+// decodeAPIError turns a non-2xx response into an APIError, tolerating
+// bodies that violate the JSON contract (the message then carries a
+// snippet so the violation is visible).
+func decodeAPIError(status int, header http.Header, body []byte) *APIError {
+	apiErr := &APIError{
+		Status:      status,
+		ContentType: header.Get("Content-Type"),
+		RequestID:   header.Get("X-Request-ID"),
+	}
+	if ra := header.Get("Retry-After"); ra != "" {
+		if n, err := strconv.Atoi(ra); err == nil {
+			apiErr.RetryAfter = n
+		}
+	}
+	var resp server.ErrorResponse
+	if err := json.Unmarshal(body, &resp); err == nil && resp.Error != "" {
+		apiErr.Message = resp.Error
+		apiErr.Code = resp.Code
+		apiErr.Rho = resp.Rho
+		if apiErr.RequestID == "" {
+			apiErr.RequestID = resp.RequestID
+		}
+		if apiErr.RetryAfter == 0 {
+			apiErr.RetryAfter = resp.RetryAfterSeconds
+		}
+	} else {
+		snippet := body
+		if len(snippet) > 120 {
+			snippet = snippet[:120]
+		}
+		apiErr.Message = fmt.Sprintf("non-JSON error body: %q", snippet)
+	}
+	return apiErr
+}
+
+// retryAfterOf extracts the server's Retry-After hint from a wrapped
+// APIError (0 when absent).
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return time.Duration(apiErr.RetryAfter) * time.Second
+	}
+	return 0
+}
+
+// sleepBackoff waits before retry number attempt+1: full-jitter
+// exponential backoff, extended to the server's Retry-After hint (capped)
+// when that is longer, abandoned early if ctx expires.
+func (c *Client) sleepBackoff(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	ceiling := c.opts.BaseBackoff << uint(attempt)
+	if ceiling > c.opts.MaxBackoff || ceiling <= 0 {
+		ceiling = c.opts.MaxBackoff
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(ceiling) + 1))
+	c.mu.Unlock()
+	if retryAfter > c.opts.RetryAfterCap {
+		retryAfter = c.opts.RetryAfterCap
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d == 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("client: backoff interrupted: %w", ctx.Err())
+	}
+}
+
+// nextRequestID returns a process-unique ID: a seeded random prefix (so
+// concurrent chaos runs don't collide) plus a per-client counter.
+func (c *Client) nextRequestID() string {
+	c.mu.Lock()
+	prefix := c.rng.Uint64()
+	c.mu.Unlock()
+	return fmt.Sprintf("c%08x-%d", uint32(prefix), c.ids.Add(1))
+}
+
+// ---- circuit breaker ----
+
+// breaker is a consecutive-failure circuit breaker. Closed: calls flow,
+// each failed attempt increments the streak, a success resets it. At
+// threshold the breaker opens: calls fail fast with ErrCircuitOpen for
+// openFor. After openFor the next call is the probe (half-open): success
+// closes the breaker, failure reopens it for another openFor.
+type breaker struct {
+	threshold int // 0 = disabled
+	openFor   time.Duration
+
+	mu          sync.Mutex
+	consecutive int       // guarded by mu
+	openUntil   time.Time // guarded by mu; zero = closed
+	probing     bool      // guarded by mu; a half-open probe is in flight
+}
+
+func (b *breaker) allow() error {
+	if b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return nil
+	}
+	if time.Now().Before(b.openUntil) {
+		return ErrCircuitOpen
+	}
+	// Open period elapsed: admit one probe, hold everyone else.
+	if b.probing {
+		return ErrCircuitOpen
+	}
+	b.probing = true
+	return nil
+}
+
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive = 0
+	b.openUntil = time.Time{}
+	b.probing = false
+	b.mu.Unlock()
+}
+
+func (b *breaker) failure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive++
+	if b.probing || b.consecutive >= b.threshold {
+		b.openUntil = time.Now().Add(b.openFor)
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// state reports the breaker for tests: open is whether calls would fail
+// fast right now.
+func (b *breaker) state() (open bool, consecutive int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.openUntil.IsZero() && time.Now().Before(b.openUntil) {
+		open = true
+	}
+	return open, b.consecutive
+}
+
+// BreakerOpen reports whether the client's circuit breaker is currently
+// rejecting calls (for tests and the chaos harness's reporting).
+func (c *Client) BreakerOpen() bool {
+	open, _ := c.breaker.state()
+	return open
+}

@@ -1,0 +1,375 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"memhier/internal/server"
+)
+
+// fastOpts returns Options tuned for tests: real retry logic, negligible
+// wall-clock time.
+func fastOpts() Options {
+	return Options{
+		MaxRetries:    3,
+		BaseBackoff:   time.Millisecond,
+		MaxBackoff:    5 * time.Millisecond,
+		RetryAfterCap: 10 * time.Millisecond,
+		OpenFor:       50 * time.Millisecond,
+		Seed:          1,
+	}
+}
+
+// jsonError writes a response in the service's error contract.
+func jsonError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(server.ErrorResponse{Error: msg, Code: code})
+}
+
+func TestPostSuccessFirstAttempt(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("X-Cache", "miss")
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"ok": "yes"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	var out map[string]string
+	meta, err := c.Post(context.Background(), "/v1/predict", map[string]int{"x": 1}, &out)
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if meta.Attempts != 1 || calls.Load() != 1 {
+		t.Fatalf("attempts = %d, server calls = %d, want 1/1", meta.Attempts, calls.Load())
+	}
+	if meta.Cache != "miss" {
+		t.Fatalf("meta.Cache = %q, want miss", meta.Cache)
+	}
+	if out["ok"] != "yes" {
+		t.Fatalf("decoded body = %v", out)
+	}
+}
+
+func TestRetriesTransientFailuresThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			jsonError(w, http.StatusServiceUnavailable, "transient", "injected")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"ok": "yes"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	meta, err := c.Post(context.Background(), "/v1/predict", struct{}{}, nil)
+	if err != nil {
+		t.Fatalf("Post after transient failures: %v", err)
+	}
+	if meta.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", meta.Attempts)
+	}
+}
+
+func TestRequestIDConstantAcrossRetries(t *testing.T) {
+	ids := make(chan string, 8)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ids <- r.Header.Get("X-Request-ID")
+		if calls.Add(1) <= 2 {
+			jsonError(w, http.StatusInternalServerError, "internal", "boom")
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	meta, err := c.Post(context.Background(), "/v1/predict", struct{}{}, nil)
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	close(ids)
+	var seen []string
+	for id := range ids {
+		seen = append(seen, id)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(seen))
+	}
+	for _, id := range seen {
+		if id == "" || id != seen[0] {
+			t.Fatalf("request IDs varied across retries: %v", seen)
+		}
+	}
+	if meta.RequestID != seen[0] {
+		t.Fatalf("meta.RequestID = %q, wire carried %q", meta.RequestID, seen[0])
+	}
+}
+
+func TestNonRetryableStatusFailsImmediately(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		jsonError(w, http.StatusBadRequest, "bad_request", "no such workload")
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, fastOpts())
+	_, err := c.Post(context.Background(), "/v1/predict", struct{}{}, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if apiErr.Status != http.StatusBadRequest || apiErr.Code != "bad_request" {
+		t.Fatalf("APIError = %+v", apiErr)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 was retried: %d calls", calls.Load())
+	}
+}
+
+func TestRetriesExhaustedReturnsLastError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		jsonError(w, http.StatusServiceUnavailable, "transient", "still down")
+	}))
+	defer ts.Close()
+
+	opts := fastOpts()
+	opts.FailureThreshold = -1 // isolate retry behavior from the breaker
+	c := New(ts.URL, opts)
+	meta, err := c.Post(context.Background(), "/v1/predict", struct{}{}, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "transient" {
+		t.Fatalf("want wrapped transient APIError, got %v", err)
+	}
+	if want := int64(4); calls.Load() != want { // 1 try + 3 retries
+		t.Fatalf("calls = %d, want %d", calls.Load(), want)
+	}
+	if meta.Attempts != 4 {
+		t.Fatalf("meta.Attempts = %d, want 4", meta.Attempts)
+	}
+}
+
+func TestHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var gap time.Duration
+	var last time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		if calls.Add(1) == 1 {
+			last = now
+			w.Header().Set("Retry-After", "1")
+			jsonError(w, http.StatusTooManyRequests, "overloaded", "queue full")
+			return
+		}
+		gap = now.Sub(last)
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	opts := fastOpts()
+	opts.RetryAfterCap = 150 * time.Millisecond // hint of 1s is capped here
+	c := New(ts.URL, opts)
+	start := time.Now()
+	if _, err := c.Post(context.Background(), "/v1/validate", struct{}{}, nil); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if gap < opts.RetryAfterCap {
+		t.Fatalf("retry came after %v, want >= capped Retry-After %v", gap, opts.RetryAfterCap)
+	}
+	if elapsed := time.Since(start); elapsed >= time.Second {
+		t.Fatalf("Retry-After cap not applied: call took %v", elapsed)
+	}
+}
+
+func TestBackoffDeterministicWithSeed(t *testing.T) {
+	schedule := func(seed int64) []time.Duration {
+		c := New("http://unused", Options{Seed: seed, BaseBackoff: time.Millisecond, MaxBackoff: 64 * time.Millisecond})
+		var ds []time.Duration
+		for attempt := 0; attempt < 6; attempt++ {
+			ceiling := c.opts.BaseBackoff << uint(attempt)
+			if ceiling > c.opts.MaxBackoff {
+				ceiling = c.opts.MaxBackoff
+			}
+			c.mu.Lock()
+			ds = append(ds, time.Duration(c.rng.Int63n(int64(ceiling)+1)))
+			c.mu.Unlock()
+		}
+		return ds
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+		ceiling := time.Millisecond << uint(i)
+		if ceiling > 64*time.Millisecond {
+			ceiling = 64 * time.Millisecond
+		}
+		if a[i] < 0 || a[i] > ceiling {
+			t.Fatalf("jitter %v outside [0, %v]", a[i], ceiling)
+		}
+	}
+}
+
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if healthy.Load() {
+			w.Write([]byte("{}"))
+			return
+		}
+		jsonError(w, http.StatusInternalServerError, "internal", "down")
+	}))
+	defer ts.Close()
+
+	opts := fastOpts()
+	opts.MaxRetries = -1 // one attempt per call, so the streak is per-call
+	opts.FailureThreshold = 3
+	opts.OpenFor = 40 * time.Millisecond
+	c := New(ts.URL, opts)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Post(ctx, "/v1/predict", struct{}{}, nil); err == nil {
+			t.Fatal("expected failure while server is down")
+		}
+	}
+	if !c.BreakerOpen() {
+		t.Fatal("breaker still closed after threshold consecutive failures")
+	}
+	wire := calls.Load()
+	_, err := c.Post(ctx, "/v1/predict", struct{}{}, nil)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen while open, got %v", err)
+	}
+	if calls.Load() != wire {
+		t.Fatal("open breaker still touched the network")
+	}
+
+	healthy.Store(true)
+	time.Sleep(opts.OpenFor + 10*time.Millisecond)
+	if _, err := c.Post(ctx, "/v1/predict", struct{}{}, nil); err != nil {
+		t.Fatalf("half-open probe should succeed: %v", err)
+	}
+	if c.BreakerOpen() {
+		t.Fatal("breaker did not close after successful probe")
+	}
+}
+
+func TestBreakerReopensOnFailedProbe(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		jsonError(w, http.StatusServiceUnavailable, "transient", "still down")
+	}))
+	defer ts.Close()
+
+	opts := fastOpts()
+	opts.MaxRetries = -1
+	opts.FailureThreshold = 2
+	opts.OpenFor = 30 * time.Millisecond
+	c := New(ts.URL, opts)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		c.Post(ctx, "/v1/predict", struct{}{}, nil)
+	}
+	if !c.BreakerOpen() {
+		t.Fatal("breaker should be open")
+	}
+	time.Sleep(opts.OpenFor + 10*time.Millisecond)
+	if _, err := c.Post(ctx, "/v1/predict", struct{}{}, nil); err == nil {
+		t.Fatal("probe against a down server should fail")
+	}
+	if !c.BreakerOpen() {
+		t.Fatal("failed probe should reopen the breaker")
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		jsonError(w, http.StatusServiceUnavailable, "transient", "down")
+	}))
+	defer ts.Close()
+
+	opts := fastOpts()
+	opts.BaseBackoff = time.Hour // any backoff would hang without ctx handling
+	opts.MaxBackoff = time.Hour
+	c := New(ts.URL, opts)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Post(ctx, "/v1/predict", struct{}{}, nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation did not interrupt backoff")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry after cancel)", calls.Load())
+	}
+}
+
+func TestObserverSeesEveryAttempt(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			jsonError(w, http.StatusServiceUnavailable, "transient", "first")
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	var attempts []Attempt
+	opts := fastOpts()
+	opts.Observer = func(a Attempt) { attempts = append(attempts, a) }
+	c := New(ts.URL, opts)
+	if _, err := c.Post(context.Background(), "/v1/predict", struct{}{}, nil); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if len(attempts) != 2 {
+		t.Fatalf("observer saw %d attempts, want 2", len(attempts))
+	}
+	if attempts[0].Status != http.StatusServiceUnavailable || attempts[1].Status != http.StatusOK {
+		t.Fatalf("observed statuses: %d, %d", attempts[0].Status, attempts[1].Status)
+	}
+	if attempts[0].RequestID != attempts[1].RequestID {
+		t.Fatal("observer saw different request IDs for one logical call")
+	}
+}
+
+func TestDecodeAPIErrorToleratesNonJSON(t *testing.T) {
+	h := http.Header{}
+	h.Set("Content-Type", "text/plain")
+	apiErr := decodeAPIError(http.StatusBadGateway, h, []byte("upstream exploded"))
+	if apiErr.Status != http.StatusBadGateway {
+		t.Fatalf("Status = %d", apiErr.Status)
+	}
+	if apiErr.ContentType != "text/plain" {
+		t.Fatalf("ContentType = %q", apiErr.ContentType)
+	}
+	if apiErr.Message == "" {
+		t.Fatal("message lost for non-JSON body")
+	}
+}

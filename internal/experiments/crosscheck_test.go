@@ -1,0 +1,72 @@
+package experiments
+
+// Model-vs-simulator cross-check: every configuration × paper-workload
+// point of Figures 2–4 must stay inside a per-point error envelope, not
+// just a healthy mean. The bounds are set from the deviations recorded in
+// REPORT.md (Fig 2: mean 35.5% / worst 70.9%; Fig 3: 39.2% / 122.5%;
+// Fig 4: 39.8% / 176.8%) with headroom for platform variation in
+// floating-point libm; both pipelines are deterministic, so a point that
+// drifts past its bound signals a real modeling or simulator regression,
+// not noise.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestModelVsSimWithinEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full validation matrix")
+	}
+	s := NewSuite(Options{})
+
+	figures := []struct {
+		name     string
+		run      func() (Validation, error)
+		rowBound float64 // per-point |model−sim|/sim ceiling, percent
+		mean     float64 // figure-wide mean ceiling, percent
+	}{
+		{"Figure2", s.Figure2, 80, 45},
+		{"Figure3", s.Figure3, 135, 50},
+		{"Figure4", s.Figure4, 190, 50},
+	}
+	for _, fig := range figures {
+		fig := fig
+		t.Run(fig.name, func(t *testing.T) {
+			v, err := fig.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(v.Rows) == 0 {
+				t.Fatal("no validation rows")
+			}
+			for _, row := range v.Rows {
+				row := row
+				t.Run(fmt.Sprintf("%s/%s", row.Config, row.Workload), func(t *testing.T) {
+					if row.ModelE <= 0 || math.IsNaN(row.ModelE) || math.IsInf(row.ModelE, 0) {
+						t.Fatalf("model E(Instr) = %v, want finite > 0", row.ModelE)
+					}
+					if row.SimE <= 0 || math.IsNaN(row.SimE) || math.IsInf(row.SimE, 0) {
+						t.Fatalf("simulated E(Instr) = %v, want finite > 0", row.SimE)
+					}
+					if math.IsNaN(row.DiffPct) || math.IsInf(row.DiffPct, 0) {
+						t.Fatalf("diff = %v, want finite", row.DiffPct)
+					}
+					// DiffPct must actually be (model − sim)/sim × 100.
+					want := (row.ModelE - row.SimE) / row.SimE * 100
+					if math.Abs(row.DiffPct-want) > 1e-9 {
+						t.Errorf("DiffPct %v inconsistent with ModelE/SimE (want %v)", row.DiffPct, want)
+					}
+					if d := math.Abs(row.DiffPct); d > fig.rowBound {
+						t.Errorf("|model−sim| = %.1f%% exceeds the %.0f%% envelope (model %.2f, sim %.2f)",
+							d, fig.rowBound, row.ModelE, row.SimE)
+					}
+				})
+			}
+			if m := v.MeanAbsDiff(); m > fig.mean {
+				t.Errorf("mean |diff| %.1f%% exceeds %.0f%%", m, fig.mean)
+			}
+		})
+	}
+}

@@ -1,0 +1,230 @@
+// Package faults is a deterministic, seed-driven fault-injection layer for
+// the chc-serve service. Instrumented code consults a Hook at named sites
+// (request entry, inside the single-flight computation); an Injector
+// implements the Hook by drawing from a seeded PRNG against a Profile of
+// fault probabilities, so a chaos run with the same seed injects the same
+// fault sequence given the same consultation order.
+//
+// The injected faults mirror the failure modes the paper's contention
+// analysis warns about and the operational faults any cluster-facing
+// service sees: added latency (network jitter), transient errors, panics
+// (crashed handler goroutines), deadline overruns (a stuck backend), and
+// simulated backend saturation via queueing.SaturationError (the ρ→1
+// regime of the shared-level M/D/1 model, PAPER.md §3).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"memhier/internal/queueing"
+)
+
+// Site names an injection point in the instrumented code.
+type Site string
+
+const (
+	// SiteEntry is consulted at request entry, before decoding: latency
+	// and panic faults fire here (the request never reaches the cache).
+	SiteEntry Site = "entry"
+	// SiteCompute is consulted inside the single-flight computation:
+	// transient errors, saturation, and deadline overruns fire here (the
+	// fault is observed by the flight leader and shared with waiters).
+	SiteCompute Site = "compute"
+)
+
+// Hook is consulted by instrumented code at injection sites.
+// Implementations must be safe for concurrent use. Inject may sleep
+// (latency faults), panic (crash faults — the value is an InjectedPanic),
+// or return an error to surface to the caller; nil means no fault.
+type Hook interface {
+	Inject(site Site, endpoint string) error
+}
+
+// ErrInjected marks injected transient errors so the service can map them
+// to a retryable status and the chaos harness can tell injected faults
+// from organic ones.
+var ErrInjected = errors.New("faults: injected transient error")
+
+// InjectedPanic is the value an Injector panics with, so the recovery
+// middleware (and tests) can distinguish injected crashes from real bugs.
+type InjectedPanic struct {
+	Endpoint string
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("faults: injected panic in %s handler", p.Endpoint)
+}
+
+// Profile is a named set of fault rates. Probabilities are per
+// consultation of the matching site; zero disables that fault class.
+type Profile struct {
+	Name string
+
+	// Entry-site faults.
+	LatencyProb float64       // P(sleep before handling)
+	Latency     time.Duration // injected sleep, uniform in (0, Latency]
+	PanicProb   float64       // P(handler goroutine panics)
+
+	// Compute-site faults.
+	ErrorProb      float64       // P(transient error wrapping ErrInjected)
+	SaturationProb float64       // P(queueing.SaturationError, ρ past the guard)
+	OverrunProb    float64       // P(sleep past the route deadline)
+	Overrun        time.Duration // deadline-overrun sleep
+}
+
+// profiles is the built-in catalog, keyed by Profile.Name.
+var profiles = []Profile{
+	{Name: "none"},
+	{Name: "latency", LatencyProb: 0.5, Latency: 30 * time.Millisecond},
+	{Name: "errors", ErrorProb: 0.3},
+	{Name: "panics", PanicProb: 0.2},
+	{Name: "saturation", SaturationProb: 0.3},
+	{Name: "timeouts", OverrunProb: 0.25, Overrun: 300 * time.Millisecond},
+	{
+		Name:        "mixed",
+		LatencyProb: 0.25, Latency: 20 * time.Millisecond,
+		PanicProb: 0.05,
+		ErrorProb: 0.1, SaturationProb: 0.05,
+		OverrunProb: 0.05, Overrun: 300 * time.Millisecond,
+	},
+}
+
+// ProfileByName returns a built-in profile; names are case-insensitive.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range profiles {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("faults: unknown profile %q (have %s)",
+		name, strings.Join(ProfileNames(), ", "))
+}
+
+// ProfileNames lists the built-in profiles in catalog order.
+func ProfileNames() []string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Injector implements Hook by drawing faults from a seeded PRNG. The same
+// seed and consultation order reproduce the same fault sequence; under
+// concurrency the interleaving varies but the drawn sequence is still a
+// deterministic function of the consultation order.
+type Injector struct {
+	profile Profile
+
+	mu     sync.Mutex
+	rng    *rand.Rand        // guarded by mu
+	counts map[string]uint64 // guarded by mu; fault kind → injections
+}
+
+// NewInjector builds an Injector for the profile, seeded deterministically.
+func NewInjector(p Profile, seed int64) *Injector {
+	return &Injector{
+		profile: p,
+		rng:     rand.New(rand.NewSource(seed)),
+		counts:  make(map[string]uint64),
+	}
+}
+
+// Profile returns the injector's profile.
+func (in *Injector) Profile() Profile { return in.profile }
+
+// draw returns one uniform variate in [0,1) under the lock.
+func (in *Injector) draw() float64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64()
+}
+
+func (in *Injector) count(kind string) {
+	in.mu.Lock()
+	in.counts[kind]++
+	in.mu.Unlock()
+}
+
+// Counts returns a copy of the per-kind injection counters.
+func (in *Injector) Counts() map[string]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the total number of injected faults.
+func (in *Injector) Total() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n uint64
+	for _, v := range in.counts {
+		n += v
+	}
+	return n
+}
+
+// Summary renders the injection counters as "kind=n" pairs in sorted
+// order (deterministic for logs and golden output).
+func (in *Injector) Summary() string {
+	counts := in.Counts()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, len(kinds))
+	for i, k := range kinds {
+		parts[i] = fmt.Sprintf("%s=%d", k, counts[k])
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Inject implements Hook. Entry sites may sleep or panic; compute sites
+// may sleep past the deadline or return transient/saturation errors.
+func (in *Injector) Inject(site Site, endpoint string) error {
+	p := in.profile
+	switch site {
+	case SiteEntry:
+		if p.LatencyProb > 0 && in.draw() < p.LatencyProb {
+			in.count("latency")
+			// Uniform in (0, Latency]: the +1 keeps the sleep nonzero.
+			in.mu.Lock()
+			d := time.Duration(in.rng.Int63n(int64(p.Latency))) + 1
+			in.mu.Unlock()
+			time.Sleep(d)
+		}
+		if p.PanicProb > 0 && in.draw() < p.PanicProb {
+			in.count("panic")
+			panic(InjectedPanic{Endpoint: endpoint})
+		}
+	case SiteCompute:
+		if p.OverrunProb > 0 && in.draw() < p.OverrunProb {
+			in.count("overrun")
+			time.Sleep(p.Overrun)
+		}
+		if p.SaturationProb > 0 && in.draw() < p.SaturationProb {
+			in.count("saturation")
+			return fmt.Errorf("faults: injected backend saturation: %w",
+				queueing.NewSaturationError(0.9995, queueing.DefaultMaxRho, 4, 0.2499, true))
+		}
+		if p.ErrorProb > 0 && in.draw() < p.ErrorProb {
+			in.count("error")
+			return fmt.Errorf("faults: %s backend unavailable: %w", endpoint, ErrInjected)
+		}
+	}
+	return nil
+}

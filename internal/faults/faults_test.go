@@ -1,0 +1,177 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"memhier/internal/queueing"
+)
+
+func TestProfileCatalog(t *testing.T) {
+	names := ProfileNames()
+	if len(names) == 0 {
+		t.Fatal("no built-in profiles")
+	}
+	for _, name := range names {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("profile %q resolved to %q", name, p.Name)
+		}
+	}
+	if _, err := ProfileByName("NONE"); err != nil {
+		t.Errorf("case-insensitive lookup failed: %v", err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile did not error")
+	}
+}
+
+func TestNoneProfileInjectsNothing(t *testing.T) {
+	p, _ := ProfileByName("none")
+	in := NewInjector(p, 1)
+	for i := 0; i < 1000; i++ {
+		if err := in.Inject(SiteEntry, "predict"); err != nil {
+			t.Fatalf("entry fault from the none profile: %v", err)
+		}
+		if err := in.Inject(SiteCompute, "predict"); err != nil {
+			t.Fatalf("compute fault from the none profile: %v", err)
+		}
+	}
+	if n := in.Total(); n != 0 {
+		t.Errorf("none profile injected %d faults", n)
+	}
+	if got := in.Summary(); got != "none" {
+		t.Errorf("Summary() = %q, want none", got)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	p, _ := ProfileByName("errors")
+	run := func(seed int64) []bool {
+		in := NewInjector(p, seed)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Inject(SiteCompute, "predict") != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at consultation %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical fault sequences")
+	}
+}
+
+func TestErrorProfileRates(t *testing.T) {
+	p, _ := ProfileByName("errors")
+	in := NewInjector(p, 7)
+	const n = 2000
+	injected := 0
+	for i := 0; i < n; i++ {
+		if err := in.Inject(SiteCompute, "optimize"); err != nil {
+			injected++
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+			}
+		}
+	}
+	// 30% nominal rate; a seeded run is deterministic, so a generous band
+	// only guards against wiring mistakes (always/never firing).
+	if injected < n/10 || injected > n/2 {
+		t.Errorf("injected %d/%d errors, want around 30%%", injected, n)
+	}
+	if in.Counts()["error"] != uint64(injected) {
+		t.Errorf("counter %d != observed %d", in.Counts()["error"], injected)
+	}
+}
+
+func TestSaturationFaultCarriesRho(t *testing.T) {
+	in := NewInjector(Profile{Name: "sat", SaturationProb: 1}, 1)
+	err := in.Inject(SiteCompute, "validate")
+	if err == nil {
+		t.Fatal("SaturationProb=1 injected nothing")
+	}
+	var sat *queueing.SaturationError
+	if !errors.As(err, &sat) {
+		t.Fatalf("injected error is not a SaturationError: %v", err)
+	}
+	if sat.Rho <= queueing.DefaultMaxRho || sat.Rho >= 1 {
+		t.Errorf("injected rho = %v, want in (guard, 1)", sat.Rho)
+	}
+	if !errors.Is(err, queueing.ErrNearSaturated) {
+		t.Errorf("injected saturation does not wrap ErrNearSaturated: %v", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	in := NewInjector(Profile{Name: "p", PanicProb: 1}, 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("PanicProb=1 did not panic")
+		}
+		ip, ok := r.(InjectedPanic)
+		if !ok {
+			t.Fatalf("panic value %T, want InjectedPanic", r)
+		}
+		if ip.Endpoint != "fit" {
+			t.Errorf("panic endpoint = %q", ip.Endpoint)
+		}
+	}()
+	in.Inject(SiteEntry, "fit")
+}
+
+func TestLatencyFaultSleeps(t *testing.T) {
+	in := NewInjector(Profile{Name: "l", LatencyProb: 1, Latency: 5 * time.Millisecond}, 1)
+	start := time.Now()
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		if err := in.Inject(SiteEntry, "predict"); err != nil {
+			t.Fatalf("latency fault returned an error: %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed == 0 {
+		t.Error("latency profile did not sleep at all")
+	}
+	if got := in.Counts()["latency"]; got != rounds {
+		t.Errorf("latency count = %d, want %d", got, rounds)
+	}
+}
+
+func TestInjectorConcurrencySafe(t *testing.T) {
+	p, _ := ProfileByName("mixed")
+	p.PanicProb = 0 // panics would crash the bare goroutines below
+	p.Latency = time.Microsecond
+	p.Overrun = time.Microsecond
+	in := NewInjector(p, 3)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				in.Inject(SiteEntry, "predict")
+				in.Inject(SiteCompute, "predict")
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	in.Counts() // must not race with itself
+}

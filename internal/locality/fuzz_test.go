@@ -1,0 +1,77 @@
+package locality
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzFit decodes raw bytes into alternating (x, p) float64 pairs and
+// fits the locality curve. Properties, on arbitrary — including
+// degenerate — inputs:
+//
+//   - no panic and no hang: empty input, a single point, identical xs,
+//     non-monotone ps, NaN/±Inf bit patterns must all be either rejected
+//     with an error or fitted
+//   - a successful fit is always in-domain: α > 1, β > 0, both finite
+//   - the fitted CDF is a CDF: P(x) ∈ [0, 1] at every input point
+//   - reported fit quality is sane: RMSE finite and ≥ 0
+func FuzzFit(f *testing.F) {
+	pack := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add([]byte{})                       // no points
+	f.Add(pack(1024, 0.5))                // single point
+	f.Add(pack(1024, 0.5, 1024, 0.9))     // identical xs
+	f.Add(pack(1024, 0.9, 4096, 0.2))     // non-monotone ps
+	f.Add(pack(math.NaN(), 0.5, 1, 0.6))  // NaN x
+	f.Add(pack(1, math.Inf(1), 2, 0.5))   // Inf p
+	f.Add(pack(math.Inf(1), 0.5, 2, 0.6)) // Inf x
+	f.Add(pack(-1, 0.5, 2, 0.6))          // negative x
+	// A realistic curve: P(x) for alpha=1.5, beta=2000 sampled at powers
+	// of two, which must fit essentially exactly.
+	realistic := make([]float64, 0, 16)
+	for _, x := range []float64{1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22} {
+		realistic = append(realistic, x, 1-math.Pow(x/2000+1, -0.5))
+	}
+	f.Add(pack(realistic...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 16 // one (x, p) pair per 16 bytes
+		if n > 64 {
+			n = 64 // bound fit cost, not coverage: shapes repeat beyond this
+		}
+		xs := make([]float64, n)
+		ps := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[16*i:]))
+			ps[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[16*i+8:]))
+		}
+
+		params, stats, err := Fit(xs, ps, FitOptions{MaxIter: 40})
+		if err != nil {
+			return // rejected inputs are fine; panics and bad fits are not
+		}
+		if math.IsNaN(params.Alpha) || math.IsInf(params.Alpha, 0) || params.Alpha <= 1 {
+			t.Fatalf("fit accepted but alpha out of domain: %v (xs=%v ps=%v)", params.Alpha, xs, ps)
+		}
+		if math.IsNaN(params.Beta) || math.IsInf(params.Beta, 0) || params.Beta <= 0 {
+			t.Fatalf("fit accepted but beta out of domain: %v (xs=%v ps=%v)", params.Beta, xs, ps)
+		}
+		if err := params.Validate(); err != nil {
+			t.Fatalf("fit accepted but params invalid: %v", err)
+		}
+		for _, x := range xs {
+			if p := params.CDF(x); math.IsNaN(p) || p < 0 || p > 1 {
+				t.Fatalf("fitted CDF(%v) = %v outside [0,1] (params %+v)", x, p, params)
+			}
+		}
+		if math.IsNaN(stats.RMSE) || stats.RMSE < 0 {
+			t.Fatalf("RMSE = %v, want finite >= 0", stats.RMSE)
+		}
+	})
+}

@@ -66,6 +66,18 @@ func (e *SaturationError) Error() string {
 // Unwrap exposes the sentinel (ErrSaturated or ErrNearSaturated).
 func (e *SaturationError) Unwrap() error { return e.kind }
 
+// NewSaturationError builds a SaturationError outside the guard machinery —
+// e.g. a fault injector simulating a saturated backend. near selects the
+// ErrNearSaturated sentinel (ρ beyond the guard but below 1) instead of
+// ErrSaturated.
+func NewSaturationError(rho, maxRho, tau, lambda float64, near bool) *SaturationError {
+	kind := ErrSaturated
+	if near {
+		kind = ErrNearSaturated
+	}
+	return &SaturationError{Rho: rho, MaxRho: maxRho, Tau: tau, Lambda: lambda, kind: kind}
+}
+
 func (g Guard) maxRho() float64 {
 	if g.MaxRho <= 0 {
 		return 1

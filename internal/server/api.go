@@ -232,6 +232,14 @@ type ValidateResponse struct {
 // ErrorResponse is the JSON error body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code is the machine-readable error class (bad_request, overloaded,
+	// saturated, deadline, transient, panic, draining, not_found,
+	// method_not_allowed, internal). Clients branch on this, not on the
+	// message text.
+	Code string `json:"code,omitempty"`
+	// RequestID echoes the X-Request-ID header so error reports are
+	// self-contained.
+	RequestID string `json:"request_id,omitempty"`
 	// Rho is the offending utilization when the model refused a
 	// near-saturated or saturated operating point (queueing.SaturationError).
 	Rho float64 `json:"rho,omitempty"`

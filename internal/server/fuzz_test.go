@@ -1,0 +1,86 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCanonicalKey exercises the request-canonicalization pipeline that
+// derives cache keys — the exact path handlePredict runs before touching
+// the cache. Properties, on arbitrary request fields:
+//
+//   - no panic, whatever the spelling
+//   - determinism: canonicalizing twice yields the identical key
+//   - idempotence: a canonicalized spec canonicalizes to itself, so
+//     alias spellings and their canonical forms share one cache entry
+//   - keys embed their endpoint: the same request canonicalized for two
+//     endpoints never collides
+func FuzzCanonicalKey(f *testing.F) {
+	// Catalog names, aliases, customs, and degenerate spellings.
+	f.Add("C4", "", "", 0, 0, int64(0), int64(0), 0, "fft", false, 0.0)
+	f.Add("c12", "", "", 0, 0, int64(0), int64(0), 0, "LU", false, 0.124)
+	f.Add("", "smp", "none", 1, 4, int64(256<<10), int64(64<<20), 0, "radix", false, 0.0)
+	f.Add("", "csmp", "atm", 8, 4, int64(1<<20), int64(128<<20), 2, "tpcc", false, -1.0)
+	f.Add("", "ws", "100", 32, 1, int64(0), int64(0), 16, "edge", true, 0.0)
+	f.Add("C1", "", "", 0, 0, int64(0), int64(0), 0, "", false, 0.0)
+	f.Add("", "", "", 0, 0, int64(0), int64(0), 0, "fft", false, 0.0)
+	f.Add("C99", "bogus", "9000", -1, -1, int64(-5), int64(-5), -3, "no-such-kernel", true, 1e308)
+
+	f.Fuzz(func(t *testing.T, name, kind, net string, machines, procs int,
+		cacheBytes, memoryBytes int64, divisor int, workload string, measured bool, delta float64) {
+
+		spec := ConfigSpec{
+			Name: name, Kind: kind, Net: net,
+			Machines: machines, Procs: procs,
+			CacheBytes: cacheBytes, MemoryBytes: memoryBytes,
+			Divisor: divisor,
+		}
+		wspec := WorkloadSpec{Name: workload, Measured: measured}
+
+		cfg, err := spec.Resolve()
+		if err != nil {
+			return // invalid platform: rejected before keying, nothing to check
+		}
+		cwl, err := canonicalWorkload(wspec)
+		if err != nil {
+			return
+		}
+
+		req := PredictRequest{Config: configKey(cfg), Workload: cwl, Delta: delta}
+		key1, err := canonicalKey("predict", req)
+		if err != nil {
+			t.Fatalf("canonicalKey failed on resolved request: %v", err)
+		}
+		key2, err := canonicalKey("predict", req)
+		if err != nil || key1 != key2 {
+			t.Fatalf("canonicalKey not deterministic: %q vs %q (err %v)", key1, key2, err)
+		}
+		if !strings.HasPrefix(key1, "predict\x00") {
+			t.Fatalf("key %q does not embed its endpoint", key1)
+		}
+		other, err := canonicalKey("validate", req)
+		if err != nil || other == key1 {
+			t.Fatalf("keys collide across endpoints: %q", key1)
+		}
+
+		// Idempotence: the canonical workload is a fixed point.
+		again, err := canonicalWorkload(cwl)
+		if err != nil {
+			t.Fatalf("canonical workload %+v rejected on re-canonicalization: %v", cwl, err)
+		}
+		if again != cwl {
+			t.Fatalf("canonicalWorkload not idempotent: %+v -> %+v", cwl, again)
+		}
+
+		// Resolving the canonical config spec reproduces the same key, so
+		// alias spellings cannot split the cache.
+		cfg2, err := configKey(cfg).Resolve()
+		if err != nil {
+			t.Fatalf("canonical config spec %+v rejected on re-resolve: %v", configKey(cfg), err)
+		}
+		key3, err := canonicalKey("predict", PredictRequest{Config: configKey(cfg2), Workload: cwl, Delta: delta})
+		if err != nil || key3 != key1 {
+			t.Fatalf("canonical config not a fixed point: %q vs %q (err %v)", key3, key1, err)
+		}
+	})
+}

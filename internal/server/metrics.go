@@ -118,6 +118,8 @@ type serverMetrics struct {
 	CacheMisses expvar.Int
 	DedupWaits  expvar.Int // requests that attached to an in-flight twin
 	Shed        expvar.Int // 429 responses from the full queue
+	Panics      expvar.Int // handler panics recovered into 500s
+	Timeouts    expvar.Int // requests answered 503 at their route deadline
 	queueDepth  func() int64
 	cacheLen    func() int
 	endpoints   map[string]*endpointMetrics
@@ -160,6 +162,8 @@ func (m *serverMetrics) snapshot() map[string]any {
 		"cache_misses": m.CacheMisses.Value(),
 		"dedup_waits":  m.DedupWaits.Value(),
 		"shed":         m.Shed.Value(),
+		"panics":       m.Panics.Value(),
+		"timeouts":     m.Timeouts.Value(),
 		"queue_depth":  m.queueDepth(),
 		"cache_len":    m.cacheLen(),
 		"endpoints":    eps,

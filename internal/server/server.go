@@ -10,12 +10,14 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"memhier/internal/core"
 	"memhier/internal/cost"
 	"memhier/internal/experiments"
+	"memhier/internal/faults"
 	"memhier/internal/locality"
 	"memhier/internal/machine"
 	"memhier/internal/queueing"
@@ -43,6 +45,10 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Faults optionally injects faults at the instrumented sites (chaos
+	// testing; see internal/faults). Nil — the default — disables
+	// injection entirely: the hot path pays one nil check.
+	Faults faults.Hook
 }
 
 func (c Config) withDefaults() Config {
@@ -76,7 +82,7 @@ func (c Config) withDefaults() Config {
 }
 
 // endpointNames is the fixed metrics vocabulary.
-var endpointNames = []string{"predict", "optimize", "advise", "fit", "validate", "healthz", "readyz", "metrics"}
+var endpointNames = []string{"predict", "optimize", "advise", "fit", "validate", "healthz", "readyz", "metrics", "notfound"}
 
 // Server is the chc-serve service: handlers, result cache, simulation
 // worker pool, and operational state.
@@ -86,6 +92,7 @@ type Server struct {
 	pool     *workerPool
 	metrics  *serverMetrics
 	mux      *http.ServeMux
+	faults   faults.Hook // nil = no injection
 	draining atomic.Bool
 
 	// Computation seams, overridable in tests to control timing and
@@ -102,20 +109,22 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		cache:    newResultCache(cfg.CacheEntries, cfg.CacheShards),
 		pool:     newWorkerPool(cfg.SimWorkers, cfg.SimQueueDepth),
+		faults:   cfg.Faults,
 		evaluate: core.Evaluate,
 		simulate: runSimulation,
 		resolve:  experiments.ResolveWorkload,
 	}
 	s.metrics = newServerMetrics(endpointNames, s.pool.depth, s.cache.len)
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/v1/predict", s.instrument("predict", s.handlePredict))
-	s.mux.HandleFunc("/v1/optimize", s.instrument("optimize", s.handleOptimize))
-	s.mux.HandleFunc("/v1/advise", s.instrument("advise", s.handleAdvise))
-	s.mux.HandleFunc("/v1/fit", s.instrument("fit", s.handleFit))
-	s.mux.HandleFunc("/v1/validate", s.instrument("validate", s.handleValidate))
-	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
-	s.mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReadyz))
-	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/v1/predict", s.instrument("predict", true, s.handlePredict))
+	s.mux.HandleFunc("/v1/optimize", s.instrument("optimize", true, s.handleOptimize))
+	s.mux.HandleFunc("/v1/advise", s.instrument("advise", true, s.handleAdvise))
+	s.mux.HandleFunc("/v1/fit", s.instrument("fit", true, s.handleFit))
+	s.mux.HandleFunc("/v1/validate", s.instrument("validate", true, s.handleValidate))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.instrument("readyz", false, s.handleReadyz))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("/", s.instrument("notfound", false, s.handleNotFound))
 	return s
 }
 
@@ -141,42 +150,28 @@ func (s *Server) Publish() {
 // tests).
 func (s *Server) Metrics() map[string]any { return s.metrics.snapshot() }
 
-// instrument wraps a handler with request counting and latency recording.
-func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
-		s.metrics.observe(name, time.Since(start), sw.status)
-	}
-}
-
-// statusWriter captures the response status for metrics.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
 // ---- operational endpoints ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.draining.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
+		// Draining is an error response like any other: JSON body with a
+		// machine-readable code and the request ID.
+		s.failCode(w, http.StatusServiceUnavailable, codeDraining,
+			errors.New("server: draining: not accepting new work"))
 		return
 	}
-	fmt.Fprintln(w, "ready")
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleNotFound is the fallback route: unknown paths get the same JSON
+// error contract as every other failure, not net/http's bare-text 404.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	s.failCode(w, http.StatusNotFound, codeNotFound,
+		fmt.Errorf("server: no such endpoint %q", r.URL.Path))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -204,7 +199,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		// Even the fallback honors the error contract: JSON content type
+		// and a machine-readable code (http.Error would write text/plain).
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\n  \"error\": \"server: encoding response\",\n  \"code\": %q\n}\n", codeInternal)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -212,15 +211,88 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(buf.Bytes())
 }
 
+// Machine-readable error codes: the stable vocabulary of the "code" field
+// in every non-2xx body. Clients branch on these, not on message text.
+const (
+	codeBadRequest       = "bad_request"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeNotFound         = "not_found"
+	codeOverloaded       = "overloaded"
+	codeDraining         = "draining"
+	codeSaturated        = "saturated"
+	codeDeadline         = "deadline"
+	codeTransient        = "transient"
+	codePanic            = "panic"
+	codeInternal         = "internal"
+)
+
+// computePanicError is a recovered compute-goroutine panic carried back
+// to the handler as an ordinary error (status 500, code "panic").
+type computePanicError struct {
+	endpoint string
+	value    any
+}
+
+func (e *computePanicError) Error() string {
+	return fmt.Sprintf("server: %s computation panicked: %v", e.endpoint, e.value)
+}
+
+// errorCode maps a (status, error) pair to its machine-readable code.
+func errorCode(status int, err error) string {
+	var sat *queueing.SaturationError
+	var cpe *computePanicError
+	switch {
+	case errors.As(err, &cpe):
+		return codePanic
+	case errors.Is(err, ErrShuttingDown):
+		return codeDraining
+	case errors.Is(err, ErrOverloaded):
+		return codeOverloaded
+	case errors.As(err, &sat):
+		return codeSaturated
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return codeDeadline
+	case errors.Is(err, faults.ErrInjected):
+		return codeTransient
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return codeBadRequest
+	case http.StatusMethodNotAllowed:
+		return codeMethodNotAllowed
+	case http.StatusNotFound:
+		return codeNotFound
+	default:
+		return codeInternal
+	}
+}
+
 // fail maps an error to its status and JSON body: queue shed → 429 with
-// Retry-After, saturation → 422 with ρ, deadline → 503, everything else →
-// the given default status.
+// Retry-After, saturation → 422 with ρ, deadline or injected transient
+// fault → 503, everything else → the given default status. Every body
+// carries a machine-readable code and the request ID.
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {
-	resp := ErrorResponse{Error: err.Error()}
 	var sat *queueing.SaturationError
 	switch {
 	case errors.Is(err, ErrOverloaded) || errors.Is(err, ErrShuttingDown):
 		status = http.StatusTooManyRequests
+	case errors.As(err, &sat):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled),
+		errors.Is(err, faults.ErrInjected):
+		status = http.StatusServiceUnavailable
+	}
+	s.failCode(w, status, errorCode(status, err), err)
+}
+
+// failCode writes the error body with an explicit code (fail derives it).
+func (s *Server) failCode(w http.ResponseWriter, status int, code string, err error) {
+	// The request-ID middleware stamped the response header before the
+	// handler ran; echo it into the body so error reports are self-contained.
+	resp := ErrorResponse{Error: err.Error(), Code: code, RequestID: w.Header().Get(requestIDHeader)}
+	var sat *queueing.SaturationError
+	switch {
+	case status == http.StatusTooManyRequests:
 		s.metrics.Shed.Add(1)
 		retry := int(s.cfg.RetryAfter / time.Second)
 		if retry < 1 {
@@ -229,10 +301,7 @@ func (s *Server) fail(w http.ResponseWriter, status int, err error) {
 		resp.RetryAfterSeconds = retry
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 	case errors.As(err, &sat):
-		status = http.StatusUnprocessableEntity
 		resp.Rho = sat.Rho
-	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, resp)
 }
@@ -249,10 +318,53 @@ func (s *Server) post(w http.ResponseWriter, r *http.Request, timeout time.Durat
 }
 
 // serveCached runs the cache+singleflight protocol around compute and
-// writes the resulting bytes, tagging the response with X-Cache.
-func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, key string, compute func() (entry, error)) {
-	ent, how, err := s.cache.do(ctx, key, compute)
-	switch how {
+// writes the resulting bytes, tagging the response with X-Cache. The
+// route's deadline is enforced here even against a stalled computation:
+// the cache protocol runs in its own goroutine and the handler answers
+// 503 at the deadline, while a leader keeps computing in the background so
+// the finished result is cached for future callers (waiters already
+// abandon on ctx inside cache.do). Compute-site fault injection wraps the
+// computation, so injected failures share the single-flight path real
+// failures take.
+func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, endpoint, key string, compute func() (entry, error)) {
+	inner := compute
+	// The computation runs in a detached goroutine, out of reach of the
+	// middleware's recover: catch panics here and convert them to errors
+	// so a crashed computation yields a 500, never a dead process. The
+	// single-flight leader state unwinds normally on the error path.
+	run := func() (ent entry, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.Panics.Add(1)
+				err = &computePanicError{endpoint: endpoint, value: rec}
+			}
+		}()
+		if s.faults != nil {
+			if err := s.faults.Inject(faults.SiteCompute, endpoint); err != nil {
+				return entry{}, err
+			}
+		}
+		return inner()
+	}
+	type cacheAnswer struct {
+		ent entry
+		how outcome
+		err error
+	}
+	done := make(chan cacheAnswer, 1)
+	go func() {
+		ent, how, err := s.cache.do(ctx, key, run)
+		done <- cacheAnswer{ent, how, err}
+	}()
+	var ans cacheAnswer
+	select {
+	case ans = <-done:
+	case <-ctx.Done():
+		s.metrics.Timeouts.Add(1)
+		s.fail(w, http.StatusServiceUnavailable, ctx.Err())
+		return
+	}
+	switch ans.how {
 	case outcomeHit:
 		s.metrics.CacheHits.Add(1)
 		w.Header().Set("X-Cache", "hit")
@@ -263,13 +375,13 @@ func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, key str
 		s.metrics.CacheMisses.Add(1)
 		w.Header().Set("X-Cache", "miss")
 	}
-	if err != nil {
-		s.fail(w, http.StatusInternalServerError, err)
+	if ans.err != nil {
+		s.fail(w, http.StatusInternalServerError, ans.err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(ent.status)
-	w.Write(ent.body)
+	w.WriteHeader(ans.ent.status)
+	w.Write(ans.ent.body)
 }
 
 // render marshals a successful response body into a cacheable entry.
@@ -311,7 +423,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.serveCached(ctx, w, key, func() (entry, error) {
+	s.serveCached(ctx, w, "predict", key, func() (entry, error) {
 		wl, err := s.resolveSpec(wspec)
 		if err != nil {
 			return entry{}, err
@@ -357,7 +469,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.serveCached(ctx, w, key, func() (entry, error) {
+	s.serveCached(ctx, w, "optimize", key, func() (entry, error) {
 		wl, err := s.resolveSpec(wspec)
 		if err != nil {
 			return entry{}, err
@@ -411,7 +523,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.serveCached(ctx, w, key, func() (entry, error) {
+	s.serveCached(ctx, w, "advise", key, func() (entry, error) {
 		wl, err := s.resolveSpec(wspec)
 		if err != nil {
 			return entry{}, err
@@ -450,7 +562,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.serveCached(ctx, w, key, func() (entry, error) {
+	s.serveCached(ctx, w, "fit", key, func() (entry, error) {
 		params, stats, err := locality.Fit(req.Xs, req.Ps, locality.FitOptions{Weights: req.Weights})
 		if err != nil {
 			return entry{}, err
@@ -500,7 +612,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.serveCached(ctx, w, key, func() (entry, error) {
+	s.serveCached(ctx, w, "validate", key, func() (entry, error) {
 		// The expensive leg: bounded workers, bounded queue, shed beyond.
 		var res backend.RunResult
 		var simErr error
@@ -545,7 +657,19 @@ func (s *Server) resolveSpec(w WorkloadSpec) (core.Workload, error) {
 // form: catalog configurations key on their name alone, custom ones on
 // the full resolved field set.
 func configKey(cfg machine.Config) ConfigSpec {
-	if cfg.Name != "custom" {
+	// Catalog configurations key on their (unique) name, including scaled
+	// variants ("C4/16"). Custom platforms must key on their full field
+	// set: a scaled custom is renamed "custom/N" by Scaled, and keying
+	// that on the name alone would collide every divisor-N custom
+	// platform into one cache entry regardless of its capacities.
+	if cfg.Name != "custom" && !strings.HasPrefix(cfg.Name, "custom/") {
+		// A scaled catalog config is named "C4/16" by Scaled; key it as
+		// the resolvable canonical form {Name: "C4", Divisor: 16}.
+		if base, div, ok := strings.Cut(cfg.Name, "/"); ok {
+			if n, err := strconv.Atoi(div); err == nil && n > 1 {
+				return ConfigSpec{Name: base, Divisor: n}
+			}
+		}
 		return ConfigSpec{Name: cfg.Name}
 	}
 	net, _ := cfg.Net.MarshalText()

@@ -3,16 +3,17 @@
 #
 # Usage: scripts/bench.sh [-short] [output.json]
 #
-# Runs the simulator-engine, stack-distance, and prediction-service
-# benchmark families with -benchtime=1x -count=3 (best-of-3 per benchmark)
-# and writes a JSON array of {name, ns_op, allocs_op} to BENCH_PR3.json
+# Runs the simulator-engine, stack-distance, prediction-service, and
+# resilient-client benchmark families with -benchtime=1x -count=3
+# (best-of-3 per benchmark)
+# and writes a JSON array of {name, ns_op, allocs_op} to BENCH_PR5.json
 # (or the given path). -short drops to -count=1: the CI smoke mode that
 # only proves the benchmarks still compile and run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 count=3
-out=BENCH_PR3.json
+out=BENCH_PR5.json
 for arg in "$@"; do
   case "$arg" in
     -short) count=1 ;;
@@ -20,11 +21,11 @@ for arg in "$@"; do
   esac
 done
 
-pattern='^(BenchmarkSimulate|BenchmarkRun|BenchmarkStreamRun|BenchmarkAccessCacheHit|BenchmarkTouch|BenchmarkServe)'
+pattern='^(BenchmarkSimulate|BenchmarkRun|BenchmarkStreamRun|BenchmarkAccessCacheHit|BenchmarkTouch|BenchmarkServe|BenchmarkClient)'
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-for pkg in ./internal/sim/backend ./internal/stackdist ./internal/server; do
+for pkg in ./internal/sim/backend ./internal/stackdist ./internal/server ./internal/client; do
   go test "$pkg" -run '^$' -bench "$pattern" -benchtime=1x -count="$count" -benchmem | tee -a "$raw"
 done
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — build and run the chc-chaos resilience harness under
+# every fault profile, seed-pinned so the run is reproducible.
+#
+# Usage: scripts/chaos_smoke.sh [seed]
+#
+# The harness starts in-process chc-serve instances under each
+# fault-injection profile (latency, errors, panics, saturation, timeouts,
+# mixed) and checks the resilience invariants: byte-identical cached
+# responses, exactly-once single-flight computation, the 429 + Retry-After
+# shedding contract, the JSON error contract on every non-2xx, and drain
+# completing in-flight work. Non-zero exit means an invariant broke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+seed=${1:-1}
+
+go build -o /tmp/chc-chaos ./cmd/chc-chaos
+/tmp/chc-chaos -seed "$seed" -profile all -requests 400 -concurrency 8
