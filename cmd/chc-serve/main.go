@@ -9,6 +9,8 @@
 //	POST /v1/advise    {"config":{"name":"C1"},"budget":3000,"workload":{"name":"tpcc"}}
 //	POST /v1/fit       {"xs":[...],"ps":[...]}
 //	POST /v1/validate  {"config":{"name":"C4"},"workload":"fft"}
+//	POST /v1/sweep     {"configs":[...],"workloads":[...],"budgets":[...]}   (NDJSON stream)
+//	POST /v1/batch     {"requests":[{...predict...},...]}                   (NDJSON stream)
 //	GET  /healthz /readyz /metrics
 //
 // Identical requests are answered from a sharded LRU cache with
@@ -50,6 +52,10 @@ func main() {
 		simQueue   = flag.Int("sim-queue", 0, "simulation queue depth (default: 2x workers)")
 		reqTimeout = flag.Duration("request-timeout", 30*time.Second, "analytical request deadline")
 		simTimeout = flag.Duration("sim-timeout", 5*time.Minute, "/v1/validate deadline")
+		sweepWork  = flag.Int("sweep-workers", 0, "grid evaluation workers per sweep (default: NumCPU)")
+		sweepConc  = flag.Int("sweep-concurrency", 0, "concurrent streaming grids before shedding (default: 2)")
+		sweepTime  = flag.Duration("sweep-timeout", 2*time.Minute, "/v1/sweep and /v1/batch deadline")
+		sweepMax   = flag.Int("max-sweep-points", 0, "largest accepted grid (default: 4096)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline")
 		bench      = flag.Bool("bench", false, "run the load generator instead of serving")
 		benchConc  = flag.Int("bench-concurrency", 8, "load generator client goroutines")
@@ -61,11 +67,15 @@ func main() {
 	flag.Parse()
 
 	cfg := server.Config{
-		CacheEntries:   *cacheSize,
-		SimWorkers:     *simWorkers,
-		SimQueueDepth:  *simQueue,
-		RequestTimeout: *reqTimeout,
-		SimTimeout:     *simTimeout,
+		CacheEntries:     *cacheSize,
+		SimWorkers:       *simWorkers,
+		SimQueueDepth:    *simQueue,
+		RequestTimeout:   *reqTimeout,
+		SimTimeout:       *simTimeout,
+		SweepWorkers:     *sweepWork,
+		SweepConcurrency: *sweepConc,
+		SweepTimeout:     *sweepTime,
+		MaxSweepPoints:   *sweepMax,
 	}
 	if *faultName != "" {
 		profile, err := faults.ProfileByName(*faultName)

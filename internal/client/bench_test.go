@@ -61,6 +61,12 @@ func BenchmarkClientHit(b *testing.B) {
 	c := New(ts.URL, Options{Seed: 1})
 	ctx := context.Background()
 	var out map[string]bool
+	// Warm up outside the measurement: the first call pays the TCP dial
+	// (hundreds of µs) that connection reuse then amortizes away — without
+	// this, a -benchtime=1x run reports the dial, not the steady state.
+	if _, err := c.Post(ctx, "/v1/predict", struct{}{}, &out); err != nil {
+		b.Fatalf("warm-up Post: %v", err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -50,8 +51,10 @@ type Options struct {
 	// OpenFor is how long an open breaker rejects calls before letting a
 	// probe through (default 2s).
 	OpenFor time.Duration
-	// HTTPClient overrides the transport (default http.DefaultClient; the
-	// chaos harness injects an in-process transport).
+	// HTTPClient overrides the transport (the chaos harness injects an
+	// in-process one). The default is a dedicated client whose transport
+	// keeps idle connections per host well above http.DefaultClient's 2,
+	// so concurrent callers reuse connections instead of redialing.
 	HTTPClient *http.Client
 	// Seed seeds the jitter and request-ID generator (0 = 1): a seeded
 	// client produces a deterministic backoff schedule.
@@ -86,12 +89,30 @@ func (o Options) withDefaults() Options {
 		o.OpenFor = 2 * time.Second
 	}
 	if o.HTTPClient == nil {
-		o.HTTPClient = http.DefaultClient
+		o.HTTPClient = defaultHTTPClient
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
 	return o
+}
+
+// defaultHTTPClient replaces http.DefaultClient as the default transport:
+// the shared default keeps only 2 idle connections per host, so a client
+// fanning calls out over a handful of goroutines redials — and pays a TCP
+// handshake — on most requests. The service is a single-host API; keep
+// enough idle connections for real concurrency.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:        100,
+		MaxIdleConnsPerHost: 100,
+		IdleConnTimeout:     90 * time.Second,
+	},
 }
 
 // ErrCircuitOpen is returned (wrapped) while the breaker is open: the
@@ -309,11 +330,26 @@ func (c *Client) roundTrip(ctx context.Context, path, id string, body []byte) (i
 		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
+	b, err := readBody(resp)
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	return resp.StatusCode, resp.Header, b, nil
+}
+
+// readBody drains a response. When the server declared a (sane) length,
+// one exact-size allocation replaces io.ReadAll's doubling growth — on the
+// hot cached-predict path that is most of the per-call garbage.
+func readBody(resp *http.Response) ([]byte, error) {
+	n := resp.ContentLength
+	if n < 0 || n > 1<<20 {
+		return io.ReadAll(resp.Body)
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, n+1))
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // decodeAPIError turns a non-2xx response into an APIError, tolerating
@@ -326,9 +362,7 @@ func decodeAPIError(status int, header http.Header, body []byte) *APIError {
 		RequestID:   header.Get("X-Request-ID"),
 	}
 	if ra := header.Get("Retry-After"); ra != "" {
-		if n, err := strconv.Atoi(ra); err == nil {
-			apiErr.RetryAfter = n
-		}
+		apiErr.RetryAfter = parseRetryAfter(ra)
 	}
 	var resp server.ErrorResponse
 	if err := json.Unmarshal(body, &resp); err == nil && resp.Error != "" {
@@ -338,7 +372,7 @@ func decodeAPIError(status int, header http.Header, body []byte) *APIError {
 		if apiErr.RequestID == "" {
 			apiErr.RequestID = resp.RequestID
 		}
-		if apiErr.RetryAfter == 0 {
+		if apiErr.RetryAfter == 0 && resp.RetryAfterSeconds > 0 {
 			apiErr.RetryAfter = resp.RetryAfterSeconds
 		}
 	} else {
@@ -349,6 +383,29 @@ func decodeAPIError(status int, header http.Header, body []byte) *APIError {
 		apiErr.Message = fmt.Sprintf("non-JSON error body: %q", snippet)
 	}
 	return apiErr
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110:
+// either delay-seconds or an HTTP-date. The result is a usable pause —
+// never negative. A server (or middlebox) sending "-5" must not turn into
+// a 5-second-early retry storm, and a date in the past means "now", so
+// both clamp to 0; a value in neither form is explicitly treated as
+// absent rather than silently half-parsed.
+func parseRetryAfter(ra string) int {
+	if n, err := strconv.Atoi(strings.TrimSpace(ra)); err == nil {
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	if at, err := http.ParseTime(ra); err == nil {
+		d := time.Until(at)
+		if d <= 0 {
+			return 0
+		}
+		return int((d + time.Second - 1) / time.Second)
+	}
+	return 0 // unparseable: no hint
 }
 
 // retryAfterOf extracts the server's Retry-After hint from a wrapped
@@ -392,12 +449,22 @@ func (c *Client) sleepBackoff(ctx context.Context, attempt int, retryAfter time.
 }
 
 // nextRequestID returns a process-unique ID: a seeded random prefix (so
-// concurrent chaos runs don't collide) plus a per-client counter.
+// concurrent chaos runs don't collide) plus a per-client counter. Built
+// by hand — fmt.Sprintf costs several allocations per call on a path
+// that otherwise allocates nothing.
 func (c *Client) nextRequestID() string {
 	c.mu.Lock()
-	prefix := c.rng.Uint64()
+	prefix := uint32(c.rng.Uint64())
 	c.mu.Unlock()
-	return fmt.Sprintf("c%08x-%d", uint32(prefix), c.ids.Add(1))
+	const hexdigits = "0123456789abcdef"
+	b := make([]byte, 0, 32)
+	b = append(b, 'c')
+	for shift := 28; shift >= 0; shift -= 4 {
+		b = append(b, hexdigits[(prefix>>uint(shift))&0xf])
+	}
+	b = append(b, '-')
+	b = strconv.AppendUint(b, c.ids.Add(1), 10)
+	return string(b)
 }
 
 // ---- circuit breaker ----

@@ -1,0 +1,193 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"memhier/internal/core"
+	"memhier/internal/machine"
+)
+
+// paperBudgets is the Fig. 2–4 style budget axis used across the
+// equivalence tests and benchmarks.
+var paperBudgets = []float64{2000, 3000, 5000, 8000, 12000, 16000, 20000, 30000, 40000, 60000}
+
+// assertSweepEquivalent checks that a pruned sweep matches the brute-force
+// sweep bit for bit: same skipped budgets, same winning configuration, and
+// identical (not merely close) Cost, EInstr, and Seconds.
+func assertSweepEquivalent(t *testing.T, pruned []BudgetPoint, brute []SweepPoint) {
+	t.Helper()
+	if len(pruned) != len(brute) {
+		t.Fatalf("point count mismatch: pruned %d, brute %d", len(pruned), len(brute))
+	}
+	for i := range pruned {
+		p, b := pruned[i], brute[i]
+		if p.Budget != b.Budget {
+			t.Fatalf("point %d: budget %v vs %v (different budgets skipped)", i, p.Budget, b.Budget)
+		}
+		if p.Best.Config != b.Best.Config {
+			t.Errorf("budget %v: winner differs:\n  pruned: %+v\n  brute:  %+v", p.Budget, p.Best.Config, b.Best.Config)
+		}
+		if p.Best.Cost != b.Best.Cost || p.Best.EInstr != b.Best.EInstr || p.Best.Seconds != b.Best.Seconds {
+			t.Errorf("budget %v: scores not bit-identical: pruned (%v, %v, %v) vs brute (%v, %v, %v)",
+				p.Budget, p.Best.Cost, p.Best.EInstr, p.Best.Seconds, b.Best.Cost, b.Best.EInstr, b.Best.Seconds)
+		}
+	}
+}
+
+func TestOptimizeBudgetsMatchesBruteForceDefaultSpace(t *testing.T) {
+	for _, name := range []string{"FFT", "LU", "Radix", "EDGE", "TPC-C"} {
+		wl, ok := core.PaperWorkload(name)
+		if !ok {
+			t.Fatalf("missing workload %s", name)
+		}
+		pruned, stats, err := OptimizeBudgets(paperBudgets, wl, DefaultCatalog(), DefaultSpace(), core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		brute, err := BudgetSweep(paperBudgets, wl, DefaultCatalog(), DefaultSpace(), core.Options{})
+		if err != nil {
+			t.Fatalf("%s: brute: %v", name, err)
+		}
+		assertSweepEquivalent(t, pruned, brute)
+		if stats.Evaluated > stats.Configs {
+			t.Errorf("%s: evaluated %d of %d configs — memoization broken", name, stats.Evaluated, stats.Configs)
+		}
+		if stats.Pruned == 0 {
+			t.Errorf("%s: pruning never fired on the default space (stats %+v)", name, stats)
+		}
+		t.Logf("%s: %+v", name, stats)
+	}
+}
+
+// TestOptimizeBudgetsMatchesBruteForce is the randomized equivalence
+// property: on arbitrary subspaces of the catalog's domain, the pruned
+// search and the per-budget brute force must agree bit for bit.
+func TestOptimizeBudgetsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	pick := func(n int) int { return 1 + rng.Intn(n) } // 1..n
+	subset := func(k int, opts []int64) []int64 {
+		out := append([]int64(nil), opts...)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out[:k]
+	}
+	allNets := []machine.NetworkKind{machine.NetBus10, machine.NetBus100, machine.NetSwitch155}
+	wls := make([]core.Workload, 0, 5)
+	for _, name := range []string{"FFT", "LU", "Radix", "EDGE", "TPC-C"} {
+		wl, ok := core.PaperWorkload(name)
+		if !ok {
+			t.Fatalf("missing workload %s", name)
+		}
+		wls = append(wls, wl)
+	}
+	trials := 30
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		space := Space{
+			MaxMachines:   pick(6),
+			SMPSizes:      [][]int{{2}, {4}, {2, 4}}[rng.Intn(3)],
+			CacheOptions:  subset(pick(2), []int64{256 << 10, 512 << 10}),
+			MemoryOptions: subset(pick(3), []int64{32 << 20, 64 << 20, 128 << 20}),
+			Networks:      allNets[:pick(3)],
+			ClockMHz:      200,
+		}
+		if rng.Intn(3) == 0 {
+			space.ClockOptions = []float64{200, 300}
+		}
+		budgets := make([]float64, 1+rng.Intn(8))
+		for i := range budgets {
+			budgets[i] = float64(500 + rng.Intn(40000))
+		}
+		wl := wls[rng.Intn(len(wls))]
+
+		pruned, _, prunedErr := OptimizeBudgets(budgets, wl, DefaultCatalog(), space, core.Options{})
+		brute, bruteErr := BudgetSweep(budgets, wl, DefaultCatalog(), space, core.Options{})
+		if (prunedErr == nil) != (bruteErr == nil) {
+			t.Fatalf("trial %d (space %+v, budgets %v): error mismatch: pruned %v, brute %v",
+				trial, space, budgets, prunedErr, bruteErr)
+		}
+		if prunedErr != nil {
+			continue
+		}
+		assertSweepEquivalent(t, pruned, brute)
+	}
+}
+
+func TestOptimizeBudgetsErrorsAndEdgeCases(t *testing.T) {
+	wl, _ := core.PaperWorkload("FFT")
+	if _, _, err := OptimizeBudgets(nil, wl, DefaultCatalog(), DefaultSpace(), core.Options{}); err == nil {
+		t.Error("empty budget list accepted")
+	}
+	if _, _, err := OptimizeBudgets([]float64{10}, wl, DefaultCatalog(), DefaultSpace(), core.Options{}); err == nil {
+		t.Error("infeasible-only sweep produced points")
+	}
+	// Non-positive budgets are skipped, not fatal — and infeasible low
+	// budgets drop out exactly as in BudgetSweep.
+	pts, _, err := OptimizeBudgets([]float64{-100, 0, 10, 5000}, wl, DefaultCatalog(), DefaultSpace(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Budget != 5000 {
+		t.Fatalf("want the single $5,000 point, got %+v", pts)
+	}
+	if pts[0].Best.Cost > 5000 {
+		t.Errorf("winner over budget: %+v", pts[0].Best)
+	}
+	if pts[0].Candidates <= 0 {
+		t.Errorf("no candidates counted: %+v", pts[0])
+	}
+}
+
+func TestOptimizeBudgetsCandidatesMonotone(t *testing.T) {
+	wl, _ := core.PaperWorkload("LU")
+	pts, _, err := OptimizeBudgets(paperBudgets, wl, DefaultCatalog(), DefaultSpace(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Budget < pts[i-1].Budget {
+			t.Error("points not sorted by budget")
+		}
+		if pts[i].Candidates < pts[i-1].Candidates {
+			t.Error("candidate set shrank with budget")
+		}
+		if pts[i].Best.Seconds > pts[i-1].Best.Seconds {
+			t.Errorf("winner worsened with budget: %v after %v", pts[i].Best.Seconds, pts[i-1].Best.Seconds)
+		}
+	}
+}
+
+func BenchmarkOptimizeBudgetsPruned(b *testing.B) {
+	wl, _ := core.PaperWorkload("Radix")
+	cat, space := DefaultCatalog(), DefaultSpace()
+	b.ReportAllocs()
+	var stats SweepStats
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, stats, err = OptimizeBudgets(paperBudgets, wl, cat, space, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stats.Evaluated), "evals/op")
+}
+
+func BenchmarkBudgetSweepBrute(b *testing.B) {
+	wl, _ := core.PaperWorkload("Radix")
+	cat, space := DefaultCatalog(), DefaultSpace()
+	b.ReportAllocs()
+	evals := 0
+	for i := 0; i < b.N; i++ {
+		pts, err := BudgetSweep(paperBudgets, wl, cat, space, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals = 0
+		for _, p := range pts {
+			evals += p.Feasible
+		}
+	}
+	b.ReportMetric(float64(evals), "evals/op")
+}

@@ -246,7 +246,9 @@ func Optimize(budget float64, wl core.Workload, cat Catalog, space Space, opts c
 	if len(feasible) == 0 {
 		return Scored{}, nil, errors.New("cost: no feasible configuration under the budget")
 	}
-	sort.Slice(feasible, func(i, j int) bool {
+	// Stable so full (Seconds, Cost) ties keep enumeration order — the
+	// tie-break contract OptimizeBudgets reproduces bit-identically.
+	sort.SliceStable(feasible, func(i, j int) bool {
 		if feasible[i].Seconds != feasible[j].Seconds {
 			return feasible[i].Seconds < feasible[j].Seconds
 		}

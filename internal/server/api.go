@@ -93,11 +93,15 @@ func (c ConfigSpec) Resolve() (machine.Config, error) {
 			cfg.ClockMHz = machine.ReferenceClockMHz
 		}
 	}
-	if c.Divisor > 1 {
-		return cfg.Scaled(c.Divisor)
-	}
+	// Validate before scaling: Scaled only divides capacities (clamped to
+	// >= 1), so it cannot repair an invalid platform — and skipping
+	// validation here would let specs like {machines: -55, divisor: 16}
+	// resolve into configs their own canonical form rejects.
 	if err := cfg.Validate(); err != nil {
 		return machine.Config{}, err
+	}
+	if c.Divisor > 1 {
+		return cfg.Scaled(c.Divisor)
 	}
 	return cfg, nil
 }
@@ -233,9 +237,9 @@ type ValidateResponse struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Code is the machine-readable error class (bad_request, overloaded,
-	// saturated, deadline, transient, panic, draining, not_found,
-	// method_not_allowed, internal). Clients branch on this, not on the
-	// message text.
+	// saturated, infeasible, deadline, transient, panic, draining,
+	// not_found, method_not_allowed, internal). Clients branch on this,
+	// not on the message text.
 	Code string `json:"code,omitempty"`
 	// RequestID echoes the X-Request-ID header so error reports are
 	// self-contained.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 )
 
@@ -90,6 +91,76 @@ func BenchmarkServePredictHitParallel(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// sweepGridRequest is the full paper case-study grid: C1–C15 × the three
+// validated kernels plus a Fig. 2–4 style budget axis per workload.
+func sweepGridRequest() SweepRequest {
+	req := SweepRequest{
+		Workloads: []WorkloadSpec{{Name: "fft"}, {Name: "lu"}, {Name: "radix"}},
+		Budgets:   []float64{2000, 3000, 5000, 8000, 12000, 16000, 20000, 30000, 40000, 60000},
+	}
+	for i := 1; i <= 15; i++ {
+		req.Configs = append(req.Configs, ConfigSpec{Name: "C" + strconv.Itoa(i)})
+	}
+	return req
+}
+
+func runSweepBench(b *testing.B, s *Server, body []byte) int {
+	h := s.Handler()
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var summary struct {
+		Complete bool `json:"complete"`
+		Errors   int  `json:"errors"`
+		Points   int  `json:"points"`
+	}
+	lines := bytes.Split(bytes.TrimSpace(rec.Body.Bytes()), []byte("\n"))
+	if err := json.Unmarshal(lines[len(lines)-1], &summary); err != nil {
+		b.Fatal(err)
+	}
+	if !summary.Complete || summary.Errors != 0 {
+		b.Fatalf("summary = %+v", summary)
+	}
+	return summary.Points
+}
+
+// BenchmarkServeSweepGridCold measures the full paper grid (C1–C15 × 3
+// workloads × 10 budgets) against a cold cache — the one-request
+// replacement for 55 individual API calls.
+func BenchmarkServeSweepGridCold(b *testing.B) {
+	body := benchRequest(b, sweepGridRequest())
+	b.ReportAllocs()
+	points := 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New(Config{})
+		b.StartTimer()
+		points = runSweepBench(b, s, body)
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*points), "ns/point")
+}
+
+// BenchmarkServeSweepGridWarm measures the same grid fully cached: the
+// per-point floor of the streaming path.
+func BenchmarkServeSweepGridWarm(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	body := benchRequest(b, sweepGridRequest())
+	points := runSweepBench(b, s, body) // warm every point
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSweepBench(b, s, body)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*points), "ns/point")
 }
 
 // BenchmarkServeCanonicalKey isolates the request-keying cost paid on

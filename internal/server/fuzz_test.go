@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -81,6 +82,45 @@ func FuzzCanonicalKey(f *testing.F) {
 		key3, err := canonicalKey("predict", PredictRequest{Config: configKey(cfg2), Workload: cwl, Delta: delta})
 		if err != nil || key3 != key1 {
 			t.Fatalf("canonical config not a fixed point: %q vs %q (err %v)", key3, key1, err)
+		}
+
+		// The sweep fast path composes predict keys from per-axis JSON
+		// fragments instead of marshaling per point; composition must be
+		// byte-identical to canonicalization or grid points would split
+		// from (or, worse, collide with) single-request cache entries.
+		cfgJSON, err := json.Marshal(configKey(cfg))
+		if err != nil {
+			t.Fatalf("marshal config fragment: %v", err)
+		}
+		wlJSON, err := json.Marshal(cwl)
+		if err != nil {
+			t.Fatalf("marshal workload fragment: %v", err)
+		}
+		var deltaJSON []byte
+		if delta != 0 {
+			if deltaJSON, err = json.Marshal(delta); err != nil {
+				return // unencodable delta (NaN/Inf): the sweep handler rejects it with the same error
+			}
+		}
+		if composed := composePredictKey(cfgJSON, wlJSON, deltaJSON); composed != key1 {
+			t.Fatalf("composed sweep key diverges from canonical key:\ncomposed:  %q\ncanonical: %q", composed, key1)
+		}
+
+		// Sweep budget keys embed their own endpoint and the full budget
+		// axis: they can never collide with predict keys, and the brute
+		// flag keys separately (its stats differ).
+		bk := sweepBudgetsKey{Workload: cwl, Budgets: []float64{1000, 5000}, Delta: delta}
+		budgetKey, err := canonicalKey("sweepbudgets", bk)
+		if err != nil {
+			return // unencodable delta
+		}
+		if budgetKey == key1 {
+			t.Fatalf("budget key collides with predict key: %q", budgetKey)
+		}
+		bk.Brute = true
+		bruteKey, err := canonicalKey("sweepbudgets", bk)
+		if err != nil || bruteKey == budgetKey {
+			t.Fatalf("brute and pruned budget searches share a key: %q (err %v)", budgetKey, err)
 		}
 	})
 }

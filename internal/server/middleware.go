@@ -107,3 +107,12 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wroteHeader = true
 	return w.ResponseWriter.Write(b)
 }
+
+// Flush forwards to the underlying writer (embedding the interface does
+// not promote it) so streaming handlers can push completed NDJSON lines
+// to the client without buffering a whole grid.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

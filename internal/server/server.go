@@ -45,6 +45,16 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// SweepWorkers bounds the per-sweep evaluation workers (default
+	// NumCPU); SweepConcurrency bounds concurrently streaming sweeps —
+	// a whole grid is one admission unit, and grids beyond the limit are
+	// shed with 429 (default 2). SweepTimeout is the grid deadline
+	// (default 2m), MaxSweepPoints the largest accepted grid (default
+	// 4096 points).
+	SweepWorkers     int
+	SweepConcurrency int
+	SweepTimeout     time.Duration
+	MaxSweepPoints   int
 	// Faults optionally injects faults at the instrumented sites (chaos
 	// testing; see internal/faults). Nil — the default — disables
 	// injection entirely: the hot path pays one nil check.
@@ -78,11 +88,23 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = runtime.NumCPU()
+	}
+	if c.SweepConcurrency <= 0 {
+		c.SweepConcurrency = 2
+	}
+	if c.SweepTimeout <= 0 {
+		c.SweepTimeout = 2 * time.Minute
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 4096
+	}
 	return c
 }
 
 // endpointNames is the fixed metrics vocabulary.
-var endpointNames = []string{"predict", "optimize", "advise", "fit", "validate", "healthz", "readyz", "metrics", "notfound"}
+var endpointNames = []string{"predict", "sweep", "batch", "optimize", "advise", "fit", "validate", "healthz", "readyz", "metrics", "notfound"}
 
 // Server is the chc-serve service: handlers, result cache, simulation
 // worker pool, and operational state.
@@ -94,6 +116,9 @@ type Server struct {
 	mux      *http.ServeMux
 	faults   faults.Hook // nil = no injection
 	draining atomic.Bool
+	// sweepSem admits whole-grid sweeps: one token per streaming sweep,
+	// acquired non-blocking so excess grids shed immediately with 429.
+	sweepSem chan struct{}
 
 	// Computation seams, overridable in tests to control timing and
 	// failure injection; production values are the real packages.
@@ -109,6 +134,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		cache:    newResultCache(cfg.CacheEntries, cfg.CacheShards),
 		pool:     newWorkerPool(cfg.SimWorkers, cfg.SimQueueDepth),
+		sweepSem: make(chan struct{}, cfg.SweepConcurrency),
 		faults:   cfg.Faults,
 		evaluate: core.Evaluate,
 		simulate: runSimulation,
@@ -117,6 +143,8 @@ func New(cfg Config) *Server {
 	s.metrics = newServerMetrics(endpointNames, s.pool.depth, s.cache.len)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/predict", s.instrument("predict", true, s.handlePredict))
+	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", true, s.handleSweep))
+	s.mux.HandleFunc("/v1/batch", s.instrument("batch", true, s.handleBatch))
 	s.mux.HandleFunc("/v1/optimize", s.instrument("optimize", true, s.handleOptimize))
 	s.mux.HandleFunc("/v1/advise", s.instrument("advise", true, s.handleAdvise))
 	s.mux.HandleFunc("/v1/fit", s.instrument("fit", true, s.handleFit))
@@ -220,11 +248,17 @@ const (
 	codeOverloaded       = "overloaded"
 	codeDraining         = "draining"
 	codeSaturated        = "saturated"
+	codeInfeasible       = "infeasible"
 	codeDeadline         = "deadline"
 	codeTransient        = "transient"
 	codePanic            = "panic"
 	codeInternal         = "internal"
 )
+
+// errInfeasible marks an optimization with no feasible configuration at
+// any requested budget — a property of the request (422), not a server
+// failure.
+var errInfeasible = errors.New("infeasible")
 
 // computePanicError is a recovered compute-goroutine panic carried back
 // to the handler as an ordinary error (status 500, code "panic").
@@ -250,6 +284,8 @@ func errorCode(status int, err error) string {
 		return codeOverloaded
 	case errors.As(err, &sat):
 		return codeSaturated
+	case errors.Is(err, errInfeasible):
+		return codeInfeasible
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		return codeDeadline
 	case errors.Is(err, faults.ErrInjected):
@@ -267,21 +303,28 @@ func errorCode(status int, err error) string {
 	}
 }
 
-// fail maps an error to its status and JSON body: queue shed → 429 with
-// Retry-After, saturation → 422 with ρ, deadline or injected transient
-// fault → 503, everything else → the given default status. Every body
-// carries a machine-readable code and the request ID.
-func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+// errorStatus maps an error to its HTTP status: queue shed → 429,
+// saturation or infeasibility → 422, deadline or injected transient fault
+// → 503, everything else → the given fallback status. Whole-request
+// failures (fail) and per-point sweep error lines share this mapping.
+func errorStatus(err error, fallback int) int {
 	var sat *queueing.SaturationError
 	switch {
 	case errors.Is(err, ErrOverloaded) || errors.Is(err, ErrShuttingDown):
-		status = http.StatusTooManyRequests
-	case errors.As(err, &sat):
-		status = http.StatusUnprocessableEntity
+		return http.StatusTooManyRequests
+	case errors.As(err, &sat), errors.Is(err, errInfeasible):
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled),
 		errors.Is(err, faults.ErrInjected):
-		status = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable
 	}
+	return fallback
+}
+
+// fail maps an error to its status (see errorStatus) and JSON body. Every
+// body carries a machine-readable code and the request ID.
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	status = errorStatus(err, status)
 	s.failCode(w, status, errorCode(status, err), err)
 }
 
@@ -327,25 +370,7 @@ func (s *Server) post(w http.ResponseWriter, r *http.Request, timeout time.Durat
 // computation, so injected failures share the single-flight path real
 // failures take.
 func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, endpoint, key string, compute func() (entry, error)) {
-	inner := compute
-	// The computation runs in a detached goroutine, out of reach of the
-	// middleware's recover: catch panics here and convert them to errors
-	// so a crashed computation yields a 500, never a dead process. The
-	// single-flight leader state unwinds normally on the error path.
-	run := func() (ent entry, err error) {
-		defer func() {
-			if rec := recover(); rec != nil {
-				s.metrics.Panics.Add(1)
-				err = &computePanicError{endpoint: endpoint, value: rec}
-			}
-		}()
-		if s.faults != nil {
-			if err := s.faults.Inject(faults.SiteCompute, endpoint); err != nil {
-				return entry{}, err
-			}
-		}
-		return inner()
-	}
+	run := s.wrapCompute(endpoint, compute)
 	type cacheAnswer struct {
 		ent entry
 		how outcome
@@ -382,6 +407,29 @@ func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, endpoin
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(ans.ent.status)
 	w.Write(ans.ent.body)
+}
+
+// wrapCompute guards a computation with panic recovery and compute-site
+// fault injection. Computations run in detached goroutines (the cache
+// protocol's, or a sweep worker's), out of reach of the middleware's
+// recover: panics convert to errors here so a crashed computation yields a
+// 500 (or an error line), never a dead process, and the single-flight
+// leader state unwinds normally on the error path.
+func (s *Server) wrapCompute(endpoint string, compute func() (entry, error)) func() (entry, error) {
+	return func() (ent entry, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.Panics.Add(1)
+				err = &computePanicError{endpoint: endpoint, value: rec}
+			}
+		}()
+		if s.faults != nil {
+			if err := s.faults.Inject(faults.SiteCompute, endpoint); err != nil {
+				return entry{}, err
+			}
+		}
+		return compute()
+	}
 }
 
 // render marshals a successful response body into a cacheable entry.
@@ -423,19 +471,27 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.serveCached(ctx, w, "predict", key, func() (entry, error) {
+	s.serveCached(ctx, w, "predict", key, s.predictCompute(cfg, wspec, req.Delta))
+}
+
+// predictCompute is the /v1/predict computation behind the cache: resolve
+// the workload, solve the model, render. Sweep and batch points run the
+// same closure under the same keys, so a sweep point and the equivalent
+// single request share one cache entry byte for byte.
+func (s *Server) predictCompute(cfg machine.Config, wspec WorkloadSpec, delta float64) func() (entry, error) {
+	return func() (entry, error) {
 		wl, err := s.resolveSpec(wspec)
 		if err != nil {
 			return entry{}, err
 		}
-		res, err := s.evaluate(cfg, wl, core.Options{CoherenceAdjust: req.Delta})
+		res, err := s.evaluate(cfg, wl, core.Options{CoherenceAdjust: delta})
 		if err != nil {
 			return entry{}, err
 		}
 		var text bytes.Buffer
 		core.RenderResult(&text, wl, res)
 		return render(PredictResponse{Result: res, Workload: wl, Text: text.String()})
-	})
+	}
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {

@@ -3,17 +3,19 @@
 #
 # Usage: scripts/bench.sh [-short] [output.json]
 #
-# Runs the simulator-engine, stack-distance, prediction-service, and
-# resilient-client benchmark families with -benchtime=1x -count=3
-# (best-of-3 per benchmark)
-# and writes a JSON array of {name, ns_op, allocs_op} to BENCH_PR5.json
-# (or the given path). -short drops to -count=1: the CI smoke mode that
-# only proves the benchmarks still compile and run.
+# Runs the simulator-engine, stack-distance, prediction-service,
+# resilient-client, and sweep/budget-optimization benchmark families with
+# -benchtime=1x -count=3 (best-of-3 per benchmark) and writes a JSON array
+# of {name, ns_op, allocs_op}. The output path comes from the argument,
+# else $BENCH_OUT, else BENCH_PR6.json — it is never hardcoded to one PR's
+# artifact, so each PR records its own snapshot without editing this
+# script. -short drops to -count=1: the CI smoke mode that only proves the
+# benchmarks still compile and run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 count=3
-out=BENCH_PR5.json
+out=${BENCH_OUT:-BENCH_PR6.json}
 for arg in "$@"; do
   case "$arg" in
     -short) count=1 ;;
@@ -21,11 +23,11 @@ for arg in "$@"; do
   esac
 done
 
-pattern='^(BenchmarkSimulate|BenchmarkRun|BenchmarkStreamRun|BenchmarkAccessCacheHit|BenchmarkTouch|BenchmarkServe|BenchmarkClient)'
+pattern='^(BenchmarkSimulate|BenchmarkRun|BenchmarkStreamRun|BenchmarkAccessCacheHit|BenchmarkTouch|BenchmarkServe|BenchmarkClient|BenchmarkOptimizeBudgets|BenchmarkBudgetSweepBrute)'
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-for pkg in ./internal/sim/backend ./internal/stackdist ./internal/server ./internal/client; do
+for pkg in ./internal/sim/backend ./internal/stackdist ./internal/server ./internal/client ./internal/cost; do
   go test "$pkg" -run '^$' -bench "$pattern" -benchtime=1x -count="$count" -benchmem | tee -a "$raw"
 done
 

@@ -14,6 +14,7 @@ trap 'kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true; rm -rf "
 
 go build -o "$bin/chc-serve" ./cmd/chc-serve
 go build -o "$bin/chc-model" ./cmd/chc-model
+go build -o "$bin/chc-sweep" ./cmd/chc-sweep
 
 "$bin/chc-serve" -addr "$addr" &
 pid=$!
@@ -46,6 +47,49 @@ if [ "$hit" != "hit" ]; then
   exit 1
 fi
 echo "cache hit ok"
+
+# Sweep golden: every predict point in the NDJSON stream must be the same
+# JSON value the equivalent /v1/predict request returns (both sides pass
+# through jq -c, so equal values compare byte-identical).
+sweep_req='{"configs":[{"name":"C4"},{"name":"C8"}],"workloads":[{"name":"fft"},{"name":"lu"}],"budgets":[5000,8000]}'
+sweep=$(curl -fsS -X POST -d "$sweep_req" "http://$addr/v1/sweep")
+summary=$(printf '%s\n' "$sweep" | tail -n 1)
+if [ "$(jq -r .complete <<<"$summary")" != "true" ] || [ "$(jq -r .points <<<"$summary")" != "6" ] \
+   || [ "$(jq -r .errors <<<"$summary")" != "0" ]; then
+  echo "FAIL: sweep summary $summary, want complete 6-point error-free grid" >&2
+  exit 1
+fi
+idx=0
+for cfg in C4 C8; do
+  for wl in fft lu; do
+    line=$(printf '%s\n' "$sweep" | sed -n "$((idx + 1))p")
+    point=$(jq -c .response <<<"$line")
+    direct=$(curl -fsS -X POST -d "{\"config\":{\"name\":\"$cfg\"},\"workload\":{\"name\":\"$wl\"}}" \
+      "http://$addr/v1/predict" | jq -c .)
+    if [ "$point" != "$direct" ]; then
+      echo "FAIL: sweep point $cfg/$wl diverges from /v1/predict" >&2
+      diff <(printf '%s' "$point") <(printf '%s' "$direct") >&2 || true
+      exit 1
+    fi
+    idx=$((idx + 1))
+  done
+done
+echo "sweep golden ok (NDJSON points byte-identical to /v1/predict)"
+
+# The sweep warmed the cache: its points answer single requests as hits.
+hit=$(curl -fsS -D - -o /dev/null -X POST \
+  -d '{"config":{"name":"C8"},"workload":{"name":"lu"}}' "http://$addr/v1/predict" |
+  tr -d '\r' | awk 'tolower($1)=="x-cache:"{print $2}')
+if [ "$hit" != "hit" ]; then
+  echo "FAIL: predict after sweep X-Cache=$hit, want hit" >&2
+  exit 1
+fi
+echo "sweep warms predict cache ok"
+
+# The chc-sweep driver reproduces the paper's full Fig. 2-4 grid in one
+# request (exit 2 if any point errored).
+"$bin/chc-sweep" -addr "http://$addr" >/dev/null
+echo "chc-sweep full-grid ok"
 
 curl -fsS "http://$addr/metrics" | grep -q '"cache_hits"'
 echo "metrics ok"
