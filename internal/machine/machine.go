@@ -355,10 +355,23 @@ func LatenciesAt(kind PlatformKind, clockMHz float64) Latencies {
 	return l
 }
 
+// The reference-clock remote-latency tables, built once: a simulator is
+// constructed per run (sweeps build thousands), and re-allocating identical
+// maps on every construction showed up in the streaming engine's allocation
+// budget. Callers must treat the maps as read-only; LatenciesAt copies them
+// before scaling.
+var (
+	csmpRemoteNode   = map[NetworkKind]float64{NetBus10: 45078, NetBus100: 4578, NetSwitch155: 3278}
+	csmpRemoteCached = map[NetworkKind]float64{NetBus10: 90153, NetBus100: 9153, NetSwitch155: 6553}
+	wsRemoteNode     = map[NetworkKind]float64{NetBus10: 45075, NetBus100: 4575, NetSwitch155: 3275}
+	wsRemoteCached   = map[NetworkKind]float64{NetBus10: 90150, NetBus100: 9150, NetSwitch155: 6550}
+)
+
 // DefaultLatencies returns the paper's §5.1 values for the given platform
 // kind, quoted at the 200 MHz reference clock. The cluster-of-SMPs remote
 // latencies are three cycles higher than the workstation-cluster ones,
-// exactly as listed.
+// exactly as listed. The RemoteNode and RemoteCached maps are shared across
+// calls and must not be mutated.
 func DefaultLatencies(kind PlatformKind) Latencies {
 	l := Latencies{
 		Instruction: 1,
@@ -369,19 +382,9 @@ func DefaultLatencies(kind PlatformKind) Latencies {
 	}
 	switch kind {
 	case ClusterSMP:
-		l.RemoteNode = map[NetworkKind]float64{
-			NetBus10: 45078, NetBus100: 4578, NetSwitch155: 3278,
-		}
-		l.RemoteCached = map[NetworkKind]float64{
-			NetBus10: 90153, NetBus100: 9153, NetSwitch155: 6553,
-		}
+		l.RemoteNode, l.RemoteCached = csmpRemoteNode, csmpRemoteCached
 	default:
-		l.RemoteNode = map[NetworkKind]float64{
-			NetBus10: 45075, NetBus100: 4575, NetSwitch155: 3275,
-		}
-		l.RemoteCached = map[NetworkKind]float64{
-			NetBus10: 90150, NetBus100: 9150, NetSwitch155: 6550,
-		}
+		l.RemoteNode, l.RemoteCached = wsRemoteNode, wsRemoteCached
 	}
 	return l
 }

@@ -3,6 +3,7 @@ package backend
 import (
 	"math/rand"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"memhier/internal/machine"
@@ -76,6 +77,20 @@ func TestRunMatchesReference(t *testing.T) {
 			if !reflect.DeepEqual(got, want) {
 				t.Errorf("seed %d %s: batched engine diverged from reference:\n got %+v\nwant %+v",
 					seed, cfg.Name, got, want)
+			}
+			for _, workers := range []int{1, 2, runtime.NumCPU()} {
+				sysC, err := NewSystem(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := RunParallel(tr, sysC, workers)
+				if err != nil {
+					t.Fatalf("seed %d %s: RunParallel(workers=%d): %v", seed, cfg.Name, workers, err)
+				}
+				if !reflect.DeepEqual(par, want) {
+					t.Errorf("seed %d %s: parallel engine (workers=%d) diverged from reference",
+						seed, cfg.Name, workers)
+				}
 			}
 		}
 	}

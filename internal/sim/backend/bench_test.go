@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"runtime"
 	"testing"
 
 	"memhier/internal/machine"
@@ -14,6 +15,13 @@ func benchTraceFor(b *testing.B, nproc int) *trace.Trace {
 	tr, err := workloads.GenerateTrace(w, nproc)
 	if err != nil {
 		b.Fatal(err)
+	}
+	// Prime the per-stream op compilation outside the timer: the Simulate
+	// benchmarks track the engine, and a validation sweep simulates one
+	// compiled trace across many configurations. Cold decode cost is
+	// tracked separately (BenchmarkStreamRun).
+	for _, s := range tr.Streams {
+		s.Ops()
 	}
 	return tr
 }
@@ -63,9 +71,26 @@ func BenchmarkSimulateClusterSMP(b *testing.B) {
 	}
 }
 
+// BenchmarkRunParallel tracks the phase-parallel engine A/B against
+// BenchmarkSimulateSMPBus (same trace and configuration, sequential
+// engine). bench.sh runs it under several -cpu values so per-core scaling
+// is visible across BENCH_*.json snapshots.
+func BenchmarkRunParallel(b *testing.B) {
+	tr := benchTraceFor(b, 4)
+	cfg := smpConfig(4)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateParallel(tr, cfg, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkStreamRun(b *testing.B) {
 	w := workloads.NewRadix(1<<14, 64)
 	cfg := wsConfig(4, machine.NetBus100)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys, err := NewSystem(cfg)
@@ -74,7 +99,7 @@ func BenchmarkStreamRun(b *testing.B) {
 		}
 		if _, err := StreamRun(sys, 4, func(sink trace.Sink) error {
 			return w.Run(4, sink)
-		}); err != nil {
+		}, WithEventHint(w.EventHint(4))); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,74 @@
+package backend
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"memhier/internal/machine"
+)
+
+// FuzzRunEquivalence hammers the engine-equivalence contract with randomized
+// balanced-barrier traces: the batched sequential engine, the parallel
+// engine at several worker counts, and the unbatched reference executor must
+// produce bit-identical RunResults on every platform kind. The generator
+// parameters — not raw event bytes — are the fuzz input, so every corpus
+// entry is a valid trace and the fuzzer explores the scheduling space
+// (processor counts, phase structure, mix density) rather than the decoder.
+func FuzzRunEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3), uint16(120))
+	f.Add(int64(7), uint8(2), uint8(1), uint16(40))
+	f.Add(int64(42), uint8(6), uint8(4), uint16(90))
+	f.Add(int64(-3), uint8(1), uint8(2), uint16(200))
+	f.Add(int64(99), uint8(5), uint8(5), uint16(10))
+	f.Fuzz(func(t *testing.T, seed int64, nprocRaw, phasesRaw uint8, eventsRaw uint16) {
+		nproc := 1 + int(nprocRaw)%6
+		phases := 1 + int(phasesRaw)%5
+		events := 1 + int(eventsRaw)%150
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, nproc, phases, events)
+
+		cfgs := []machine.Config{smpConfig(nproc)}
+		if nproc%2 == 0 {
+			cfgs = append(cfgs,
+				wsConfig(nproc, machine.NetBus100),
+				csmpConfig(nproc/2, 2, machine.NetSwitch155))
+		}
+		for _, cfg := range cfgs {
+			sysA, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := referenceRun(tr, sysA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sysB, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(tr, sysB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: Run diverged from reference (seed=%d nproc=%d phases=%d events=%d)",
+					cfg.Name, seed, nproc, phases, events)
+			}
+			for _, workers := range []int{2, 3} {
+				sysC, err := NewSystem(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := RunParallel(tr, sysC, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(par, want) {
+					t.Errorf("%s: RunParallel(workers=%d) diverged from reference (seed=%d nproc=%d phases=%d events=%d)",
+						cfg.Name, workers, seed, nproc, phases, events)
+				}
+			}
+		}
+	})
+}

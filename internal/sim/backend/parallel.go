@@ -1,0 +1,376 @@
+package backend
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"memhier/internal/machine"
+	"memhier/internal/sim/cache"
+	"memhier/internal/trace"
+)
+
+// RunParallel drives the system with the trace on worker goroutines and
+// returns a RunResult bit-identical to Run's at any worker count.
+//
+// The engine is phase-parallel and conservative: processors advance on
+// workers, but every shared-resource transaction (a cache miss, a write
+// upgrade, a barrier release) retires in global (clock, cpu) order — the
+// same order the sequential scan engine uses — under a retirement baton.
+// Stream decode (event→op compilation) fans out across the workers before
+// simulation starts; inside the simulated run, the baton serializes exactly
+// as much as the memory model demands.
+//
+// On the simulated machines that demand is total: coherence traffic has
+// zero lookahead (an invalidation issued at time t rewrites peer cache
+// state at that same t), so a reference can only be classified hit or miss
+// once every earlier transaction machine-wide has retired. Conservative
+// parallel discrete-event simulation under zero lookahead degenerates to
+// the critical path, and the critical path here is every memory reference.
+// RunParallel therefore buys determinism and a retirement protocol that
+// scales with trace decode, not a wall-clock win on coherence-bound traces;
+// DESIGN.md ("Phase-parallel execution") carries the full argument.
+//
+// workers is clamped to [1, NumCPU()] of the trace; one worker — or a
+// configuration without the flat integer fast path — falls back to the
+// sequential engine, which retires in the identical order.
+func RunParallel(tr *trace.Trace, sys *System, workers int) (RunResult, error) {
+	if err := checkTrace(tr, sys); err != nil {
+		return RunResult{}, err
+	}
+	want := tr.NumCPU()
+	if workers > want {
+		workers = want
+	}
+	if workers <= 1 || want > scanMaxProcs {
+		return runSeq(tr, sys)
+	}
+	hots, ok := sysHots(sys)
+	if !ok || !sys.exactLatencies() {
+		return runSeq(tr, sys)
+	}
+	return runParScan(tr, sys, hots, workers)
+}
+
+// SimulateParallel is the one-call convenience wrapper for RunParallel,
+// mirroring Simulate.
+func SimulateParallel(tr *trace.Trace, cfg machine.Config, workers int) (RunResult, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunParallel(tr, sys, workers)
+}
+
+// parShared is the state of one parallel run. Everything below the mutex is
+// guarded by it; workers mutate the simulation only while holding the
+// retirement baton, which the mutex and ownership test implement together
+// (see runParScan).
+type parShared struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	ready  []uint64 // guarded by mu; scan keys, infu parks a processor
+	clocks []uint64 // guarded by mu; committed clocks
+	nexts  []int    // guarded by mu
+	hitNs  []uint64 // guarded by mu; deferred hits, flushed at phase ends
+
+	live       int     // guarded by mu
+	arrived    int     // guarded by mu
+	barrierMax uint64  // guarded by mu
+	phaseStart uint64  // guarded by mu
+	phaseBase  Stats   // guarded by mu
+	tTotal     float64 // guarded by mu
+	refs       uint64  // guarded by mu
+	wall       uint64  // guarded by mu
+
+	res  RunResult // guarded by mu
+	err  error     // guarded by mu
+	done bool      // guarded by mu
+}
+
+// runParScan is the parallel counterpart of runSeqScanInt. Worker w owns the
+// processors with index ≡ w (mod workers). The global minimum of the scan
+// keys names the only processor allowed to touch shared machinery; its owner
+// executes one scheduling round — the same round body as the sequential
+// engine, hits batched inline, park on the gate — while every other worker
+// waits. Because the round executed is always the scan minimum's, the
+// retirement sequence is identical to the sequential engine's regardless of
+// worker count or goroutine scheduling, which is what makes the result
+// bit-identical and the engine deterministic.
+func runParScan(tr *trace.Trace, sys *System, hots []cache.Hot, workers int) (RunResult, error) {
+	want := tr.NumCPU()
+	const infu = math.MaxUint64
+
+	// Parallel stage 1: decode every stream's compiled op form on the
+	// worker pool. This is the embarrassingly parallel part of a run, and
+	// on a cold trace it is real work (one pass over every event).
+	opsPer := make([][]trace.Op, want)
+	decErr := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < want; i += workers {
+				var err error
+				if opsPer[i], err = tr.Streams[i].Ops(); err != nil {
+					decErr[w] = err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range decErr {
+		if err != nil {
+			return RunResult{}, fmt.Errorf("backend: %w", err)
+		}
+	}
+
+	ps := &parShared{
+		ready:  make([]uint64, want),
+		clocks: make([]uint64, want),
+		nexts:  make([]int, want),
+		hitNs:  make([]uint64, want),
+		live:   want,
+	}
+	ps.cond = sync.NewCond(&ps.mu)
+	ps.res.Config = sys.Config().Name
+	if nb := tr.Streams[0].Barriers(); nb > 0 {
+		ps.res.Phases = make([]PhaseStats, 0, nb+1)
+	}
+
+	latInstr := uint64(sys.lat.Instruction)
+	latHit := uint64(sys.lat.CacheHit)
+	fLatHit := sys.lat.CacheHit
+	stats := &sys.stats
+
+	// flush and release mirror runSeqScanInt exactly; both run with the
+	// baton held (every peer parked in cond.Wait), so the shared System is
+	// quiescent and the float accumulation order matches the sequential
+	// engine's.
+	flush := func() {
+		var total uint64
+		for i, n := range ps.hitNs {
+			if n != 0 {
+				*hots[i].Hits += n
+				ps.hitNs[i] = 0
+				total += n
+			}
+		}
+		if total != 0 {
+			stats.Refs += total
+			stats.ClassCounts[ClassCacheHit] += total
+			d := float64(total) * fLatHit
+			stats.ClassCycles[ClassCacheHit] += d
+			ps.tTotal += d
+			ps.refs += total
+		}
+	}
+	release := func() {
+		flush()
+		ps.res.Barriers++
+		var wait uint64
+		for i := range ps.clocks {
+			wait += ps.barrierMax - ps.clocks[i]
+			ps.clocks[i] = ps.barrierMax
+			key := ps.barrierMax
+			if n, ops := ps.nexts[i], opsPer[i]; n < len(ops) {
+				key += ops[n].N * latInstr
+			}
+			ps.ready[i] = key
+		}
+		ps.live = want
+		ps.res.BarrierWaitCycles += float64(wait)
+		cur := sys.Stats()
+		ps.res.Phases = append(ps.res.Phases, PhaseStats{
+			Index:       len(ps.res.Phases),
+			StartCycle:  float64(ps.phaseStart),
+			EndCycle:    float64(ps.barrierMax),
+			BarrierWait: float64(wait),
+			Stats:       cur.Minus(ps.phaseBase),
+		})
+		ps.phaseStart = ps.barrierMax
+		ps.phaseBase = cur
+		ps.barrierMax = 0
+	}
+
+	// finish runs once, by whichever worker retires the last round, with
+	// the baton held.
+	finish := func() {
+		if ps.arrived > 0 {
+			ps.err = fmt.Errorf("backend: %d processors stuck at a barrier", ps.arrived)
+		} else {
+			flush()
+			ps.res.WallCycles = float64(ps.wall)
+			appendTailPhase(&ps.res, sys, float64(ps.phaseStart), ps.phaseBase)
+			assemble(&ps.res, tr.Instructions(), ps.refs, ps.tTotal, sys)
+		}
+		ps.done = true
+		ps.cond.Broadcast()
+	}
+
+	worker := func(id int) {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		for {
+			if ps.done {
+				return
+			}
+			// The scan: minimum and runner-up over the ready keys, lowest
+			// index winning ties — identical to the sequential engine.
+			bi := 0
+			bc := ps.ready[0]
+			si := 0
+			sc := uint64(infu)
+			for i := 1; i < want; i++ {
+				c := ps.ready[i]
+				if c < bc {
+					sc, si = bc, bi
+					bc, bi = c, i
+				} else if c < sc {
+					sc, si = c, i
+				}
+			}
+			if bi%workers != id {
+				// Not this worker's processor: park until the owner retires
+				// its round and republishes the keys.
+				ps.cond.Wait()
+				continue
+			}
+
+			// This worker holds the baton: execute one scheduling round for
+			// bi. The mutex stays held — every peer is either in Wait or
+			// about to scan and wait — so the System, caches, and result
+			// accumulators are exclusively this worker's for the round, and
+			// the round body below is the sequential engine's, verbatim.
+			clock := ps.clocks[bi]
+			next := ps.nexts[bi]
+			ops := opsPer[bi]
+			hn := ps.hitNs[bi]
+			h := &hots[bi]
+			shift := h.Shift
+			mask := h.Mask
+			ways := h.Ways
+		round:
+			for {
+				if next >= len(ops) {
+					if clock > ps.wall {
+						ps.wall = clock
+					}
+					ps.ready[bi] = infu
+					ps.hitNs[bi] = hn
+					ps.clocks[bi] = clock
+					ps.nexts[bi] = next
+					ps.live--
+					break round
+				}
+				op := ops[next]
+				next++
+				kind := op.Arg & 3
+				if kind == trace.OpNone {
+					clock += op.N * latInstr
+					continue
+				}
+				if kind == trace.OpBarrier {
+					clock += op.N * latInstr
+					if clock > ps.barrierMax {
+						ps.barrierMax = clock
+					}
+					ps.clocks[bi] = clock
+					ps.nexts[bi] = next
+					ps.ready[bi] = infu
+					ps.hitNs[bi] = hn
+					ps.live--
+					ps.arrived++
+					if ps.arrived == want {
+						ps.arrived = 0
+						release()
+					}
+					break round
+				}
+				t := clock + op.N*latInstr
+				if t > sc || (t == sc && bi >= si) {
+					ps.nexts[bi] = next - 1
+					ps.clocks[bi] = clock
+					ps.ready[bi] = t
+					ps.hitNs[bi] = hn
+					break round
+				}
+				clock = t
+				addr := op.Arg >> 2
+				tag := addr >> shift
+				base := (tag & mask) << 1
+				w1 := ways[base+1]
+				w0 := ways[base]
+				hit0 := (w0^(tag<<3))&^4-1 < 3
+				hit1 := (w1^(tag<<3))&^4-1 < 3
+				w := uint64(0)
+				if hit1 {
+					w = w1
+				}
+				if hit0 {
+					w = w0
+				}
+				if w != 0 {
+					nm := w0 | 4
+					if hit0 {
+						nm = w0 &^ 4
+					}
+					ways[base] = nm
+					if m := (kind^trace.OpWrite)<<2 | (w&3 ^ 3); m-1 >= 3 {
+						hn++
+						clock += latHit
+					} else {
+						*h.Hits++
+						stats.Refs++
+						fc := float64(clock)
+						done := sys.accessRest(bi, addr, true, fc, cache.State(w&3), true)
+						ps.tTotal += done - fc
+						ps.refs++
+						clock = uint64(done)
+					}
+				} else {
+					*h.Misses++
+					stats.Refs++
+					fc := float64(clock)
+					done := sys.accessRest(bi, addr, kind == trace.OpWrite, fc, cache.Invalid, false)
+					ps.tTotal += done - fc
+					ps.refs++
+					clock = uint64(done)
+				}
+				if clock > sc || (clock == sc && bi >= si) {
+					ps.clocks[bi] = clock
+					ps.nexts[bi] = next
+					key := clock
+					if next < len(ops) {
+						key += ops[next].N * latInstr
+					}
+					ps.ready[bi] = key
+					ps.hitNs[bi] = hn
+					break round
+				}
+			}
+
+			if ps.live == 0 {
+				finish()
+				return
+			}
+			// Hand the baton to whichever worker owns the new minimum.
+			ps.cond.Broadcast()
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker(w)
+		}(w)
+	}
+	wg.Wait()
+	if ps.err != nil {
+		return RunResult{}, ps.err
+	}
+	return ps.res, nil
+}

@@ -1,0 +1,114 @@
+package backend
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"memhier/internal/machine"
+	"memhier/internal/trace"
+	"memhier/internal/workloads"
+)
+
+// TestRunParallelMatchesRun verifies the tentpole contract: the parallel
+// engine's RunResult is bit-identical to the sequential engine's at every
+// worker count, on every platform kind, for randomized bulk-synchronous
+// traces. Run with -race this also exercises the retirement baton's
+// happens-before edges.
+func TestRunParallelMatchesRun(t *testing.T) {
+	cfgs := []machine.Config{
+		smpConfig(4),
+		wsConfig(4, machine.NetBus100),
+		csmpConfig(2, 2, machine.NetSwitch155),
+	}
+	counts := []int{1, 2, 3, 4, 9, runtime.NumCPU()}
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, 4, 4, 300)
+		for _, cfg := range cfgs {
+			sysA, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Run(tr, sysA)
+			if err != nil {
+				t.Fatalf("seed %d %s: Run: %v", seed, cfg.Name, err)
+			}
+			for _, workers := range counts {
+				sysB, err := NewSystem(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := RunParallel(tr, sysB, workers)
+				if err != nil {
+					t.Fatalf("seed %d %s workers=%d: RunParallel: %v",
+						seed, cfg.Name, workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("seed %d %s workers=%d: parallel engine diverged:\n got %+v\nwant %+v",
+						seed, cfg.Name, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunParallelWorkload cross-checks the parallel engine on a real kernel
+// trace, whose long compute runs produce much larger batches per baton hold
+// than the random mix.
+func TestRunParallelWorkload(t *testing.T) {
+	tr, err := workloads.GenerateTrace(workloads.NewRadix(1<<12, 64), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []machine.Config{smpConfig(4), csmpConfig(2, 2, machine.NetBus100)} {
+		sysA, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(tr, sysA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, runtime.NumCPU()} {
+			sysB, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunParallel(tr, sysB, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s workers=%d: parallel engine diverged on Radix trace", cfg.Name, workers)
+			}
+		}
+	}
+}
+
+// TestRunParallelErrors checks the validation paths: mismatched streams and
+// stuck barriers surface the same errors as Run.
+func TestRunParallelErrors(t *testing.T) {
+	tr := trace.New(2)
+	tr.Streams[0].AddBarrier()
+	tr.Streams[0].AddRead(0)
+	tr.Streams[1].AddBarrier()
+	tr.Streams[1].AddRead(64)
+	sys, err := NewSystem(smpConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunParallel(tr, sys, 2); err != nil {
+		t.Fatalf("balanced trace: %v", err)
+	}
+
+	bad := trace.New(3)
+	sys2, err := NewSystem(smpConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunParallel(bad, sys2, 2); err == nil {
+		t.Fatal("stream/processor mismatch not rejected")
+	}
+}

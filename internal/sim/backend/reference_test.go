@@ -62,18 +62,20 @@ func referenceRun(tr *trace.Trace, sys *System) (RunResult, error) {
 
 	var res RunResult
 	res.Config = sys.Config().Name
-	waiting := make([]*refState, 0, want)
+	waiting := 0
 	var barrierMax float64
 	var phaseStart float64
 	var phaseBase Stats
 
 	release := func() {
+		// Barrier wait is summed in CPU index order, matching runSeq and
+		// RunParallel, so the float sum is bit-identical across engines.
 		res.Barriers++
 		var wait float64
-		for _, w := range waiting {
-			wait += barrierMax - w.clock
-			w.clock = barrierMax
-			heap.Push(&h, w)
+		for _, st := range states {
+			wait += barrierMax - st.clock
+			st.clock = barrierMax
+			heap.Push(&h, st)
 		}
 		res.BarrierWaitCycles += wait
 		cur := sys.Stats()
@@ -86,7 +88,7 @@ func referenceRun(tr *trace.Trace, sys *System) (RunResult, error) {
 		})
 		phaseStart = barrierMax
 		phaseBase = cur
-		waiting = waiting[:0]
+		waiting = 0
 		barrierMax = 0
 	}
 
@@ -117,54 +119,18 @@ func referenceRun(tr *trace.Trace, sys *System) (RunResult, error) {
 			if st.clock > barrierMax {
 				barrierMax = st.clock
 			}
-			waiting = append(waiting, st)
-			if len(waiting) == want {
+			waiting++
+			if waiting == want {
 				release()
 			}
 		default:
 			return RunResult{}, fmt.Errorf("backend: unknown event kind %d", e.Kind)
 		}
 	}
-	if len(waiting) > 0 {
-		return RunResult{}, fmt.Errorf("backend: %d processors stuck at a barrier", len(waiting))
+	if waiting > 0 {
+		return RunResult{}, fmt.Errorf("backend: %d processors stuck at a barrier", waiting)
 	}
-	if tail := sys.Stats().Minus(phaseBase); tail.Refs > 0 || res.WallCycles > phaseStart {
-		res.Phases = append(res.Phases, PhaseStats{
-			Index:      len(res.Phases),
-			StartCycle: phaseStart,
-			EndCycle:   res.WallCycles,
-			Stats:      tail,
-		})
-	}
-
-	res.Instructions = tr.Instructions()
-	res.MemoryRefs = refs
-	if res.Instructions > 0 {
-		res.EInstr = res.WallCycles / float64(res.Instructions)
-	}
-	res.Seconds = res.EInstr / (sys.Config().ClockMHz * 1e6)
-	if refs > 0 {
-		res.AvgT = tTotal / float64(refs)
-	}
-	res.Stats = sys.Stats()
-	for c := 0; c < int(numClasses); c++ {
-		if res.Stats.Refs > 0 {
-			res.ClassShare[c] = float64(res.Stats.ClassCounts[c]) / float64(res.Stats.Refs)
-		}
-	}
-	if res.Stats.TotalBusCycles > 0 {
-		res.CoherenceShare = res.Stats.CoherenceBusCycles / res.Stats.TotalBusCycles
-	}
-	if res.WallCycles > 0 {
-		if sys.netBus != nil {
-			res.NetUtilization = sys.netBus.Utilization(res.WallCycles)
-		} else if len(sys.netPorts) > 0 {
-			var busy float64
-			for _, p := range sys.netPorts {
-				busy += p.BusyCycles()
-			}
-			res.NetUtilization = busy / (res.WallCycles * float64(len(sys.netPorts)))
-		}
-	}
+	appendTailPhase(&res, sys, phaseStart, phaseBase)
+	assemble(&res, tr.Instructions(), refs, tTotal, sys)
 	return res, nil
 }

@@ -2,9 +2,27 @@ package backend
 
 import (
 	"fmt"
+	"math"
 
+	"memhier/internal/sim/cache"
 	"memhier/internal/trace"
 )
+
+// StreamOption configures a StreamRun.
+type StreamOption func(*streamConfig)
+
+type streamConfig struct {
+	eventHint int
+}
+
+// WithEventHint passes the generator's approximate total event count (see
+// workloads.EventHinter) so the phase buffers can be pre-sized: the
+// collector seeds each per-processor chunk near its steady-state capacity
+// instead of discovering it through append-doubling, which is where almost
+// all of a streamed run's allocations otherwise come from.
+func WithEventHint(events int) StreamOption {
+	return func(c *streamConfig) { c.eventHint = events }
+}
 
 // StreamRun drives the system directly from a workload generator without
 // materializing the whole trace: the generator runs concurrently and its
@@ -15,18 +33,53 @@ import (
 // generate must emit the same bulk-synchronous stream a materialized run
 // would (workloads.Workload.Run does); results are identical to Run on the
 // materialized trace (see TestStreamRunMatchesRun).
-func StreamRun(sys *System, nproc int, generate func(sink trace.Sink) error) (RunResult, error) {
+//
+// The consumer and generator exchange two phase buffers through a free
+// list, so the steady state allocates nothing per phase: while the engine
+// simulates one phase the generator fills the other, and each buffer's
+// per-processor chunks keep their capacity across phases.
+func StreamRun(sys *System, nproc int, generate func(sink trace.Sink) error, opts ...StreamOption) (RunResult, error) {
 	if nproc != sys.Config().TotalProcs() {
 		return RunResult{}, fmt.Errorf("backend: generator has %d processors, %s simulates %d",
 			nproc, sys.Config().Name, sys.Config().TotalProcs())
 	}
+	var sc streamConfig
+	for _, o := range opts {
+		o(&sc)
+	}
 
-	phases := make(chan phaseChunk, 1)
+	// Pre-size each per-processor chunk from the hint: an even split across
+	// processors and a nominal phase count, clamped so a missing or wild
+	// hint can neither blow up memory nor matter much.
+	chunkCap := 1 << 10
+	if sc.eventHint > 0 {
+		if c := sc.eventHint / (nproc * 2); c > chunkCap {
+			chunkCap = c
+		}
+		if max := 1 << 17; chunkCap > max {
+			chunkCap = max
+		}
+	}
+	newBuf := func() *phaseBuf {
+		// One backing array per buffer: a chunk that outgrows its slice
+		// migrates out via append's reallocation, which the pre-size makes
+		// rare.
+		b := &phaseBuf{chunks: make([][]trace.Event, nproc)}
+		backing := make([]trace.Event, nproc*chunkCap)
+		for i := range b.chunks {
+			b.chunks[i] = backing[i*chunkCap : i*chunkCap : (i+1)*chunkCap][:0]
+		}
+		return b
+	}
+	out := make(chan *phaseBuf, 1)
+	free := make(chan *phaseBuf, 2)
+	free <- newBuf()
+	free <- newBuf()
 	genErr := make(chan error, 1)
 
 	go func() {
-		defer close(phases)
-		collector := &phaseCollector{nproc: nproc, out: phases}
+		defer close(out)
+		collector := &phaseCollector{nproc: nproc, out: out, free: free}
 		if err := generate(collector); err != nil {
 			genErr <- err
 			return
@@ -37,53 +90,134 @@ func StreamRun(sys *System, nproc int, generate func(sink trace.Sink) error) (Ru
 
 	var res RunResult
 	res.Config = sys.Config().Name
+	res.Phases = make([]PhaseStats, 0, 32)
 	clocks := make([]float64, nproc)
 	idx := make([]int, nproc)
-	q := make(cpuQueue, 0, nproc)
+	keys := make([]float64, nproc)
 	var instructions, refs uint64
 	var tTotal float64
 	var phaseStart float64
 	var phaseBase Stats
+	latInstr := sys.lat.Instruction
+	latHit := sys.lat.CacheHit
+	stats := &sys.stats
+	hots, hotOK := sysHots(sys)
+	access := makeAccess(sys, &tTotal, &refs)
 
-	for ph := range phases {
-		// Interleave this phase's per-cpu event runs in global time order,
-		// with the same batched value-heap scheduler Run uses.
-		q = q[:0]
+	for ph := range out {
+		// Interleave this phase's per-cpu event runs in global time order
+		// with the engine's flat min-scan: compute events advance a
+		// processor's private clock unchecked; each memory reference is
+		// gated against the runner-up key before it executes, so shared
+		// transactions retire in (clock, cpu) order exactly as Run's
+		// scheduler retires them.
+		done := 0
 		for cpu := 0; cpu < nproc; cpu++ {
 			idx[cpu] = 0
-			q = append(q, heapEnt{clock: clocks[cpu], cpu: int32(cpu)})
+			if len(ph.chunks[cpu]) == 0 {
+				keys[cpu] = math.Inf(1)
+				done++
+			} else {
+				keys[cpu] = clocks[cpu]
+			}
 		}
-		q.heapify()
-		for len(q) > 0 {
-			cpu := q.pop().cpu
-			evs := ph.chunks[cpu]
-			clock := clocks[cpu]
+		for done < nproc {
+			bi := 0
+			bc := keys[0]
+			si := 0
+			sc := math.Inf(1)
+			for i := 1; i < nproc; i++ {
+				c := keys[i]
+				if c < bc {
+					sc, si = bc, bi
+					bc, bi = c, i
+				} else if c < sc {
+					sc, si = c, i
+				}
+			}
+			evs := ph.chunks[bi]
+			clock := clocks[bi]
+			i := idx[bi]
 		run:
 			for {
-				if idx[cpu] >= len(evs) {
+				if i >= len(evs) {
+					keys[bi] = math.Inf(1)
+					done++
 					break run
 				}
-				e := evs[idx[cpu]]
-				idx[cpu]++
+				e := evs[i]
 				switch e.Kind {
 				case trace.Compute:
-					clock += float64(e.N) * sys.lat.Instruction
+					clock += float64(e.N) * latInstr
 					instructions += e.N
 				case trace.Read, trace.Write:
-					start := clock
-					clock = sys.Access(int(cpu), e.Addr, e.Kind == trace.Write, clock)
-					tTotal += clock - start
-					refs++
+					//chc:allow floateq -- exact tiebreak in the (clock, cpu) retirement order
+					if clock > sc || (clock == sc && bi >= si) {
+						keys[bi] = clock
+						break run
+					}
 					instructions++
+					if !hotOK {
+						kind := trace.OpRead
+						if e.Kind == trace.Write {
+							kind = trace.OpWrite
+						}
+						clock = access(int32(bi), e.Addr<<2|kind, clock)
+						break
+					}
+					// Private-hit fast path inlined through the Hot view,
+					// reproducing makeAccess (and so sys.Access) word for
+					// word; only protocol-involving references pay a call.
+					stats.Refs++
+					h := &hots[bi]
+					tag := e.Addr >> h.Shift
+					base := (tag & h.Mask) << 1
+					w1 := h.Ways[base+1]
+					w0 := h.Ways[base]
+					hit0 := (w0^(tag<<3))&^4-1 < 3
+					hit1 := (w1^(tag<<3))&^4-1 < 3
+					w := uint64(0)
+					if hit1 {
+						w = w1
+					}
+					if hit0 {
+						w = w0
+					}
+					write := e.Kind == trace.Write
+					if w != 0 {
+						nm := w0 | 4
+						if hit0 {
+							nm = w0 &^ 4
+						}
+						h.Ways[base] = nm
+						*h.Hits++
+						if !write || w&3 == 3 {
+							done := clock + latHit
+							stats.ClassCounts[ClassCacheHit]++
+							stats.ClassCycles[ClassCacheHit] += done - clock
+							tTotal += done - clock
+							refs++
+							clock = done
+						} else {
+							done := sys.accessRest(bi, e.Addr, true, clock, cache.State(w&3), true)
+							tTotal += done - clock
+							refs++
+							clock = done
+						}
+					} else {
+						*h.Misses++
+						done := sys.accessRest(bi, e.Addr, write, clock, cache.Invalid, false)
+						tTotal += done - clock
+						refs++
+						clock = done
+					}
 				default:
 					return RunResult{}, fmt.Errorf("backend: unexpected event kind %v inside a streamed phase", e.Kind)
 				}
-				if len(q) > 0 && !entLess(heapEnt{clock: clock, cpu: cpu}, q[0]) {
-					q.push(heapEnt{clock: clock, cpu: cpu})
-					break run
-				}
+				i++
 			}
-			clocks[cpu] = clock
+			idx[bi] = i
+			clocks[bi] = clock
 		}
 		// Phase end: barrier rendezvous (or the run's tail).
 		var max float64
@@ -114,44 +248,20 @@ func StreamRun(sys *System, nproc int, generate func(sink trace.Sink) error) (Ru
 		if max > res.WallCycles {
 			res.WallCycles = max
 		}
+		ph.barrier = false
+		free <- ph
 	}
 	if err := <-genErr; err != nil {
 		return RunResult{}, err
 	}
-	res.Instructions = instructions
-	res.MemoryRefs = refs
-	if instructions > 0 {
-		res.EInstr = res.WallCycles / float64(instructions)
-	}
-	res.Seconds = res.EInstr / (sys.Config().ClockMHz * 1e6)
-	if refs > 0 {
-		res.AvgT = tTotal / float64(refs)
-	}
-	res.Stats = sys.Stats()
-	for c := 0; c < int(numClasses); c++ {
-		if res.Stats.Refs > 0 {
-			res.ClassShare[c] = float64(res.Stats.ClassCounts[c]) / float64(res.Stats.Refs)
-		}
-	}
-	if res.Stats.TotalBusCycles > 0 {
-		res.CoherenceShare = res.Stats.CoherenceBusCycles / res.Stats.TotalBusCycles
-	}
-	if res.WallCycles > 0 {
-		if sys.netBus != nil {
-			res.NetUtilization = sys.netBus.Utilization(res.WallCycles)
-		} else if len(sys.netPorts) > 0 {
-			var busy float64
-			for _, p := range sys.netPorts {
-				busy += p.BusyCycles()
-			}
-			res.NetUtilization = busy / (res.WallCycles * float64(len(sys.netPorts)))
-		}
-	}
+	assemble(&res, instructions, refs, tTotal, sys)
 	return res, nil
 }
 
-// phaseChunk is one bulk-synchronous phase of per-cpu event runs.
-type phaseChunk struct {
+// phaseBuf is one bulk-synchronous phase of per-cpu event runs. Buffers
+// cycle between the generator and the engine through the free list; chunks
+// keep their capacity across phases.
+type phaseBuf struct {
 	chunks  [][]trace.Event
 	barrier bool // true when the phase ended at a barrier
 }
@@ -160,16 +270,26 @@ type phaseChunk struct {
 // every processor has crossed the barrier.
 type phaseCollector struct {
 	nproc   int
-	out     chan<- phaseChunk
-	chunks  [][]trace.Event
+	out     chan<- *phaseBuf
+	free    <-chan *phaseBuf
+	cur     *phaseBuf
 	arrived []bool
 	nwait   int
 }
 
 func (p *phaseCollector) ensure() {
-	if p.chunks == nil {
-		p.chunks = make([][]trace.Event, p.nproc)
-		p.arrived = make([]bool, p.nproc)
+	if p.cur == nil {
+		p.cur = <-p.free
+		for i := range p.cur.chunks {
+			p.cur.chunks[i] = p.cur.chunks[i][:0]
+		}
+		if p.arrived == nil {
+			p.arrived = make([]bool, p.nproc)
+		} else {
+			for i := range p.arrived {
+				p.arrived[i] = false
+			}
+		}
 		p.nwait = 0
 	}
 }
@@ -184,8 +304,9 @@ func (p *phaseCollector) Emit(cpu int, e trace.Event) {
 		p.arrived[cpu] = true
 		p.nwait++
 		if p.nwait == p.nproc {
-			p.out <- phaseChunk{chunks: p.chunks, barrier: true}
-			p.chunks = nil
+			p.cur.barrier = true
+			p.out <- p.cur
+			p.cur = nil
 		}
 		return
 	}
@@ -194,15 +315,16 @@ func (p *phaseCollector) Emit(cpu int, e trace.Event) {
 		// the rendezvous completed — the stream is not bulk-synchronous.
 		panic("backend: event emitted after a barrier arrival; stream is not bulk-synchronous")
 	}
-	p.chunks[cpu] = append(p.chunks[cpu], e)
+	p.cur.chunks[cpu] = append(p.cur.chunks[cpu], e)
 }
 
 // flushTail hands over work emitted after the last barrier.
 func (p *phaseCollector) flushTail() {
 	p.ensure()
-	for _, c := range p.chunks {
+	for _, c := range p.cur.chunks {
 		if len(c) > 0 {
-			p.out <- phaseChunk{chunks: p.chunks}
+			p.out <- p.cur
+			p.cur = nil
 			return
 		}
 	}

@@ -21,6 +21,7 @@ package backend
 
 import (
 	"fmt"
+	"math/bits"
 
 	"memhier/internal/machine"
 	"memhier/internal/sim/cache"
@@ -45,10 +46,100 @@ const (
 	dirExclusive
 )
 
-type dirEntry struct {
-	state   dirState
+// blockEnt is one 256-byte block's cluster-wide bookkeeping: its directory
+// entry and its first-touch home node, combined so the cluster hot path
+// resolves both with a single probe. A block with state dirUncached and no
+// sharers is semantically identical to an absent directory entry; such
+// entries exist only to remember the home assignment.
+type blockEnt struct {
+	block   uint64 // key; blockEmpty marks a free table slot
 	sharers uint64 // bitmask of nodes with copies
-	owner   int    // valid when state == dirExclusive
+	// dirty counts the block's Modified lines per node in 8-bit lanes
+	// (lane = node index; maintained only when System.trackDirty). A block
+	// has DSMBlockSize/CacheLineSize = 4 lines and the single-writer
+	// invariant caps each at one Modified copy machine-wide, so a lane
+	// never exceeds 4. It turns fill's keep-exclusive-while-dirty check
+	// (nodeHoldsDirty) from a scan of every way of every cache in the
+	// node into one load.
+	dirty uint64
+	home  int32 // first-touch home node
+	owner int32 // valid when state == dirExclusive
+	state dirState
+}
+
+// blockEmpty is the free-slot sentinel. Blocks are byte addresses divided
+// by DSMBlockSize, so with addresses bounded by trace.MaxAddr (2^62-1) a
+// real block key can never reach it.
+const blockEmpty = ^uint64(0)
+
+// blockTable maps block -> blockEnt with open addressing (linear probing,
+// Fibonacci hashing). It replaces the previous dir/homes pair of Go maps:
+// every cluster miss and write upgrade resolves a block, and the two map
+// lookups dominated the cluster simulation profile.
+type blockTable struct {
+	slots []blockEnt
+	shift uint // 64 - log2(len(slots)): Fibonacci hash to a slot index
+	n     int  // occupied slots
+	// One-entry memo for repeat resolutions of the same block — a miss
+	// resolves its block in clusterMiss and again for the write-back in
+	// fill, and the four lines of a block miss in bursts. The index (not a
+	// pointer) stays valid until grow, which resets it.
+	lastBlock uint64
+	lastIdx   int32
+}
+
+// getOrCreate returns the entry for block, creating it (home = toucher,
+// state dirUncached) on first touch. The returned pointer is invalidated
+// by the next getOrCreate call, which may grow the table — callers must
+// finish with an entry before resolving another block.
+func (t *blockTable) getOrCreate(block uint64, toucher int) *blockEnt {
+	if block == t.lastBlock && len(t.slots) > 0 {
+		return &t.slots[t.lastIdx]
+	}
+	if t.n >= len(t.slots)-len(t.slots)/4 {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := (block * 0x9E3779B97F4A7C15) >> t.shift
+	for {
+		s := &t.slots[i]
+		if s.block == block {
+			t.lastBlock, t.lastIdx = block, int32(i)
+			return s
+		}
+		if s.block == blockEmpty {
+			*s = blockEnt{block: block, home: int32(toucher), owner: -1}
+			t.n++
+			t.lastBlock, t.lastIdx = block, int32(i)
+			return s
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (t *blockTable) grow() {
+	old := t.slots
+	size := 2 * len(old)
+	if size == 0 {
+		size = 1 << 10
+	}
+	t.slots = make([]blockEnt, size)
+	for i := range t.slots {
+		t.slots[i].block = blockEmpty
+	}
+	t.lastBlock = blockEmpty
+	t.shift = uint(64 - bits.Len(uint(size-1)))
+	mask := uint64(size - 1)
+	for _, e := range old {
+		if e.block == blockEmpty {
+			continue
+		}
+		i := (e.block * 0x9E3779B97F4A7C15) >> t.shift
+		for t.slots[i].block != blockEmpty {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = e
+	}
 }
 
 // AccessClass classifies where a reference was served, mirroring the
@@ -122,17 +213,30 @@ type System struct {
 	nodes int // N
 	perN  int // n
 
-	caches []*cache.Cache           // per cpu
-	membus []*interconnect.Resource // per node: memory/snoop bus
-	iobus  []*interconnect.Resource // per node: I/O (disk) bus
-	mems   []*memory.Memory         // per node: page residency
+	caches []*cache.Cache // per cpu
+	// hots holds the flattened fast-path views of every cache when the
+	// geometry supports them (hotOK); the snoop and directory helpers then
+	// probe with inlined loads instead of a call per line.
+	hots  []cache.Hot
+	hotOK bool
+	// trackDirty enables the per-(node, block) Modified-line counters in
+	// blockEnt.dirty: hot views available (every transition site can see
+	// old states cheaply) and at most 8 nodes (one 8-bit lane each).
+	// Otherwise nodeHoldsDirty falls back to scanning.
+	trackDirty bool
+	membus     []*interconnect.Resource // per node: memory/snoop bus
+	iobus      []*interconnect.Resource // per node: I/O (disk) bus
+	mems       []*memory.Memory         // per node: page residency
 
 	netBus   *interconnect.Resource   // bus networks: one shared medium
 	netPorts []*interconnect.Resource // switch networks: per-node port
 
-	dir     map[uint64]*dirEntry // block -> directory entry (clusters only)
-	dirSlab []dirEntry           // chunked backing store for directory entries
-	homes   map[uint64]int       // block -> home node (first touch)
+	blocks blockTable // block -> directory entry + home node (clusters only)
+
+	// Latency scalars hoisted out of the machine.Latencies maps: the map
+	// lookups keyed by network kind were measurable on the cluster paths.
+	latRemoteNode   float64
+	latRemoteCached float64
 
 	stats Stats
 }
@@ -197,6 +301,17 @@ func NewSystemOpts(cfg machine.Config, opts SystemOptions) (*System, error) {
 	for cpu := 0; cpu < cfg.TotalProcs(); cpu++ {
 		s.caches = append(s.caches, cache.New(int(cfg.CacheBytes), CacheLineSize, CacheAssoc))
 	}
+	s.hots = make([]cache.Hot, len(s.caches))
+	s.hotOK = true
+	for i, c := range s.caches {
+		h, ok := c.Hot()
+		if !ok {
+			s.hots, s.hotOK = nil, false
+			break
+		}
+		s.hots[i] = h
+	}
+	s.trackDirty = s.hotOK && s.nodes > 1 && s.nodes <= 8
 	s.membus = make([]*interconnect.Resource, 0, cfg.N)
 	s.iobus = make([]*interconnect.Resource, 0, cfg.N)
 	s.mems = make([]*memory.Memory, 0, cfg.N)
@@ -206,8 +321,8 @@ func NewSystemOpts(cfg machine.Config, opts SystemOptions) (*System, error) {
 		s.mems = append(s.mems, memory.New(cfg.MemoryBytes))
 	}
 	if cfg.N > 1 {
-		s.dir = make(map[uint64]*dirEntry)
-		s.homes = make(map[uint64]int)
+		s.latRemoteNode = s.lat.RemoteNode[cfg.Net]
+		s.latRemoteCached = s.lat.RemoteCached[cfg.Net]
 		if cfg.Net.IsBus() {
 			s.netBus = interconnect.NewResource("netbus")
 		} else {
@@ -224,6 +339,21 @@ func (s *System) Config() machine.Config { return s.cfg }
 
 // Stats returns the aggregated counters.
 func (s *System) Stats() Stats { return s.stats }
+
+// exactLatencies reports whether every latency a run can charge is a
+// non-negative integral number of cycles. Then every clock, wait, and cycle
+// accumulator in a run holds exact integers (well below 2^53), float
+// addition over them is associative, and the engines may defer or regroup
+// commutative accounting without changing a single result bit. Scaled
+// latency tables (machine.LatenciesAt with a non-divisor clock) can be
+// fractional, which disables that.
+func (s *System) exactLatencies() bool {
+	//chc:allow floateq -- integrality test: v == trunc(v) is the predicate itself
+	isInt := func(v float64) bool { return v >= 0 && v == float64(uint64(v)) }
+	return isInt(s.lat.Instruction) && isInt(s.lat.CacheHit) &&
+		isInt(s.lat.LocalMemory) && isInt(s.lat.LocalDisk) &&
+		isInt(s.lat.RemoteCache) && isInt(s.latRemoteNode) && isInt(s.latRemoteCached)
+}
 
 // VerifyCoherence checks the protocol's single-writer invariant across all
 // caches: a line held Modified (or Exclusive) by one processor must not be
@@ -255,6 +385,33 @@ func (s *System) VerifyCoherence() error {
 				line*CacheLineSize, cache.Modified, exclusive, len(hs))
 		}
 	}
+	// Cross-check the Modified-line lanes against a full scan: every test
+	// that exercises the counters through randomized traffic also verifies
+	// them here.
+	if s.trackDirty {
+		for i := range s.blocks.slots {
+			e := &s.blocks.slots[i]
+			if e.block == blockEmpty {
+				continue
+			}
+			base := e.block * DSMBlockSize
+			for node := 0; node < s.nodes; node++ {
+				n := 0
+				for p := 0; p < s.perN; p++ {
+					c := s.caches[node*s.perN+p]
+					for off := uint64(0); off < DSMBlockSize; off += CacheLineSize {
+						if st, ok := c.Probe(base + off); ok && st == cache.Modified {
+							n++
+						}
+					}
+				}
+				if got := int(e.dirty >> (8 * uint(node)) & 0xff); got != n {
+					return fmt.Errorf("backend: block %#x node %d: dirty lane says %d Modified lines, scan finds %d",
+						e.block, node, got, n)
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -270,31 +427,12 @@ func (s *System) CacheStats() []cache.Stats {
 func (s *System) node(cpu int) int         { return cpu / s.perN }
 func (s *System) block(addr uint64) uint64 { return addr / DSMBlockSize }
 
-// home returns the block's home node, assigned on first touch — which
-// reproduces the paper's "contiguous subset allocated in its local memory"
-// placement, since each process initializes its own partition first.
-func (s *System) home(block uint64, toucher int) int {
-	if h, ok := s.homes[block]; ok {
-		return h
-	}
-	s.homes[block] = toucher
-	return toucher
-}
-
-func (s *System) entry(block uint64) *dirEntry {
-	e, ok := s.dir[block]
-	if !ok {
-		// Entries are carved from slab chunks: one allocation per 512
-		// blocks instead of one per block. A chunk is never reallocated
-		// once entries point into it (append only while len < cap).
-		if len(s.dirSlab) == cap(s.dirSlab) {
-			s.dirSlab = make([]dirEntry, 0, 512)
-		}
-		s.dirSlab = append(s.dirSlab, dirEntry{state: dirUncached, owner: -1})
-		e = &s.dirSlab[len(s.dirSlab)-1]
-		s.dir[block] = e
-	}
-	return e
+// entry returns the block's combined directory/home entry, assigning the
+// home on first touch — which reproduces the paper's "contiguous subset
+// allocated in its local memory" placement, since each process initializes
+// its own partition first.
+func (s *System) entry(block uint64, toucher int) *blockEnt {
+	return s.blocks.getOrCreate(block, toucher)
 }
 
 // invalidateNode kills every cache line of the block in every cache of the
@@ -302,6 +440,40 @@ func (s *System) entry(block uint64) *dirEntry {
 func (s *System) invalidateNode(node int, block uint64) int {
 	killed := 0
 	base := block * DSMBlockSize
+	if s.hotOK {
+		// Fused probe+invalidate per the Hot contract: xor-ing a way with
+		// tag<<3 leaves (on a tag match) just the MRU and state bits, so
+		// "residue&^4 in 1..3" is "valid line with this tag" in one
+		// compare. Invalidation clears only the state bits; the MRU bit
+		// survives, as with Cache.SetState.
+		dirtyKilled := 0
+		for p := 0; p < s.perN; p++ {
+			h := &s.hots[node*s.perN+p]
+			for off := uint64(0); off < DSMBlockSize; off += CacheLineSize {
+				tag := (base + off) >> h.Shift
+				b := (tag & h.Mask) << 1
+				if r := (h.Ways[b] ^ (tag << 3)) &^ 4; r-1 < 3 {
+					if r == 3 {
+						dirtyKilled++
+					}
+					h.Ways[b] &^= 3
+					killed++
+					*h.Invalidates++
+				} else if r := (h.Ways[b+1] ^ (tag << 3)) &^ 4; r-1 < 3 {
+					if r == 3 {
+						dirtyKilled++
+					}
+					h.Ways[b+1] &^= 3
+					killed++
+					*h.Invalidates++
+				}
+			}
+		}
+		if s.trackDirty && dirtyKilled > 0 {
+			s.dirtyAdd(node, block, -dirtyKilled)
+		}
+		return killed
+	}
 	for p := 0; p < s.perN; p++ {
 		c := s.caches[node*s.perN+p]
 		for off := uint64(0); off < DSMBlockSize; off += CacheLineSize {
@@ -318,6 +490,33 @@ func (s *System) invalidateNode(node int, block uint64) int {
 // node's caches to Shared (a remote read of a dirty block).
 func (s *System) downgradeNode(node int, block uint64) {
 	base := block * DSMBlockSize
+	if s.hotOK {
+		// Fused probe+downgrade: residue&^4 of way^tag<<3 is the state on a
+		// tag match; 2..3 (Exclusive, Modified) in one compare.
+		downgraded := 0
+		for p := 0; p < s.perN; p++ {
+			h := &s.hots[node*s.perN+p]
+			for off := uint64(0); off < DSMBlockSize; off += CacheLineSize {
+				tag := (base + off) >> h.Shift
+				b := (tag & h.Mask) << 1
+				if r := (h.Ways[b] ^ (tag << 3)) &^ 4; r-2 < 2 {
+					if r == 3 {
+						downgraded++
+					}
+					h.Ways[b] = h.Ways[b]&^3 | uint64(cache.Shared)
+				} else if r := (h.Ways[b+1] ^ (tag << 3)) &^ 4; r-2 < 2 {
+					if r == 3 {
+						downgraded++
+					}
+					h.Ways[b+1] = h.Ways[b+1]&^3 | uint64(cache.Shared)
+				}
+			}
+		}
+		if s.trackDirty && downgraded > 0 {
+			s.dirtyAdd(node, block, -downgraded)
+		}
+		return
+	}
 	for p := 0; p < s.perN; p++ {
 		c := s.caches[node*s.perN+p]
 		for off := uint64(0); off < DSMBlockSize; off += CacheLineSize {
@@ -328,10 +527,56 @@ func (s *System) downgradeNode(node int, block uint64) {
 	}
 }
 
+// dirtyAdd adjusts the block's Modified-line lane for node. Callers guard
+// with s.trackDirty and only decrement lanes a prior increment made
+// non-zero (the counters mirror real state transitions), so lanes cannot
+// underflow into their neighbors.
+func (s *System) dirtyAdd(node int, block uint64, delta int) {
+	e := s.entry(block, node)
+	if delta >= 0 {
+		e.dirty += uint64(delta) << (8 * uint(node))
+	} else {
+		e.dirty -= uint64(-delta) << (8 * uint(node))
+	}
+}
+
+// dirtyRefill adjusts the lane when a fill overwrites a resident copy:
+// old is the displaced way's packed word, st the installed state.
+func (s *System) dirtyRefill(cpu int, addr uint64, old uint64, st cache.State) {
+	wasM := old&3 == 3
+	isM := st == cache.Modified
+	if isM && !wasM {
+		s.dirtyAdd(s.node(cpu), s.block(addr), 1)
+	} else if wasM && !isM {
+		s.dirtyAdd(s.node(cpu), s.block(addr), -1)
+	}
+}
+
 // nodeHoldsDirty reports whether any cache of the node holds a Modified
 // line of the block.
 func (s *System) nodeHoldsDirty(node int, block uint64) bool {
+	if s.trackDirty {
+		return s.entry(block, node).dirty>>(8*uint(node))&0xff != 0
+	}
 	base := block * DSMBlockSize
+	if s.hotOK {
+		// Fused probe+state test: residue&^4 of way^tag<<3 equals 3 exactly
+		// when the way holds this tag in Modified — one compare per way.
+		// base is DSMBlockSize-aligned, so the block's line tags are the
+		// consecutive run t0, t0+1, … (every cache shares one geometry).
+		t0 := base >> s.hots[node*s.perN].Shift
+		for p := 0; p < s.perN; p++ {
+			h := &s.hots[node*s.perN+p]
+			for k := uint64(0); k < DSMBlockSize/CacheLineSize; k++ {
+				tag := t0 + k
+				b := (tag & h.Mask) << 1
+				if (h.Ways[b]^(tag<<3))&^4 == 3 || (h.Ways[b+1]^(tag<<3))&^4 == 3 {
+					return true
+				}
+			}
+		}
+		return false
+	}
 	for p := 0; p < s.perN; p++ {
 		c := s.caches[node*s.perN+p]
 		for off := uint64(0); off < DSMBlockSize; off += CacheLineSize {
@@ -374,15 +619,24 @@ func (s *System) memTouch(node int, addr uint64, write bool, now float64) (float
 // in the statistics.
 func (s *System) Access(cpu int, addr uint64, write bool, now float64) float64 {
 	s.stats.Refs++
-	myCache := s.caches[cpu]
 
 	// Private-hit fast path, ahead of all coherence machinery: a read hit
 	// in any state and a write hit on an already-Modified line need no
 	// protocol action — this is the overwhelming majority of references.
-	st, hit := myCache.Lookup(addr)
+	// The engines inline this same check (see runSeq) and fall through to
+	// accessRest only on the slow path.
+	st, hit := s.caches[cpu].Lookup(addr)
 	if hit && (!write || st == cache.Modified) {
 		return s.finish(ClassCacheHit, now, now+s.lat.CacheHit)
 	}
+	return s.accessRest(cpu, addr, write, now, st, hit)
+}
+
+// accessRest runs the coherence machinery for a reference that failed the
+// private-hit fast path: st/hit are the requester's own-cache lookup result
+// (already performed and counted by the caller).
+func (s *System) accessRest(cpu int, addr uint64, write bool, now float64, st cache.State, hit bool) float64 {
+	myCache := s.caches[cpu]
 	myNode := s.node(cpu)
 
 	if hit {
@@ -390,6 +644,9 @@ func (s *System) Access(cpu int, addr uint64, write bool, now float64) float64 {
 			// MESI: the sole clean copy becomes Modified with no
 			// coherence transaction.
 			myCache.SetState(addr, cache.Modified)
+			if s.trackDirty {
+				s.dirtyAdd(myNode, s.block(addr), 1)
+			}
 			s.stats.SilentUpgrades++
 			return s.finish(ClassCacheHit, now, now+s.lat.CacheHit)
 		}
@@ -403,7 +660,12 @@ func (s *System) Access(cpu int, addr uint64, write bool, now float64) float64 {
 			s.stats.TotalBusCycles += s.lat.RemoteCache
 			for p := 0; p < s.perN; p++ {
 				other := myNode*s.perN + p
-				if other != cpu {
+				if other == cpu {
+					continue
+				}
+				if s.hotOK {
+					s.hots[other].Set(addr, cache.Invalid)
+				} else {
 					s.caches[other].SetState(addr, cache.Invalid)
 				}
 			}
@@ -416,6 +678,12 @@ func (s *System) Access(cpu int, addr uint64, write bool, now float64) float64 {
 			done = s.dirUpgrade(cpu, addr, now, done)
 		}
 		myCache.SetState(addr, cache.Modified)
+		if s.trackDirty {
+			// The requester held the line Shared, so no copy anywhere was
+			// Modified; the upgrade adds exactly one (sibling-line kills in
+			// other nodes are counted inside invalidateNode).
+			s.dirtyAdd(myNode, s.block(addr), 1)
+		}
 		return s.finish(ClassCacheHit, now, done)
 	}
 
@@ -426,7 +694,14 @@ func (s *System) Access(cpu int, addr uint64, write bool, now float64) float64 {
 			if other == cpu {
 				continue
 			}
-			if ost, ok := s.caches[other].Probe(addr); ok {
+			var ost cache.State
+			var ok bool
+			if s.hotOK {
+				ost, ok = s.hots[other].Probe(addr)
+			} else {
+				ost, ok = s.caches[other].Probe(addr)
+			}
+			if ok {
 				done := s.membus[myNode].Acquire(now, s.lat.RemoteCache)
 				s.stats.CoherenceBusCycles += s.lat.RemoteCache
 				s.stats.TotalBusCycles += s.lat.RemoteCache
@@ -434,15 +709,32 @@ func (s *System) Access(cpu int, addr uint64, write bool, now float64) float64 {
 					// Take ownership; kill the other intra-node copies.
 					for q := 0; q < s.perN; q++ {
 						oc := myNode*s.perN + q
-						if oc != cpu {
+						if oc == cpu {
+							continue
+						}
+						if s.hotOK {
+							s.hots[oc].Set(addr, cache.Invalid)
+						} else {
 							s.caches[oc].SetState(addr, cache.Invalid)
 						}
+					}
+					if s.trackDirty && ost == cache.Modified {
+						// The snooped owner's Modified copy died; the
+						// requester's fill below re-adds one.
+						s.dirtyAdd(myNode, s.block(addr), -1)
 					}
 					if s.nodes > 1 {
 						done = s.dirUpgrade(cpu, addr, now, done)
 					}
 				} else if ost == cache.Modified || ost == cache.Exclusive {
-					s.caches[other].SetState(addr, cache.Shared)
+					if s.hotOK {
+						s.hots[other].Set(addr, cache.Shared)
+					} else {
+						s.caches[other].SetState(addr, cache.Shared)
+					}
+					if s.trackDirty && ost == cache.Modified {
+						s.dirtyAdd(myNode, s.block(addr), -1)
+					}
 				}
 				s.fill(cpu, addr, write, false, now)
 				return s.finish(ClassRemoteCache, now, done)
@@ -472,18 +764,16 @@ func (s *System) Access(cpu int, addr uint64, write bool, now float64) float64 {
 func (s *System) dirUpgrade(cpu int, addr uint64, now, done float64) float64 {
 	myNode := s.node(cpu)
 	b := s.block(addr)
-	home := s.home(b, myNode)
-	e := s.entry(b)
+	e := s.entry(b, myNode)
 	others := e.sharers &^ (1 << uint(myNode))
-	if e.state == dirExclusive && e.owner != myNode {
+	if e.state == dirExclusive && int(e.owner) != myNode {
 		others |= 1 << uint(e.owner)
 	}
 	if others != 0 {
 		// One invalidation transaction on the network (broadcast on a bus;
 		// the switch serializes through the home port).
 		s.stats.InvalidateMsgs++
-		rn := s.lat.RemoteNode[s.cfg.Net]
-		t := s.netAcquire(home, now, rn)
+		t := s.netAcquire(int(e.home), now, s.latRemoteNode)
 		if t > done {
 			done = t
 		}
@@ -494,7 +784,7 @@ func (s *System) dirUpgrade(cpu int, addr uint64, now, done float64) float64 {
 		}
 	}
 	e.state = dirExclusive
-	e.owner = myNode
+	e.owner = int32(myNode)
 	e.sharers = 1 << uint(myNode)
 	return done
 }
@@ -503,10 +793,10 @@ func (s *System) dirUpgrade(cpu int, addr uint64, now, done float64) float64 {
 func (s *System) clusterMiss(cpu int, addr uint64, write bool, now float64) float64 {
 	myNode := s.node(cpu)
 	b := s.block(addr)
-	home := s.home(b, myNode)
-	e := s.entry(b)
+	e := s.entry(b, myNode)
+	home := int(e.home)
 
-	dirtyRemote := e.state == dirExclusive && e.owner != myNode
+	dirtyRemote := e.state == dirExclusive && int(e.owner) != myNode
 	// Sole copy in the system: no other node shares the block (and the
 	// intra-node snoop already came up empty before reaching this path).
 	sole := !dirtyRemote && e.sharers&^(1<<uint(myNode)) == 0
@@ -525,20 +815,20 @@ func (s *System) clusterMiss(cpu int, addr uint64, write bool, now float64) floa
 		}
 	case dirtyRemote:
 		// Remotely cached data: three-hop transfer.
-		done = s.netAcquire(home, now, s.lat.RemoteCached[s.cfg.Net])
+		done = s.netAcquire(home, now, s.latRemoteCached)
 		class = ClassRemoteDirty
 		if t, faulted := s.memTouch(home, addr, write, done); faulted {
 			done = t
 			class = ClassDisk
 		}
 		if write {
-			s.invalidateNode(e.owner, b)
+			s.invalidateNode(int(e.owner), b)
 		} else {
-			s.downgradeNode(e.owner, b)
+			s.downgradeNode(int(e.owner), b)
 		}
 	default:
 		// Clean remote fetch: two-hop transfer from the home memory.
-		done = s.netAcquire(home, now, s.lat.RemoteNode[s.cfg.Net])
+		done = s.netAcquire(home, now, s.latRemoteNode)
 		class = ClassRemoteClean
 		if t, faulted := s.memTouch(home, addr, write, done); faulted {
 			done = t
@@ -563,14 +853,14 @@ func (s *System) clusterMiss(cpu int, addr uint64, write bool, now float64) floa
 			}
 		}
 		e.state = dirExclusive
-		e.owner = myNode
+		e.owner = int32(myNode)
 		e.sharers = 1 << uint(myNode)
 	} else if sole && s.opts.Protocol == ProtocolMESI {
 		// MESI: the directory grants exclusivity with the clean fill, so
 		// the later silent Exclusive→Modified upgrade stays coherent —
 		// remote readers will take the owner-intervention path.
 		e.state = dirExclusive
-		e.owner = myNode
+		e.owner = int32(myNode)
 		e.sharers = 1 << uint(myNode)
 	} else {
 		if dirtyRemote {
@@ -600,9 +890,86 @@ func (s *System) fill(cpu int, addr uint64, write, sole bool, now float64) {
 		// later upgrade silently.
 		st = cache.Exclusive
 	}
-	evAddr, writeback, _ := s.caches[cpu].Fill(addr, st)
-	if !writeback {
-		return
+	var evAddr uint64
+	var writeback bool
+	if s.hotOK {
+		// Cache.Fill's two-way path inlined through the Hot view (the call
+		// is on every miss and doesn't inline itself); victim choice, MRU
+		// update, and counters mirror it word for word.
+		h := &s.hots[cpu]
+		tag := addr >> h.Shift
+		base := (tag & h.Mask) << 1
+		w0 := h.Ways[base]
+		w1 := h.Ways[base+1]
+		packed := tag<<3 | uint64(st)
+		switch {
+		case w0&3 != 0 && w0>>3 == tag:
+			// Refill of a resident line: new state, way 0 becomes MRU.
+			h.Ways[base] = packed
+			if s.trackDirty {
+				s.dirtyRefill(cpu, addr, w0, st)
+			}
+			return
+		case w1&3 != 0 && w1>>3 == tag:
+			h.Ways[base+1] = packed
+			h.Ways[base] = w0 | 4
+			if s.trackDirty {
+				s.dirtyRefill(cpu, addr, w1, st)
+			}
+			return
+		case w0&3 == 0:
+			h.Ways[base] = packed
+			if s.trackDirty && st == cache.Modified {
+				s.dirtyAdd(s.node(cpu), s.block(addr), 1)
+			}
+			return
+		case w1&3 == 0:
+			h.Ways[base+1] = packed
+			h.Ways[base] = w0 | 4
+			if s.trackDirty && st == cache.Modified {
+				s.dirtyAdd(s.node(cpu), s.block(addr), 1)
+			}
+			return
+		}
+		// Both ways valid: evict the not-most-recently-used way.
+		*h.Evictions++
+		if w0&4 == 0 {
+			if w1&3 == 3 {
+				writeback = true
+			}
+			evAddr = w1 >> 3 << h.Shift
+			h.Ways[base+1] = packed
+			h.Ways[base] = w0 | 4
+		} else {
+			if w0&3 == 3 {
+				writeback = true
+			}
+			evAddr = w0 >> 3 << h.Shift
+			h.Ways[base] = packed
+		}
+		if s.trackDirty {
+			// The installed line was not resident (the refill cases above
+			// would have matched), and a write-back means the victim was
+			// Modified. The victim lane must drop before the ownership
+			// drop-check below reads it.
+			if st == cache.Modified {
+				s.dirtyAdd(s.node(cpu), s.block(addr), 1)
+			}
+			if writeback {
+				s.dirtyAdd(s.node(cpu), s.block(evAddr), -1)
+			}
+		}
+		if writeback {
+			*h.Writebacks++
+		}
+		if !writeback {
+			return
+		}
+	} else {
+		evAddr, writeback, _ = s.caches[cpu].Fill(addr, st)
+		if !writeback {
+			return
+		}
 	}
 	s.stats.Writebacks++
 	node := s.node(cpu)
@@ -612,22 +979,22 @@ func (s *System) fill(cpu int, addr uint64, write, sole bool, now float64) {
 		return
 	}
 	evBlock := s.block(evAddr)
+	e := s.entry(evBlock, node)
 	// The evicted line is clean at home now, but the node keeps exclusive
 	// ownership of the block while any sibling line remains Modified in its
 	// caches — dropping it early would let another node fetch a stale
 	// sibling line from the home memory.
-	if e, ok := s.dir[evBlock]; ok && e.state == dirExclusive && e.owner == node &&
+	if e.state == dirExclusive && int(e.owner) == node &&
 		!s.nodeHoldsDirty(node, evBlock) {
 		e.state = dirShared
 		e.owner = -1
 	}
-	evHome := s.home(evBlock, node)
-	if evHome == node {
+	if int(e.home) == node {
 		s.membus[node].Acquire(now, s.lat.LocalMemory)
 		s.stats.TotalBusCycles += s.lat.LocalMemory
 		return
 	}
-	s.netAcquire(evHome, now, s.lat.RemoteNode[s.cfg.Net])
+	s.netAcquire(int(e.home), now, s.latRemoteNode)
 }
 
 // finish records an access and returns its completion time.

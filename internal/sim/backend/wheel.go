@@ -1,0 +1,156 @@
+package backend
+
+import "math/bits"
+
+// wheel is a calendar-queue scheduler for the engine's ready queue: an array
+// of buckets, each one bucket-width of simulated cycles wide, cycled through
+// by a monotonically advancing cursor. The engine's pop clocks never
+// decrease (a processor re-enters the queue at or after the time it was
+// popped), so the cursor only moves forward and the common push/pop is O(1):
+// push indexes a bucket directly, pop scans an occupancy bitmap from the
+// cursor to the next non-empty bucket. Entries more than one rotation ahead
+// of the cursor park in an overflow list and are folded back in as the
+// cursor approaches them.
+//
+// The bucket width is sized from the latency table (see newWheel callers):
+// the queue reorders only when a processor leaves the private-hit fast path,
+// so consecutive pops are typically separated by at least the cheapest
+// shared transaction (remote-cache, 15 cycles) and land a few buckets apart.
+//
+// Ordering is exactly entLess (clock, then CPU index): a bucket holds at
+// most one tick's worth of entries and pop scans it for the entLess-minimum,
+// so the pop sequence is identical to the binary heap it replaces.
+type wheel struct {
+	width   float64 // bucket width in cycles
+	inv     float64 // 1/width
+	mask    uint64
+	curTick uint64 // absolute tick of the cursor; all entries are at ticks >= this
+	buckets [][]heapEnt
+	occ     []uint64 // occupancy bitmap over bucket indexes
+	far     []heapEnt
+	farMin  uint64 // minimum tick among far entries; ^0 when far is empty
+	n       int
+}
+
+const wheelBuckets = 256 // power of two; one rotation = wheelBuckets*width cycles
+
+func newWheel(width float64) *wheel {
+	if width < 1 {
+		width = 1
+	}
+	return &wheel{
+		width:   width,
+		inv:     1 / width,
+		mask:    wheelBuckets - 1,
+		buckets: make([][]heapEnt, wheelBuckets),
+		occ:     make([]uint64, wheelBuckets/64),
+		farMin:  ^uint64(0),
+	}
+}
+
+func (w *wheel) tick(clock float64) uint64 {
+	t := uint64(clock * w.inv)
+	if t < w.curTick {
+		// Equal-clock pushes can round below the cursor's tick; clamp so the
+		// invariant (all entries at ticks >= curTick) holds.
+		t = w.curTick
+	}
+	return t
+}
+
+// push inserts e. e.clock must be >= the clock of the last pop.
+func (w *wheel) push(e heapEnt) {
+	t := w.tick(e.clock)
+	if t-w.curTick >= wheelBuckets {
+		w.far = append(w.far, e)
+		if t < w.farMin {
+			w.farMin = t
+		}
+	} else {
+		b := t & w.mask
+		w.buckets[b] = append(w.buckets[b], e)
+		w.occ[b>>6] |= 1 << (b & 63)
+	}
+	w.n++
+}
+
+// fold moves far entries that now fit inside the rotation window into their
+// buckets and recomputes farMin.
+func (w *wheel) fold() {
+	kept := w.far[:0]
+	newMin := ^uint64(0)
+	for _, e := range w.far {
+		t := w.tick(e.clock)
+		if t-w.curTick >= wheelBuckets {
+			kept = append(kept, e)
+			if t < newMin {
+				newMin = t
+			}
+		} else {
+			b := t & w.mask
+			w.buckets[b] = append(w.buckets[b], e)
+			w.occ[b>>6] |= 1 << (b & 63)
+		}
+	}
+	w.far = kept
+	w.farMin = newMin
+}
+
+// findMin advances the cursor to the bucket holding the global minimum and
+// returns its index plus the position of the minimum entry inside it. The
+// wheel must be non-empty.
+func (w *wheel) findMin() (bucket uint64, i int) {
+	if w.n == len(w.far) {
+		// Nothing bucketed: jump the cursor to the nearest far entry.
+		w.curTick = w.farMin
+		w.fold()
+	} else if w.farMin-w.curTick < wheelBuckets {
+		// A far entry has come inside the window; it may now be the minimum.
+		w.fold()
+	}
+	// Scan the occupancy bitmap cyclically from the cursor; cyclic order from
+	// curTick is absolute tick order because all entries sit within one
+	// rotation of the cursor.
+	start := w.curTick & w.mask
+	idx := start
+	for {
+		m := w.occ[idx>>6] & (^uint64(0) << (idx & 63))
+		if m != 0 {
+			b := idx&^63 + uint64(bits.TrailingZeros64(m))
+			w.curTick += (b - start) & w.mask
+			bucket = b
+			break
+		}
+		idx = (idx&^63 + 64) & w.mask
+	}
+	bk := w.buckets[bucket]
+	i = 0
+	for j := 1; j < len(bk); j++ {
+		if entLess(bk[j], bk[i]) {
+			i = j
+		}
+	}
+	return bucket, i
+}
+
+// pop removes and returns the minimum entry. The wheel must be non-empty.
+func (w *wheel) pop() heapEnt {
+	b, i := w.findMin()
+	bk := w.buckets[b]
+	e := bk[i]
+	last := len(bk) - 1
+	bk[i] = bk[last]
+	w.buckets[b] = bk[:last]
+	if last == 0 {
+		w.occ[b>>6] &^= 1 << (b & 63)
+	}
+	w.n--
+	return e
+}
+
+// peek returns the minimum entry without removing it. The wheel must be
+// non-empty. (It may still advance the cursor and fold far entries in.)
+func (w *wheel) peek() heapEnt {
+	b, i := w.findMin()
+	return w.buckets[b][i]
+}

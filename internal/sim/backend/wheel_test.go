@@ -1,0 +1,125 @@
+package backend
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"memhier/internal/machine"
+)
+
+// TestWheelEngineMatchesScan pins the scan/wheel crossover contract: both
+// schedulers retire work in identical (clock, cpu) order, so forcing a
+// trace through the wheel must reproduce the scan engines' RunResult bit
+// for bit. Below the crossover the wheel is invoked directly; above it
+// (more processors than scanMaxProcs) the Run dispatch itself selects the
+// wheel and is checked against the unbatched reference executor.
+func TestWheelEngineMatchesScan(t *testing.T) {
+	// Small config: every engine variant on the same trace.
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng, 4, 4, 300)
+		for _, cfg := range []machine.Config{smpConfig(4), csmpConfig(2, 2, machine.NetBus100)} {
+			sysA, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Run(tr, sysA) // scan (integer fast path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sysB, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := runSeqWheel(tr, sysB)
+			if err != nil {
+				t.Fatalf("seed %d %s: wheel: %v", seed, cfg.Name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("seed %d %s: wheel engine diverged from scan:\n got %+v\nwant %+v",
+					seed, cfg.Name, got, want)
+			}
+			sysC, err := NewSystem(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flt, err := runSeqScan(tr, sysC) // float scan variant
+			if err != nil {
+				t.Fatalf("seed %d %s: float scan: %v", seed, cfg.Name, err)
+			}
+			if !reflect.DeepEqual(flt, want) {
+				t.Errorf("seed %d %s: float scan diverged from integer scan", seed, cfg.Name)
+			}
+		}
+	}
+
+	// Past the crossover: Run dispatches to the wheel on its own; the
+	// reference executor is the oracle.
+	rng := rand.New(rand.NewSource(7))
+	n := scanMaxProcs + 4
+	tr := randomTrace(rng, n, 3, 60)
+	cfg := smpConfig(n)
+	sysA, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(tr, sysA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := referenceRun(tr, sysB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%d-processor wheel dispatch diverged from reference", n)
+	}
+}
+
+// benchScheduler drives one engine over a fixed seeded trace; the trace is
+// hit-dominated with short compute gaps, so nearly all time goes to
+// scheduling decisions — the quantity BenchmarkScheduler* compares across
+// the scan and wheel structures at the same processor count.
+func benchScheduler(b *testing.B, nproc int, wheel bool) {
+	rng := rand.New(rand.NewSource(42))
+	tr := randomTrace(rng, nproc, 4, 400)
+	cfg := smpConfig(nproc)
+	// Prime the op compilation outside the timed region.
+	for _, s := range tr.Streams {
+		if _, err := s.Ops(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var res RunResult
+		if wheel {
+			res, err = runSeqWheel(tr, sys)
+		} else {
+			res, err = runSeq(tr, sys)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WallCycles == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+func BenchmarkSchedulerScan4(b *testing.B)   { benchScheduler(b, 4, false) }
+func BenchmarkSchedulerWheel4(b *testing.B)  { benchScheduler(b, 4, true) }
+func BenchmarkSchedulerScan16(b *testing.B)  { benchScheduler(b, 16, false) }
+func BenchmarkSchedulerWheel16(b *testing.B) { benchScheduler(b, 16, true) }
+func BenchmarkSchedulerScan32(b *testing.B)  { benchScheduler(b, 32, false) }
+func BenchmarkSchedulerWheel32(b *testing.B) { benchScheduler(b, 32, true) }

@@ -40,10 +40,29 @@ func (s State) String() string {
 	return fmt.Sprintf("State(%d)", uint8(s))
 }
 
-type line struct {
-	tag   uint64
-	state State
-	used  uint64 // LRU timestamp
+// A way is one uint64: tag<<3 | mru<<2 | state. State Invalid==0 doubles as
+// the empty marker. Bit 2 is meaningful only on way 0 of a two-way set: it
+// says way 1 was touched more recently than way 0, which is complete LRU
+// information for associativity two — every touch makes one way most
+// recently used and the other the eviction victim, exactly the ordering a
+// per-way timestamp would produce. An 8-byte way keeps a whole two-way set
+// in one 16-byte span (half the footprint of a timestamped layout), which
+// matters because the simulated caches dominate the simulator's own memory
+// traffic. Addresses are bounded well below 2^61 (trace.MaxAddr), so the
+// tag always fits.
+//
+// Generic associativities keep true LRU timestamps in a sidecar array (see
+// Cache.used) and ignore bit 2.
+const (
+	wayStateMask = 3
+	wayMRU1      = 4 // on way 0: way 1 is the set's most recently used
+	wayTagShift  = 3
+)
+
+func wayState(w uint64) State { return State(w & wayStateMask) }
+func wayTag(w uint64) uint64  { return w >> wayTagShift }
+func packWay(tag uint64, s State) uint64 {
+	return tag<<wayTagShift | uint64(s)
 }
 
 // Stats counts cache events.
@@ -63,9 +82,14 @@ type Cache struct {
 	// lineShift is log2(lineSize) when lineSize is a power of two, else -1;
 	// the hot lineTag path prefers the shift over a 64-bit division.
 	lineShift int8
-	lines     []line
-	tick      uint64
-	stats     Stats
+	// two is true for the two-way power-of-two geometry: LRU lives in the
+	// ways' MRU bits and used/tick stay nil.
+	two   bool
+	lines []uint64
+	// used and tick implement LRU for generic associativities only.
+	used  []uint64
+	tick  uint64
+	stats Stats
 }
 
 // New returns a cache of sizeBytes capacity with the given line size and
@@ -87,13 +111,18 @@ func New(sizeBytes, lineSize, assoc int) *Cache {
 	if lineSize&(lineSize-1) == 0 {
 		shift = int8(bits.TrailingZeros(uint(lineSize)))
 	}
-	return &Cache{
+	c := &Cache{
 		sets:      sets,
 		assoc:     assoc,
 		lineSize:  lineSize,
 		lineShift: shift,
-		lines:     make([]line, sets*assoc),
+		two:       assoc == 2 && shift >= 0,
+		lines:     make([]uint64, sets*assoc),
 	}
+	if !c.two {
+		c.used = make([]uint64, sets*assoc)
+	}
+	return c
 }
 
 // LineSize returns the line size in bytes.
@@ -116,38 +145,156 @@ func (c *Cache) lineTag(addr uint64) uint64 {
 	return addr / uint64(c.lineSize)
 }
 
-func (c *Cache) set(tag uint64) []line {
-	s := int(tag) & (c.sets - 1)
-	return c.lines[s*c.assoc : (s+1)*c.assoc]
-}
-
 // Lookup performs an access to addr. On a hit it refreshes LRU and returns
 // the line's state with hit=true; on a miss it returns (Invalid, false).
 // Lookup does not fill the cache; the caller decides the fill state after
 // running the coherence protocol (see Fill).
+//
+// The two-way power-of-two geometry every simulator uses (CacheHit, §5.1)
+// is specialized straight-line with no subslice or loop; engines that need
+// the hit check with zero call overhead inline the same probe via Hot.
 func (c *Cache) Lookup(addr uint64) (State, bool) {
+	if !c.two {
+		return c.lookupGeneric(addr)
+	}
+	tag := addr >> uint8(c.lineShift)
+	base := (int(tag) & (c.sets - 1)) << 1
+	w0 := c.lines[base]
+	if w0&wayStateMask != 0 && w0>>wayTagShift == tag {
+		c.lines[base] = w0 &^ wayMRU1
+		c.stats.Hits++
+		return State(w0 & wayStateMask), true
+	}
+	if w1 := c.lines[base+1]; w1&wayStateMask != 0 && w1>>wayTagShift == tag {
+		c.lines[base] = w0 | wayMRU1
+		c.stats.Hits++
+		return State(w1 & wayStateMask), true
+	}
+	c.stats.Misses++
+	return Invalid, false
+}
+
+// lookupGeneric is Lookup for any other geometry, with timestamped LRU.
+func (c *Cache) lookupGeneric(addr uint64) (State, bool) {
 	tag := c.lineTag(addr)
-	set := c.set(tag)
 	c.tick++
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
-			set[i].used = c.tick
+	base := (int(tag) & (c.sets - 1)) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		w := c.lines[i]
+		if w&wayStateMask != 0 && w>>wayTagShift == tag {
+			c.used[i] = c.tick
 			c.stats.Hits++
-			return set[i].state, true
+			return State(w & wayStateMask), true
 		}
 	}
 	c.stats.Misses++
 	return Invalid, false
 }
 
+// Hot is a flattened view of a two-way power-of-two cache for a simulator
+// engine's inner loop: the way array plus the geometry and counters the
+// hit path touches, with no method call in the way. Everything aliases the
+// Cache's own state — probes and fills through Cache methods and updates
+// through Hot interleave coherently because they read and write the same
+// words.
+//
+// The contract for one access to addr, matching Lookup word for word:
+// tag = addr>>Shift, base = (tag&Mask)<<1; a way w matches when
+// w&3 != 0 && w>>3 == tag. On a way-0 match store Ways[base]&^4 back and
+// count *Hits; on a way-1 match store Ways[base]|4 back (way 1 becomes most
+// recently used) and count *Hits; otherwise count *Misses.
+type Hot struct {
+	Ways   []uint64
+	Mask   uint64 // sets-1
+	Shift  uint8  // log2(lineSize)
+	Hits   *uint64
+	Misses *uint64
+	// Invalidates backs Set(addr, Invalid), mirroring Cache.SetState's
+	// bookkeeping so snoops through either interface count identically.
+	Invalidates *uint64
+	// Evictions and Writebacks back a fill inlined through the view,
+	// mirroring Cache.Fill's victim bookkeeping.
+	Evictions  *uint64
+	Writebacks *uint64
+}
+
+// Probe reports the state of addr without touching LRU or statistics,
+// mirroring Cache.Probe for the two-way geometry. Unlike the method on
+// Cache it is small enough to inline into a snoop loop.
+func (h *Hot) Probe(addr uint64) (State, bool) {
+	tag := addr >> h.Shift
+	base := (tag & h.Mask) << 1
+	if w := h.Ways[base]; w&wayStateMask != 0 && w>>wayTagShift == tag {
+		return State(w & wayStateMask), true
+	}
+	if w := h.Ways[base+1]; w&wayStateMask != 0 && w>>wayTagShift == tag {
+		return State(w & wayStateMask), true
+	}
+	return Invalid, false
+}
+
+// Set changes the state of a resident line, mirroring Cache.SetState word
+// for word: a no-op when absent, Invalid clears only the state bits (the
+// way's LRU standing survives) and counts an invalidation.
+func (h *Hot) Set(addr uint64, st State) {
+	tag := addr >> h.Shift
+	base := (tag & h.Mask) << 1
+	i := base
+	w := h.Ways[i]
+	if w&wayStateMask == 0 || w>>wayTagShift != tag {
+		i = base + 1
+		w = h.Ways[i]
+		if w&wayStateMask == 0 || w>>wayTagShift != tag {
+			return
+		}
+	}
+	// Invalid's state bits are zero, so one masked store covers both the
+	// invalidation and the downgrade case.
+	h.Ways[i] = w&^wayStateMask | uint64(st)
+	if st == Invalid {
+		*h.Invalidates++
+	}
+}
+
+// Hot returns the flattened fast-path view, or ok=false when the geometry
+// is not two-way with a power-of-two line size and the caller must stay on
+// Lookup.
+func (c *Cache) Hot() (Hot, bool) {
+	if !c.two {
+		return Hot{}, false
+	}
+	return Hot{
+		Ways:        c.lines,
+		Mask:        uint64(c.sets - 1),
+		Shift:       uint8(c.lineShift),
+		Hits:        &c.stats.Hits,
+		Misses:      &c.stats.Misses,
+		Invalidates: &c.stats.Invalidates,
+		Evictions:   &c.stats.Evictions,
+		Writebacks:  &c.stats.Writebacks,
+	}, true
+}
+
 // Probe reports the state of addr without touching LRU or statistics
 // (a snoop from another processor).
 func (c *Cache) Probe(addr uint64) (State, bool) {
+	if c.two {
+		tag := addr >> uint8(c.lineShift)
+		base := (int(tag) & (c.sets - 1)) << 1
+		if w := c.lines[base]; w&wayStateMask != 0 && w>>wayTagShift == tag {
+			return State(w & wayStateMask), true
+		}
+		if w := c.lines[base+1]; w&wayStateMask != 0 && w>>wayTagShift == tag {
+			return State(w & wayStateMask), true
+		}
+		return Invalid, false
+	}
 	tag := c.lineTag(addr)
-	set := c.set(tag)
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
-			return set[i].state, true
+	base := (int(tag) & (c.sets - 1)) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		w := c.lines[i]
+		if w&wayStateMask != 0 && w>>wayTagShift == tag {
+			return State(w & wayStateMask), true
 		}
 	}
 	return Invalid, false
@@ -157,57 +304,113 @@ func (c *Cache) Probe(addr uint64) (State, bool) {
 // if needed. It returns the evicted line's byte address and whether it was
 // Modified (needing a write-back); evicted is false when an invalid way was
 // available. Filling a line that is already present just updates its state.
+// A fill counts as a touch for LRU purposes.
 func (c *Cache) Fill(addr uint64, st State) (evictedAddr uint64, writeback, evicted bool) {
 	if st == Invalid {
 		panic("cache: Fill with Invalid state")
 	}
+	if !c.two {
+		return c.fillGeneric(addr, st)
+	}
+	tag := addr >> uint8(c.lineShift)
+	base := (int(tag) & (c.sets - 1)) << 1
+	w0 := c.lines[base]
+	w1 := c.lines[base+1]
+	if w0&wayStateMask != 0 && w0>>wayTagShift == tag {
+		// Refill of a resident line: new state, way 0 becomes MRU.
+		c.lines[base] = packWay(tag, st)
+		return 0, false, false
+	}
+	if w1&wayStateMask != 0 && w1>>wayTagShift == tag {
+		c.lines[base+1] = packWay(tag, st)
+		c.lines[base] = w0 | wayMRU1
+		return 0, false, false
+	}
+	// Victim: first invalid way, else the not-most-recently-used way —
+	// identical to timestamped LRU at associativity two.
+	v := 0
+	switch {
+	case w0&wayStateMask == 0:
+	case w1&wayStateMask == 0:
+		v = 1
+	default:
+		if w0&wayMRU1 == 0 {
+			v = 1
+		}
+		ev := c.lines[base+v]
+		c.stats.Evictions++
+		if State(ev&wayStateMask) == Modified {
+			c.stats.Writebacks++
+			writeback = true
+		}
+		evictedAddr = ev >> wayTagShift << uint8(c.lineShift)
+		evicted = true
+	}
+	if v == 0 {
+		c.lines[base] = packWay(tag, st) // bit 2 clear: way 0 is MRU
+	} else {
+		c.lines[base+1] = packWay(tag, st)
+		c.lines[base] = w0 | wayMRU1
+	}
+	return evictedAddr, writeback, evicted
+}
+
+// fillGeneric is Fill for any other geometry, with timestamped LRU.
+func (c *Cache) fillGeneric(addr uint64, st State) (evictedAddr uint64, writeback, evicted bool) {
 	tag := c.lineTag(addr)
-	set := c.set(tag)
+	base := (int(tag) & (c.sets - 1)) * c.assoc
 	c.tick++
 	victim := -1
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
-			set[i].state = st
-			set[i].used = c.tick
+	for i := base; i < base+c.assoc; i++ {
+		w := c.lines[i]
+		if w&wayStateMask != 0 && w>>wayTagShift == tag {
+			c.lines[i] = packWay(tag, st)
+			c.used[i] = c.tick
 			return 0, false, false
 		}
-		if set[i].state == Invalid {
-			if victim == -1 || set[victim].state != Invalid {
+		if w&wayStateMask == 0 {
+			if victim == -1 || c.lines[victim]&wayStateMask != 0 {
 				victim = i
 			}
-		} else if victim == -1 || (set[victim].state != Invalid && set[i].used < set[victim].used) {
+		} else if victim == -1 || (c.lines[victim]&wayStateMask != 0 && c.used[i] < c.used[victim]) {
 			victim = i
 		}
 	}
-	ev := set[victim]
-	wasValid := ev.state != Invalid
+	ev := c.lines[victim]
+	wasValid := ev&wayStateMask != 0
 	if wasValid {
 		c.stats.Evictions++
-		if ev.state == Modified {
+		if State(ev&wayStateMask) == Modified {
 			c.stats.Writebacks++
 			writeback = true
 		}
 	}
-	set[victim] = line{tag: tag, state: st, used: c.tick}
+	c.lines[victim] = packWay(tag, st)
+	c.used[victim] = c.tick
 	if !wasValid {
 		return 0, false, false
 	}
-	return ev.tag * uint64(c.lineSize), writeback, true
+	return wayTag(ev) * uint64(c.lineSize), writeback, true
 }
 
 // SetState changes the state of a resident line (e.g. a snoop downgrade
 // Modified→Shared). It is a no-op if the line is absent. Setting Invalid
-// invalidates the line.
+// invalidates the line; the way's LRU standing is untouched either way,
+// like the timestamped scheme it replaced.
 func (c *Cache) SetState(addr uint64, st State) {
 	tag := c.lineTag(addr)
-	set := c.set(tag)
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == tag {
+	base := (int(tag) & (c.sets - 1)) * c.assoc
+	for i := base; i < base+c.assoc; i++ {
+		w := c.lines[i]
+		if w&wayStateMask != 0 && w>>wayTagShift == tag {
 			if st == Invalid {
-				set[i].state = Invalid
+				// Clear the state bits only: the MRU bit (meaningful on way
+				// 0) must survive the line's death, exactly as timestamps
+				// survived invalidation.
+				c.lines[i] = w &^ wayStateMask
 				c.stats.Invalidates++
 			} else {
-				set[i].state = st
+				c.lines[i] = w&^wayStateMask | uint64(st)
 			}
 			return
 		}
@@ -218,14 +421,14 @@ func (c *Cache) SetState(addr uint64, st State) {
 // valid line killed counts toward Stats.Invalidates, the same as a
 // coherence invalidation through SetState.
 func (c *Cache) Flush() (dirty int) {
-	for i := range c.lines {
-		switch c.lines[i].state {
+	for i, w := range c.lines {
+		switch State(w & wayStateMask) {
 		case Invalid:
 			continue
 		case Modified:
 			dirty++
 		}
-		c.lines[i].state = Invalid
+		c.lines[i] = w &^ wayStateMask
 		c.stats.Invalidates++
 	}
 	return dirty
@@ -234,9 +437,9 @@ func (c *Cache) Flush() (dirty int) {
 // Lines calls fn for every valid line with its line address (byte address
 // divided by the line size) and state. Iteration order is unspecified.
 func (c *Cache) Lines(fn func(lineAddr uint64, st State)) {
-	for i := range c.lines {
-		if c.lines[i].state != Invalid {
-			fn(c.lines[i].tag, c.lines[i].state)
+	for _, w := range c.lines {
+		if w&wayStateMask != 0 {
+			fn(wayTag(w), State(w&wayStateMask))
 		}
 	}
 }
@@ -245,8 +448,8 @@ func (c *Cache) Lines(fn func(lineAddr uint64, st State)) {
 // statistics).
 func (c *Cache) Resident() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].state != Invalid {
+	for _, w := range c.lines {
+		if w&wayStateMask != 0 {
 			n++
 		}
 	}

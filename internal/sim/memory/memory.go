@@ -6,7 +6,10 @@
 //chc:deterministic
 package memory
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // PageSize is the residency granule in bytes.
 const PageSize = 4096
@@ -17,18 +20,26 @@ const PageSize = 4096
 // Element per insertion on the simulator's hot path).
 type slot struct {
 	page       uint64
-	prev, next int32 // slot indexes; -1 terminates
+	prev, next int32 // LRU list links; slot indexes, -1 terminates
+	hnext      int32 // hash-chain link; slot index, -1 terminates
 	dirty      bool
 }
 
 // Memory tracks page residency with LRU replacement and per-page dirty
 // bits: evicting a dirty page costs a disk write on top of the fill read.
+//
+// Residency lookups go through an intrusive chained hash table (buckets of
+// slot indexes linked by slot.hnext) instead of a Go map: the simulator
+// touches memory on every cache miss, and the map's hashing and bucket
+// probing dominated that path.
 type Memory struct {
 	capacity int // pages
-	pages    map[uint64]int32
+	buckets  []int32
+	mask     uint64
 	slots    []slot
 	head     int32 // most recently used; -1 when empty
 	tail     int32 // least recently used; -1 when empty
+	resident int
 
 	faults     uint64
 	accesses   uint64
@@ -41,17 +52,25 @@ func New(bytes int64) *Memory {
 	if pages < 1 {
 		pages = 1
 	}
-	// Pre-size the residency structures up to a bound: small memories
-	// (validation configurations) never grow them again, and paper-scale
-	// capacities start from a sensible floor instead of rehashing their
-	// way up through the fault path.
+	// Bucket count: roughly two buckets per resident page keeps chains at
+	// one or two links, capped so paper-scale capacities don't front-load
+	// megabytes of table (longer chains there are still cheap).
 	hint := pages
 	if hint > 1<<16 {
 		hint = 1 << 16
 	}
+	nb := 1 << bits.Len(uint(2*hint-1))
+	if nb < 64 {
+		nb = 64
+	}
+	buckets := make([]int32, nb)
+	for i := range buckets {
+		buckets[i] = -1
+	}
 	return &Memory{
 		capacity: pages,
-		pages:    make(map[uint64]int32, hint),
+		buckets:  buckets,
+		mask:     uint64(nb - 1),
 		slots:    make([]slot, 0, hint),
 		head:     -1,
 		tail:     -1,
@@ -60,6 +79,29 @@ func New(bytes int64) *Memory {
 
 // Pages returns the page capacity.
 func (m *Memory) Pages() int { return m.capacity }
+
+func (m *Memory) bucket(page uint64) *int32 {
+	return &m.buckets[(page*0x9E3779B97F4A7C15>>32)&m.mask]
+}
+
+// find returns the slot index holding page, or -1.
+func (m *Memory) find(page uint64) int32 {
+	for i := *m.bucket(page); i >= 0; i = m.slots[i].hnext {
+		if m.slots[i].page == page {
+			return i
+		}
+	}
+	return -1
+}
+
+// chainRemove unlinks slot i (holding page) from its hash chain.
+func (m *Memory) chainRemove(i int32) {
+	p := m.bucket(m.slots[i].page)
+	for *p != i {
+		p = &m.slots[*p].hnext
+	}
+	*p = m.slots[i].hnext
+}
 
 // unlink removes slot i from the LRU list.
 func (m *Memory) unlink(i int32) {
@@ -108,7 +150,7 @@ func (m *Memory) Touch(addr uint64) (resident bool) {
 func (m *Memory) TouchW(addr uint64, write bool) (resident, evictedDirty bool) {
 	m.accesses++
 	page := addr / PageSize
-	if i, ok := m.pages[page]; ok {
+	if i := m.find(page); i >= 0 {
 		m.toFront(i)
 		if write {
 			m.slots[i].dirty = true
@@ -120,6 +162,7 @@ func (m *Memory) TouchW(addr uint64, write bool) (resident, evictedDirty bool) {
 	if len(m.slots) < m.capacity {
 		i = int32(len(m.slots))
 		m.slots = append(m.slots, slot{})
+		m.resident++
 	} else {
 		// Full: reuse the LRU victim's slot.
 		i = m.tail
@@ -128,10 +171,12 @@ func (m *Memory) TouchW(addr uint64, write bool) (resident, evictedDirty bool) {
 			evictedDirty = true
 			m.writebacks++
 		}
-		delete(m.pages, victim.page)
+		m.chainRemove(i)
 		m.unlink(i)
 	}
-	m.slots[i] = slot{page: page, prev: -1, next: m.head, dirty: write}
+	b := m.bucket(page)
+	m.slots[i] = slot{page: page, prev: -1, next: m.head, hnext: *b, dirty: write}
+	*b = i
 	if m.head >= 0 {
 		m.slots[m.head].prev = i
 	}
@@ -139,7 +184,6 @@ func (m *Memory) TouchW(addr uint64, write bool) (resident, evictedDirty bool) {
 	if m.tail < 0 {
 		m.tail = i
 	}
-	m.pages[page] = i
 	return false, evictedDirty
 }
 
@@ -147,7 +191,7 @@ func (m *Memory) TouchW(addr uint64, write bool) (resident, evictedDirty bool) {
 func (m *Memory) Writebacks() uint64 { return m.writebacks }
 
 // Resident returns the number of resident pages.
-func (m *Memory) Resident() int { return len(m.pages) }
+func (m *Memory) Resident() int { return m.resident }
 
 // Faults returns the number of page faults (disk transfers).
 func (m *Memory) Faults() uint64 { return m.faults }
@@ -157,5 +201,5 @@ func (m *Memory) Accesses() uint64 { return m.accesses }
 
 // String summarizes occupancy.
 func (m *Memory) String() string {
-	return fmt.Sprintf("memory{%d/%d pages, %d faults}", len(m.pages), m.capacity, m.faults)
+	return fmt.Sprintf("memory{%d/%d pages, %d faults}", m.resident, m.capacity, m.faults)
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Kind discriminates trace events.
@@ -63,6 +64,12 @@ type Stream struct {
 	writes   uint64
 	computes uint64 // total instructions inside Compute events
 	barriers uint64
+	maxAddr  uint64 // largest byte address referenced (Validate bound check)
+
+	opsMu  sync.Mutex // guards ops, opsErr, opsLen
+	ops    []Op       // guarded by opsMu: compiled form of Events
+	opsErr error      // guarded by opsMu: compile failure (unknown event kind)
+	opsLen int        // guarded by opsMu: len(Events) the ops were compiled from
 }
 
 // NewStream returns an empty stream for the given logical CPU.
@@ -83,12 +90,18 @@ func (s *Stream) Reserve(n int) {
 func (s *Stream) AddRead(addr uint64) {
 	s.Events = append(s.Events, Event{Kind: Read, Addr: addr})
 	s.reads++
+	if addr > s.maxAddr {
+		s.maxAddr = addr
+	}
 }
 
 // AddWrite appends a store to the given byte address.
 func (s *Stream) AddWrite(addr uint64) {
 	s.Events = append(s.Events, Event{Kind: Write, Addr: addr})
 	s.writes++
+	if addr > s.maxAddr {
+		s.maxAddr = addr
+	}
 }
 
 // AddCompute appends n non-referencing instructions. Consecutive compute
@@ -206,6 +219,12 @@ func (t *Trace) Validate() error {
 				s.CPU, s.Barriers(), t.Streams[0].CPU, want)
 		}
 	}
+	for _, s := range t.Streams {
+		if s.maxAddr > MaxAddr {
+			return fmt.Errorf("trace: cpu %d references address %#x beyond the simulable range (%#x)",
+				s.CPU, s.maxAddr, MaxAddr)
+		}
+	}
 	return nil
 }
 
@@ -213,6 +232,104 @@ func (t *Trace) Validate() error {
 // size in bytes (must be a power of two).
 func LineAddr(addr uint64, lineSize int) uint64 {
 	return addr / uint64(lineSize)
+}
+
+// MaxAddr bounds simulable byte addresses: compiled ops pack the address
+// and the action kind into one word (see Op), reserving the top two bits.
+// Four exabytes of address space leaves every realistic workload untouched;
+// Validate rejects streams beyond it so the engines never see one.
+const MaxAddr = uint64(1)<<62 - 1
+
+// Op is one step of a stream's compiled form: a compute gap of N
+// instructions followed by at most one action. The simulator engines run on
+// ops instead of raw events — the dominant compute-then-reference pattern
+// costs one loop iteration instead of two, and an op is 16 bytes against an
+// Event's 24.
+//
+// Compilation preserves simulation semantics bit-for-bit: each op performs
+// the same clock arithmetic, in the same order, as replaying its source
+// events one by one. Adjacent Compute events (possible in deserialized
+// traces, which must not coalesce — see readPlain) compile to separate
+// OpNone ops so the engine issues the same two floating-point advances the
+// event form would.
+type Op struct {
+	// N is the compute instruction count executed before the action. Kept
+	// integral for the integer-clock engine's advance (clock += N*latInstr
+	// in uint64); the float engines convert, which is exact — counts are
+	// far below 2^53.
+	N   uint64
+	Arg uint64 // Addr<<2 | kind (OpNone, OpRead, OpWrite, OpBarrier)
+}
+
+// Op action kinds, stored in the low two bits of Op.Arg.
+const (
+	OpNone    uint64 = iota // compute gap only, no action
+	OpRead                  // memory load at Addr
+	OpWrite                 // memory store at Addr
+	OpBarrier               // global barrier crossing
+)
+
+// Kind returns the op's action kind.
+func (o Op) Kind() uint64 { return o.Arg & 3 }
+
+// Addr returns the op's byte address (OpRead/OpWrite).
+func (o Op) Addr() uint64 { return o.Arg >> 2 }
+
+// Ops returns the stream's compiled form, building it on first use and
+// rebuilding it if events were appended since. The compiled slice is cached,
+// so simulating the same immutable trace repeatedly (or concurrently, as the
+// experiment pipeline does) compiles each stream exactly once. Callers must
+// not mutate the returned slice. An event with an unknown kind fails the
+// compile.
+func (s *Stream) Ops() ([]Op, error) {
+	s.opsMu.Lock()
+	if (s.ops == nil && s.opsErr == nil) || s.opsLen != len(s.Events) {
+		s.ops, s.opsErr = compileEvents(s.Events)
+		s.opsLen = len(s.Events)
+	}
+	ops, err := s.ops, s.opsErr
+	s.opsMu.Unlock()
+	return ops, err
+}
+
+// compileEvents fuses each compute gap with the action that follows it.
+func compileEvents(events []Event) ([]Op, error) {
+	ops := make([]Op, 0, len(events))
+	var pending uint64
+	havePending := false
+	flush := func() {
+		if havePending {
+			ops = append(ops, Op{N: pending, Arg: OpNone})
+			pending = 0
+			havePending = false
+		}
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case Compute:
+			// Two computes in a row stay two ops: fusing them into one
+			// N1+N2 advance would change the float arithmetic sequence.
+			flush()
+			pending = e.N
+			havePending = true
+		case Read:
+			ops = append(ops, Op{N: pending, Arg: e.Addr<<2 | OpRead})
+			pending = 0
+			havePending = false
+		case Write:
+			ops = append(ops, Op{N: pending, Arg: e.Addr<<2 | OpWrite})
+			pending = 0
+			havePending = false
+		case Barrier:
+			ops = append(ops, Op{N: pending, Arg: OpBarrier})
+			pending = 0
+			havePending = false
+		default:
+			return nil, fmt.Errorf("trace: unknown event kind %d", e.Kind)
+		}
+	}
+	flush()
+	return ops, nil
 }
 
 const (

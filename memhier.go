@@ -181,9 +181,13 @@ func StreamSimulate(k Kernel, cfg Config) (SimResult, error) {
 	if err != nil {
 		return SimResult{}, err
 	}
+	var opts []backend.StreamOption
+	if h, ok := k.(workloads.EventHinter); ok {
+		opts = append(opts, backend.WithEventHint(h.EventHint(cfg.TotalProcs())))
+	}
 	return backend.StreamRun(sys, cfg.TotalProcs(), func(sink trace.Sink) error {
 		return k.Run(cfg.TotalProcs(), sink)
-	})
+	}, opts...)
 }
 
 // DefaultCatalog returns the 1999-era component prices of the case studies.

@@ -31,10 +31,19 @@ for pkg in ./internal/sim/backend ./internal/stackdist ./internal/server ./inter
   go test "$pkg" -run '^$' -bench "$pattern" -benchtime=1x -count="$count" -benchmem | tee -a "$raw"
 done
 
+# Parallel benchmarks additionally run at fixed -cpu points so per-core
+# scaling is comparable across BENCH_*.json snapshots from different
+# hosts; their names keep the -N GOMAXPROCS label (the awk below strips
+# it only from serial benchmarks).
+for pkg in ./internal/sim/backend ./internal/server; do
+  go test "$pkg" -run '^$' -bench 'Parallel$' -benchtime=1x -count="$count" -cpu 1,2,4 -benchmem | tee -a "$raw"
+done
+
 awk -v out="$out" '
 /^Benchmark/ {
     name = $1
-    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    if (name !~ /Parallel/)
+        sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix from serial benches
     ns = ""; al = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")     ns = $(i - 1)

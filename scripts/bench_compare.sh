@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# bench_compare.sh — diff two bench.sh JSON snapshots and flag regressions.
+#
+# Usage: scripts/bench_compare.sh BASE.json NEW.json [threshold_pct]
+#
+# Compares ns/op for every benchmark present in both files and prints a
+# delta table. Exits non-zero when any benchmark matching
+# ^BenchmarkSimulate or ^BenchmarkServePredict regressed by more than the
+# threshold (default 15%). Other families are reported but never gate:
+# they are tracked for trend, not enforced, because single-run CI hosts
+# are too noisy to hold every microbenchmark to a bound.
+#
+# CI wires this as a soft gate (continue-on-error) against the newest
+# checked-in BENCH_*.json: a regression turns the step red for a human to
+# look at without blocking unrelated work, since shared runners routinely
+# show >15% swings that no code change caused.
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+  echo "usage: scripts/bench_compare.sh BASE.json NEW.json [threshold_pct]" >&2
+  exit 2
+fi
+base=$1
+new=$2
+threshold=${3:-15}
+
+for f in "$base" "$new"; do
+  if [ ! -f "$f" ]; then
+    echo "bench_compare: no such file: $f" >&2
+    exit 2
+  fi
+done
+
+# The JSON is the line-per-entry array bench.sh emits; field extraction by
+# sed keeps this runnable with no dependencies beyond POSIX tools + awk.
+extract() {
+  sed -n 's/.*"name": *"\([^"]*\)".*"ns_op": *\([0-9]*\).*/\1 \2/p' "$1"
+}
+
+extract "$base" | sort >/tmp/bench_base.$$
+extract "$new" | sort >/tmp/bench_new.$$
+trap 'rm -f /tmp/bench_base.$$ /tmp/bench_new.$$' EXIT
+
+join /tmp/bench_base.$$ /tmp/bench_new.$$ | awk -v thr="$threshold" '
+BEGIN {
+    printf "%-44s %14s %14s %9s\n", "benchmark", "base ns/op", "new ns/op", "delta"
+    fail = 0
+}
+{
+    name = $1; old = $2 + 0; cur = $3 + 0
+    delta = (old > 0) ? (cur - old) / old * 100 : 0
+    mark = ""
+    gated = (name ~ /^BenchmarkSimulate/ || name ~ /^BenchmarkServePredict/)
+    if (gated && delta > thr) { mark = "  << REGRESSION"; fail = 1 }
+    else if (delta > thr)     { mark = "  (ungated)" }
+    printf "%-44s %14d %14d %+8.1f%%%s\n", name, old, cur, delta, mark
+}
+END {
+    if (fail) {
+        printf "\nFAIL: gated benchmark regressed more than %s%% ns/op\n", thr
+        exit 1
+    }
+    printf "\nOK: no gated benchmark regressed more than %s%%\n", thr
+}'
