@@ -20,9 +20,16 @@
 // violation prints and exits 1. The run is seed-driven: the same -seed
 // replays the same request mix and the same injected fault sequence.
 //
+// The -cluster N flag switches to cluster chaos (cluster.go): N
+// in-process nodes on one consistent-hash ring, soaked through the
+// multi-base client while a node is killed and another drained, with
+// byte-identity, compute-at-most-once, and error-contract invariants
+// checked throughout.
+//
 // Usage:
 //
 //	chc-chaos -seed 1 -profile all -requests 400 -concurrency 8
+//	chc-chaos -cluster 3 -requests 400 -concurrency 8
 package main
 
 import (
@@ -52,8 +59,24 @@ func main() {
 		profileName = flag.String("profile", "all", "fault profile to run (or \"all\")")
 		requests    = flag.Int("requests", 400, "soak requests per profile")
 		concurrency = flag.Int("concurrency", 8, "concurrent soak workers")
+		clusterN    = flag.Int("cluster", 0, "run the cluster chaos mode with this many in-process nodes instead of the single-node profiles")
 	)
 	flag.Parse()
+
+	if *clusterN > 0 {
+		if *clusterN < 2 {
+			fmt.Fprintln(os.Stderr, "chc-chaos: -cluster needs at least 2 nodes")
+			os.Exit(2)
+		}
+		r := runCluster(*clusterN, *seed, *requests, *concurrency)
+		r.print()
+		if len(r.violations) > 0 {
+			fmt.Println("\nchc-chaos: FAIL — invariant violations above")
+			os.Exit(1)
+		}
+		fmt.Println("\nchc-chaos: all cluster invariants held")
+		return
+	}
 
 	var profiles []faults.Profile
 	if *profileName == "all" {

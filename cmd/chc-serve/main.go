@@ -22,6 +22,13 @@
 // The -bench flag turns the binary into a load generator instead: it
 // starts an in-process server, replays a mixed request stream at the
 // given concurrency, and writes a throughput record (for BENCH_PR3.json).
+//
+// Cluster mode: -node and -peers turn N chc-serve processes into one
+// sharded response cache over a consistent-hash ring — each node
+// forwards misses on peer-owned keys to the owner and falls back to
+// local compute when the owner is down or draining. Every node must be
+// started with the same -peers, -replicas, -vnodes, and -ring-seed.
+// See README "Running a cluster".
 package main
 
 import (
@@ -35,11 +42,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"memhier/internal/cluster"
 	"memhier/internal/faults"
 	"memhier/internal/server"
 )
@@ -63,6 +72,12 @@ func main() {
 		benchOut   = flag.String("bench-out", "", "write the throughput record to this file (default stdout)")
 		faultName  = flag.String("faults", "", "inject faults from this profile (none, latency, errors, panics, saturation, timeouts, mixed); empty disables injection")
 		faultSeed  = flag.Int64("faults-seed", 1, "fault injection seed (same seed, same fault sequence)")
+		nodeName   = flag.String("node", "", "this node's name in cluster mode (must be a key of -peers)")
+		peerList   = flag.String("peers", "", `cluster membership as "name=url,name=url,..." (every node, including this one); empty runs single-node`)
+		replicas   = flag.Int("replicas", 1, "owners per key on the cluster ring (2 replicates hot keys)")
+		vnodes     = flag.Int("vnodes", 0, "virtual ring points per node (default: ring's built-in)")
+		ringSeed   = flag.Uint64("ring-seed", 0, "ring placement seed; must match on every node")
+		probeEvery = flag.Duration("probe-interval", 2*time.Second, "peer /readyz health-probe period")
 	)
 	flag.Parse()
 
@@ -86,6 +101,27 @@ func main() {
 		log.Printf("chc-serve: fault injection enabled: profile %s, seed %d", profile.Name, *faultSeed)
 	}
 
+	var clu *cluster.Cluster
+	if *peerList != "" {
+		peers, err := parsePeers(*peerList)
+		if err != nil {
+			log.Fatalf("chc-serve: %v", err)
+		}
+		clu, err = cluster.New(cluster.Config{
+			Self:          *nodeName,
+			Peers:         peers,
+			Replicas:      *replicas,
+			VirtualNodes:  *vnodes,
+			Seed:          *ringSeed,
+			ProbeInterval: *probeEvery,
+		})
+		if err != nil {
+			log.Fatalf("chc-serve: %v", err)
+		}
+		cfg.Forwarder = clu
+		log.Printf("chc-serve: cluster mode: node %s, %d members, %d replica(s) per key", *nodeName, len(peers), *replicas)
+	}
+
 	if *bench {
 		if err := runBench(cfg, *benchConc, *benchDur, *benchOut); err != nil {
 			log.Fatalf("chc-serve -bench: %v", err)
@@ -99,6 +135,9 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+	if clu != nil {
+		clu.Start()
+	}
 	log.Printf("chc-serve listening on %s", *addr)
 
 	sigc := make(chan os.Signal, 1)
@@ -110,9 +149,14 @@ func main() {
 		log.Printf("chc-serve: %v: draining", sig)
 	}
 
-	// Graceful shutdown: fail readiness first so load balancers stop
-	// routing here, then drain HTTP handlers, then the simulation pool.
+	// Graceful shutdown: fail readiness first so load balancers and peer
+	// probes stop routing here, then drain HTTP handlers, then the
+	// simulation pool. Forwarded work arriving mid-drain is refused with
+	// the draining body, telling peers to fall back to local compute.
 	s.BeginDrain()
+	if clu != nil {
+		clu.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
@@ -120,6 +164,30 @@ func main() {
 	}
 	s.Close()
 	log.Print("chc-serve: drained")
+}
+
+// parsePeers parses the -peers flag: comma-separated name=url pairs
+// naming every cluster member, this node included.
+func parsePeers(list string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf(`-peers entry %q is not "name=url"`, part)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("-peers names %q twice", name)
+		}
+		peers[name] = url
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return peers, nil
 }
 
 // benchMix is the load generator's request stream: a cache-friendly

@@ -4,6 +4,13 @@
 // shedding responses, and a consecutive-failure circuit breaker that
 // fails fast while the service is down instead of piling retries onto it.
 //
+// A client can front a whole cluster instead of one node: NewMulti (or
+// Peers on an existing client) installs a set of entry base URLs that
+// calls round-robin over, and a transport-level failure fails over to
+// the next entry node on the very next attempt — under the same retry
+// budget and carrying the same X-Request-ID, so a failed-over call is
+// still one call to the cluster.
+//
 // Defaults (all overridable via Options): 3 retries (4 attempts total),
 // backoff base 50ms doubling per attempt with full jitter, capped at 2s;
 // a server-supplied Retry-After extends the pause up to 5s; the breaker
@@ -59,6 +66,9 @@ type Options struct {
 	// Seed seeds the jitter and request-ID generator (0 = 1): a seeded
 	// client produces a deterministic backoff schedule.
 	Seed int64
+	// Header is added to every outgoing request (the cluster forwarding
+	// layer stamps its hop marker here). Values are set, not appended.
+	Header http.Header
 	// Observer, when set, sees every wire attempt — including ones that
 	// are later retried. The chaos harness uses it to check invariants on
 	// each response, not just the final one.
@@ -157,12 +167,13 @@ type Meta struct {
 
 // Client is a resilient chc-serve client; safe for concurrent use.
 type Client struct {
-	base string
 	opts Options
 
-	mu  sync.Mutex
-	rng *rand.Rand // guarded by mu
+	mu    sync.Mutex
+	rng   *rand.Rand // guarded by mu
+	bases []string   // guarded by mu; entry base URLs, round-robined
 
+	cursor  atomic.Uint64 // round-robin position over bases
 	breaker breaker
 	ids     atomic.Uint64
 }
@@ -170,9 +181,20 @@ type Client struct {
 // New builds a Client for the service at baseURL (e.g.
 // "http://127.0.0.1:8080").
 func New(baseURL string, opts Options) *Client {
+	return NewMulti([]string{baseURL}, opts)
+}
+
+// NewMulti builds a Client that spreads calls over several entry nodes:
+// each call starts at the next base URL in round-robin order, and a
+// transport-level failure fails over to the next one for the retry. An
+// empty list panics — a client with nowhere to send requests is a
+// programming error, not a runtime condition.
+func NewMulti(baseURLs []string, opts Options) *Client {
+	if len(baseURLs) == 0 {
+		panic("client: NewMulti with no base URLs")
+	}
 	opts = opts.withDefaults()
-	return &Client{
-		base: strings.TrimRight(baseURL, "/"),
+	c := &Client{
 		opts: opts,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
 		breaker: breaker{
@@ -180,6 +202,37 @@ func New(baseURL string, opts Options) *Client {
 			openFor:   opts.OpenFor,
 		},
 	}
+	c.setBases(baseURLs)
+	return c
+}
+
+// Peers replaces the client's entry-node set (e.g. after cluster
+// membership changed). In-flight calls finish against the bases they
+// started with; new calls round-robin over the new set.
+func (c *Client) Peers(baseURLs []string) {
+	if len(baseURLs) == 0 {
+		panic("client: Peers with no base URLs")
+	}
+	c.setBases(baseURLs)
+}
+
+func (c *Client) setBases(baseURLs []string) {
+	bases := make([]string, len(baseURLs))
+	for i, u := range baseURLs {
+		bases[i] = strings.TrimRight(u, "/")
+	}
+	c.mu.Lock()
+	c.bases = bases
+	c.mu.Unlock()
+}
+
+// pickBase resolves the base URL of one wire attempt: calls start at the
+// next round-robin position, and every transport-level failover advances
+// one more position.
+func (c *Client) pickBase(start uint64, failovers int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bases[(start+uint64(failovers))%uint64(len(c.bases))]
 }
 
 // ---- typed endpoint calls ----
@@ -220,9 +273,10 @@ func (c *Client) Validate(ctx context.Context, req server.ValidateRequest) (serv
 	return resp, meta, err
 }
 
-// Ready reports whether the service answers /readyz with 200.
+// Ready reports whether the service answers /readyz with 200 (the next
+// round-robin entry node, on a multi-base client).
 func (c *Client) Ready(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.pickBase(c.cursor.Add(1)-1, 0)+"/readyz", nil)
 	if err != nil {
 		return err
 	}
@@ -242,12 +296,29 @@ func (c *Client) Ready(ctx context.Context) error {
 // decodes the 200 body into out (skipped when out is nil). All retries of
 // one call carry the same X-Request-ID.
 func (c *Client) Post(ctx context.Context, path string, in, out any) (Meta, error) {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return Meta{}, fmt.Errorf("client: encoding %s request: %w", path, err)
+	return c.Call(ctx, path, c.nextRequestID(), in, out)
+}
+
+// Call is Post with a caller-chosen X-Request-ID: the cluster forwarding
+// layer uses it to carry the original request's ID across the peer hop,
+// so a forwarded computation traces as one request end to end. The ID is
+// constant across retries and failovers.
+func (c *Client) Call(ctx context.Context, path, requestID string, in, out any) (Meta, error) {
+	// A RawMessage body is sent as-is: the peer forwarder replays
+	// canonical JSON it already holds, and re-encoding it would only
+	// validate and copy bytes on the forwarding hot path.
+	body, ok := in.(json.RawMessage)
+	if !ok {
+		var err error
+		body, err = json.Marshal(in)
+		if err != nil {
+			return Meta{}, fmt.Errorf("client: encoding %s request: %w", path, err)
+		}
 	}
-	id := c.nextRequestID()
+	id := requestID
 	meta := Meta{RequestID: id}
+	start := c.cursor.Add(1) - 1
+	failovers := 0
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
@@ -258,7 +329,7 @@ func (c *Client) Post(ctx context.Context, path string, in, out any) (Meta, erro
 			return meta, err
 		}
 		meta.Attempts++
-		status, header, respBody, err := c.roundTrip(ctx, path, id, body)
+		status, header, respBody, err := c.roundTrip(ctx, c.pickBase(start, failovers), path, id, body)
 		if ob := c.opts.Observer; ob != nil {
 			ob(Attempt{Path: path, RequestID: id, Status: status, Header: header, Body: respBody, Err: err})
 		}
@@ -267,10 +338,12 @@ func (c *Client) Post(ctx context.Context, path string, in, out any) (Meta, erro
 		case err != nil:
 			// Transport-level failure. Context expiry is the caller's
 			// deadline, not the server's health: don't retry, don't count
-			// it against the breaker.
+			// it against the breaker. Other transport failures fail over:
+			// the retry goes to the next entry node (a no-op with one base).
 			if ctx.Err() != nil {
 				return meta, fmt.Errorf("client: %s: %w", path, ctx.Err())
 			}
+			failovers++
 			c.breaker.failure()
 			lastErr = fmt.Errorf("client: %s: %w", path, err)
 		case status >= 200 && status < 300:
@@ -287,9 +360,13 @@ func (c *Client) Post(ctx context.Context, path string, in, out any) (Meta, erro
 		default:
 			apiErr := decodeAPIError(status, header, respBody)
 			meta.Status = status
-			if !retryable(status) {
+			if !retryable(status) || apiErr.Code == server.CodeDraining {
 				// A well-formed rejection (4xx) is not a service failure:
-				// it closes the breaker like a success.
+				// it closes the breaker like a success. Draining is the
+				// same deliberate kind of answer — the node is going away
+				// and will not recover within a retry budget, so callers
+				// (the peer forwarder above all) should fall back now, not
+				// burn retries against it.
 				c.breaker.success()
 				return meta, fmt.Errorf("client: %s: %w", path, apiErr)
 			}
@@ -317,14 +394,19 @@ func retryable(status int) bool {
 	return false
 }
 
-// roundTrip performs one wire attempt.
-func (c *Client) roundTrip(ctx context.Context, path, id string, body []byte) (int, http.Header, []byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+// roundTrip performs one wire attempt against base.
+func (c *Client) roundTrip(ctx context.Context, base, path, id string, body []byte) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Request-ID", id)
+	for k, vs := range c.opts.Header {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
+	}
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
 		return 0, nil, nil, err

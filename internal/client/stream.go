@@ -77,6 +77,8 @@ func (c *Client) stream(ctx context.Context, path string, offset int, build func
 	res := StreamResult{RequestID: id}
 	next := offset
 	retriesLeft := c.opts.MaxRetries
+	start := c.cursor.Add(1) - 1
+	failovers := 0
 	var lastErr error
 
 	for attempt := 0; ; attempt++ {
@@ -92,7 +94,7 @@ func (c *Client) stream(ctx context.Context, path string, offset int, build func
 		}
 		res.Attempts++
 		before := next
-		done, err := c.streamSegment(ctx, path, id, body, &res, &next, fn)
+		done, err := c.streamSegment(ctx, c.pickBase(start, failovers), path, id, body, &res, &next, fn)
 		switch {
 		case done:
 			c.breaker.success()
@@ -116,6 +118,11 @@ func (c *Client) stream(ctx context.Context, path string, offset int, build func
 				// A well-formed rejection closes the breaker like a success.
 				c.breaker.success()
 				return res, fmt.Errorf("client: %s: %w", path, apiErr)
+			}
+			if apiErr == nil {
+				// Transport-level failure: the resumed tail goes to the
+				// next entry node (a no-op with a single base).
+				failovers++
 			}
 			c.breaker.failure()
 			lastErr = fmt.Errorf("client: %s: %w", path, err)
@@ -143,13 +150,18 @@ func (c *Client) stream(ctx context.Context, path string, offset int, build func
 // was delivered, and (false, nil) when a well-formed trailer reported an
 // incomplete stream. next advances past every line delivered to fn, so
 // the caller resumes exactly at the first missing point.
-func (c *Client) streamSegment(ctx context.Context, path, id string, body []byte, res *StreamResult, next *int, fn func(server.SweepLine) error) (bool, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+func (c *Client) streamSegment(ctx context.Context, base, path, id string, body []byte, res *StreamResult, next *int, fn func(server.SweepLine) error) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Request-ID", id)
+	for k, vs := range c.opts.Header {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
+	}
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
 		if ob := c.opts.Observer; ob != nil {

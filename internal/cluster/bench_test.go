@@ -1,0 +1,216 @@
+package cluster
+
+// Cluster serving benchmarks over real TCP listeners: the 2× criterion —
+// answering a warm key through a forwarding entry node should cost no
+// more than twice a local cache hit, since both are one request-sized
+// HTTP exchange (the forward adds exactly one more).
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"memhier/internal/client"
+	"memhier/internal/server"
+)
+
+// benchCluster wires n nodes like startCluster, without the test-only
+// forwarding recorder in the handler path.
+func benchCluster(b *testing.B, n int, entryCfg server.Config) []*testNode {
+	b.Helper()
+	nodes := make([]*testNode, n)
+	peers := make(map[string]string, n)
+	for i := range nodes {
+		sh := &swapHandler{}
+		nodes[i] = &testNode{name: fmt.Sprintf("n%d", i), ts: httptest.NewServer(sh), swap: sh}
+		peers[nodes[i].name] = nodes[i].ts.URL
+	}
+	for i, nd := range nodes {
+		cl, err := New(Config{
+			Self: nd.name, Peers: peers,
+			ClientOptions: client.Options{
+				MaxRetries: 1, BaseBackoff: time.Millisecond, MaxBackoff: time.Millisecond,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := server.Config{Forwarder: cl}
+		if i == 0 {
+			cfg = entryCfg
+			cfg.Forwarder = cl
+		}
+		nd.cl = cl
+		nd.srv = server.New(cfg)
+		nd.swap.v.Store(nd.srv.Handler())
+		b.Cleanup(nd.srv.Close)
+		b.Cleanup(nd.ts.Close)
+	}
+	return nodes
+}
+
+// benchHTTPClient keeps enough idle connections for the parallel
+// benchmarks (http.DefaultClient caps idle conns per host at 2, which
+// would turn concurrency into a redial storm and measure the dialer).
+var benchHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		MaxIdleConns:        100,
+		MaxIdleConnsPerHost: 100,
+	},
+}
+
+func benchPost(b *testing.B, url string, body []byte) (int, http.Header) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := benchHTTPClient.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header
+}
+
+// BenchmarkClusterLocalHit: a warm key served by the entry node itself —
+// the baseline one-exchange answer.
+func BenchmarkClusterLocalHit(b *testing.B) {
+	nodes := benchCluster(b, 2, server.Config{})
+	entry := nodes[0]
+
+	// Find a key the entry node owns (via=local), then warm it.
+	var body []byte
+	for i := 0; i < 200; i++ {
+		cand := predictBody(i)
+		status, h := benchPost(b, entry.ts.URL+"/v1/predict", cand)
+		if status != http.StatusOK {
+			b.Fatalf("probe %d: status %d", i, status)
+		}
+		if h.Get(server.ClusterViaHeader) == "local" {
+			body = cand
+			break
+		}
+	}
+	if body == nil {
+		b.Fatal("no locally-owned candidate found")
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if status, _ := benchPost(b, entry.ts.URL+"/v1/predict", body); status != http.StatusOK {
+			b.Fatalf("status %d", status)
+		}
+	}
+}
+
+// BenchmarkClusterLocalHitParallel is the local-hit baseline under
+// concurrency — the regime a loaded cluster actually serves in, where
+// wire latency overlaps across requests.
+func BenchmarkClusterLocalHitParallel(b *testing.B) {
+	nodes := benchCluster(b, 2, server.Config{})
+	entry := nodes[0]
+
+	var body []byte
+	for i := 0; i < 200; i++ {
+		cand := predictBody(i)
+		status, h := benchPost(b, entry.ts.URL+"/v1/predict", cand)
+		if status != http.StatusOK {
+			b.Fatalf("probe %d: status %d", i, status)
+		}
+		if h.Get(server.ClusterViaHeader) == "local" {
+			body = cand
+			break
+		}
+	}
+	if body == nil {
+		b.Fatal("no locally-owned candidate found")
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if status, _ := benchPost(b, entry.ts.URL+"/v1/predict", body); status != http.StatusOK {
+				b.Fatalf("status %d", status)
+			}
+		}
+	})
+}
+
+// BenchmarkClusterForwardHit: every iteration misses the entry node's
+// (deliberately tiny) cache, forwards to the owner, and hits the owner's
+// warm cache — the steady-state cost of serving a peer-owned key.
+func BenchmarkClusterForwardHit(b *testing.B) {
+	// A one-entry cache at the entry node: two peer-owned keys evict
+	// each other, so alternating them forwards every single iteration.
+	nodes := benchCluster(b, 2, server.Config{CacheEntries: 1, CacheShards: 1})
+	entry, owner := nodes[0], nodes[1]
+
+	var bodies [][]byte
+	for i := 0; len(bodies) < 2 && i < 400; i++ {
+		cand := predictBody(i)
+		status, h := benchPost(b, entry.ts.URL+"/v1/predict", cand)
+		if status != http.StatusOK {
+			b.Fatalf("probe %d: status %d", i, status)
+		}
+		if h.Get(server.ClusterViaHeader) == "forward" && h.Get(server.ClusterOwnerHeader) == owner.name {
+			bodies = append(bodies, cand)
+		}
+	}
+	if len(bodies) < 2 {
+		b.Fatal("fewer than two peer-owned candidates found")
+	}
+	// Warm the owner's cache for both keys (done by the probes above),
+	// then confirm the steady state really forwards.
+	if _, h := benchPost(b, entry.ts.URL+"/v1/predict", bodies[0]); h.Get(server.ClusterViaHeader) != "forward" {
+		b.Fatalf("steady state is %q, want forward", h.Get(server.ClusterViaHeader))
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if status, _ := benchPost(b, entry.ts.URL+"/v1/predict", bodies[i%2]); status != http.StatusOK {
+			b.Fatalf("status %d", status)
+		}
+	}
+}
+
+// BenchmarkClusterForwardHitParallel: the forwarded-hit path under
+// concurrency. A pool of peer-owned keys cycles through the one-entry
+// entry cache, so nearly every request forwards; overlapping requests
+// hide the wire latency the serial benchmark pays twice in full.
+func BenchmarkClusterForwardHitParallel(b *testing.B) {
+	nodes := benchCluster(b, 2, server.Config{CacheEntries: 1, CacheShards: 1})
+	entry, owner := nodes[0], nodes[1]
+
+	var bodies [][]byte
+	for i := 0; len(bodies) < 64 && i < 400; i++ {
+		cand := predictBody(i)
+		status, h := benchPost(b, entry.ts.URL+"/v1/predict", cand)
+		if status != http.StatusOK {
+			b.Fatalf("probe %d: status %d", i, status)
+		}
+		if h.Get(server.ClusterViaHeader) == "forward" && h.Get(server.ClusterOwnerHeader) == owner.name {
+			bodies = append(bodies, cand)
+		}
+	}
+	if len(bodies) < 8 {
+		b.Fatalf("only %d peer-owned candidates found", len(bodies))
+	}
+
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			body := bodies[next.Add(1)%uint64(len(bodies))]
+			if status, _ := benchPost(b, entry.ts.URL+"/v1/predict", body); status != http.StatusOK {
+				b.Fatalf("status %d", status)
+			}
+		}
+	})
+}

@@ -1,0 +1,228 @@
+// Package ring is the deterministic consistent-hash ring that places
+// canonical request keys on cluster nodes. Each node contributes a fixed
+// number of virtual points hashed onto a 64-bit circle; a key belongs to
+// the node owning the first point clockwise of the key's hash. Virtual
+// points smooth ownership (the per-node fraction of the circle
+// concentrates around 1/N as points grow), and consistent hashing gives
+// minimal movement: adding a node only moves keys onto the new node, and
+// removing one only moves the keys it owned.
+//
+// The ring is a pure function of (nodes, points-per-node, seed): node
+// insertion order does not matter, no wall clock or global randomness is
+// consulted, and the same inputs build bit-identical rings on every
+// process — which is what lets every cluster member compute placement
+// locally and agree without coordination.
+//
+//chc:deterministic
+package ring
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultPoints is the virtual-point count per node when Config leaves it
+// zero: enough that ownership fractions concentrate near 1/N for small
+// clusters without making ring construction or rebuilds noticeable.
+const DefaultPoints = 128
+
+// Config describes a ring. The zero value of Points and Seed selects the
+// documented defaults; Nodes must be non-empty and duplicate-free.
+type Config struct {
+	// Nodes are the member names (any non-empty strings, typically the
+	// -node names of the chc-serve processes). Order does not matter.
+	Nodes []string
+	// Points is the number of virtual points per node (default
+	// DefaultPoints).
+	Points int
+	// Seed perturbs every hash. Two rings with different seeds place keys
+	// independently; all members of one cluster must share one seed.
+	Seed uint64
+}
+
+// Ring is an immutable consistent-hash ring; safe for concurrent use.
+type Ring struct {
+	nodes  []string // sorted member names
+	points int
+	seed   uint64
+	hashes []uint64 // sorted virtual-point hashes
+	owner  []int    // owner[i] = index into nodes of hashes[i]'s node
+}
+
+// New builds the ring. It fails loudly on an empty membership, an empty
+// or duplicate node name, or a virtual-point hash collision (possible in
+// principle with a 64-bit hash, and silently corrupting placement if
+// ignored — a different seed resolves it).
+func New(cfg Config) (*Ring, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("ring: no nodes")
+	}
+	points := cfg.Points
+	if points <= 0 {
+		points = DefaultPoints
+	}
+	nodes := append([]string(nil), cfg.Nodes...)
+	sort.Strings(nodes)
+	for i, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("ring: empty node name")
+		}
+		if i > 0 && nodes[i-1] == n {
+			return nil, fmt.Errorf("ring: duplicate node %q", n)
+		}
+	}
+	r := &Ring{
+		nodes:  nodes,
+		points: points,
+		seed:   cfg.Seed,
+		hashes: make([]uint64, 0, len(nodes)*points),
+		owner:  make([]int, 0, len(nodes)*points),
+	}
+	type vpoint struct {
+		hash uint64
+		node int
+	}
+	vps := make([]vpoint, 0, len(nodes)*points)
+	for ni, n := range nodes {
+		for p := 0; p < points; p++ {
+			vps = append(vps, vpoint{hash: hashPoint(cfg.Seed, n, p), node: ni})
+		}
+	}
+	sort.Slice(vps, func(i, j int) bool { return vps[i].hash < vps[j].hash })
+	for i, vp := range vps {
+		if i > 0 && vps[i-1].hash == vp.hash {
+			return nil, fmt.Errorf("ring: virtual-point hash collision between %q and %q (change the seed)",
+				nodes[vps[i-1].node], nodes[vp.node])
+		}
+		r.hashes = append(r.hashes, vp.hash)
+		r.owner = append(r.owner, vp.node)
+	}
+	return r, nil
+}
+
+// Nodes returns the sorted member names (a copy).
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner returns the node owning key.
+func (r *Ring) Owner(key string) string {
+	return r.nodes[r.owner[r.successor(hashKey(r.seed, key))]]
+}
+
+// Owners returns the first n distinct nodes clockwise of key: the primary
+// owner first, then the replicas in replication order. n is clamped to
+// the membership size.
+func (r *Ring) Owners(key string, n int) []string {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	owners := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := r.successor(hashKey(r.seed, key)); len(owners) < n; i = (i + 1) % len(r.hashes) {
+		ni := r.owner[i]
+		if !seen[ni] {
+			seen[ni] = true
+			owners = append(owners, r.nodes[ni])
+		}
+	}
+	return owners
+}
+
+// successor returns the index of the first virtual point at or clockwise
+// of h (wrapping past the top of the circle).
+func (r *Ring) successor(h uint64) int {
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		return 0
+	}
+	return i
+}
+
+// OwnershipFraction returns the fraction of the hash circle owned by
+// node: the summed arc lengths ending at its virtual points. The
+// fractions over all members sum to 1; with enough virtual points each
+// concentrates near 1/N. Unknown nodes own nothing.
+func (r *Ring) OwnershipFraction(node string) float64 {
+	ni := sort.SearchStrings(r.nodes, node)
+	if ni == len(r.nodes) || r.nodes[ni] != node {
+		return 0
+	}
+	var arcs uint64
+	for i, h := range r.hashes {
+		if r.owner[i] != ni {
+			continue
+		}
+		if i == 0 {
+			// The first point owns the wrap-around arc from the last point.
+			arcs += h + (^uint64(0) - r.hashes[len(r.hashes)-1])
+		} else {
+			arcs += h - r.hashes[i-1]
+		}
+	}
+	return float64(arcs) / float64(^uint64(0))
+}
+
+// hashKey hashes a request key onto the circle. FNV-1a over the seed
+// bytes then the key, finished with an avalanche mix: dependency-free,
+// stable across architectures, and fast enough that placement is
+// invisible next to a cache probe.
+func hashKey(seed uint64, key string) uint64 {
+	h := fnvSeed(seed)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return mix(h)
+}
+
+// hashPoint hashes one virtual point of a node. The "#index" suffix
+// keeps a node's points independent; the seed prefix keys the whole
+// family.
+func hashPoint(seed uint64, node string, point int) uint64 {
+	h := fnvSeed(seed)
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= fnvPrime
+	}
+	h ^= uint64('#')
+	h *= fnvPrime
+	s := strconv.Itoa(point)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return mix(h)
+}
+
+// mix is the splitmix64 finalizer. Raw FNV-1a over short, similar
+// strings ("node-1#17") leaves its high bits correlated, which shows up
+// directly as ring-arc skew; a full avalanche makes virtual points
+// behave like independent uniform draws, which the balance bounds rely
+// on.
+func mix(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnvSeed folds the seed into the FNV offset basis so distinct seeds
+// yield independent hash families.
+func fnvSeed(seed uint64) uint64 {
+	h := uint64(fnvOffset)
+	for shift := 0; shift < 64; shift += 8 {
+		h ^= (seed >> uint(shift)) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}

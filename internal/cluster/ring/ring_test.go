@@ -1,0 +1,217 @@
+package ring
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func mustRing(t *testing.T, cfg Config) *Ring {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return r
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// The shape of real keys: endpoint + NUL + canonical JSON.
+		keys[i] = fmt.Sprintf("predict\x00{\"config\":{\"name\":\"C%d\"},\"workload\":{\"name\":\"wl%d\"}}", i%15+1, i)
+	}
+	return keys
+}
+
+func TestNewRejectsBadMembership(t *testing.T) {
+	cases := []Config{
+		{},                                   // no nodes
+		{Nodes: []string{"a", ""}},           // empty name
+		{Nodes: []string{"a", "b", "a"}},     // duplicate
+		{Nodes: []string{"x", "x"}, Seed: 7}, // duplicate under any seed
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted invalid membership", cfg)
+		}
+	}
+}
+
+func TestOwnerDeterministicAndOrderIndependent(t *testing.T) {
+	a := mustRing(t, Config{Nodes: []string{"n1", "n2", "n3"}})
+	b := mustRing(t, Config{Nodes: []string{"n3", "n1", "n2"}})
+	for _, key := range testKeys(500) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of %q depends on node insertion order: %q vs %q",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestSeedSelectsIndependentPlacements(t *testing.T) {
+	a := mustRing(t, Config{Nodes: []string{"n1", "n2", "n3", "n4"}, Seed: 1})
+	b := mustRing(t, Config{Nodes: []string{"n1", "n2", "n3", "n4"}, Seed: 2})
+	moved := 0
+	keys := testKeys(1000)
+	for _, key := range keys {
+		if a.Owner(key) != b.Owner(key) {
+			moved++
+		}
+	}
+	// Independent placements agree on ~1/N of keys; identical ones on all.
+	if moved == 0 {
+		t.Fatalf("seeds 1 and 2 produced identical placements over %d keys", len(keys))
+	}
+}
+
+// TestBalance is the table-driven balance check: ownership fractions and
+// key spreads must concentrate around 1/N.
+func TestBalance(t *testing.T) {
+	cases := []struct {
+		nodes  int
+		points int
+		// maxSkew bounds max(ownership)/ideal and ideal/min(ownership):
+		// the concentration tightens with more points per node.
+		maxSkew float64
+	}{
+		{nodes: 2, points: 128, maxSkew: 1.6},
+		{nodes: 3, points: 128, maxSkew: 1.6},
+		{nodes: 5, points: 128, maxSkew: 1.6},
+		{nodes: 8, points: 256, maxSkew: 1.6},
+		{nodes: 16, points: 512, maxSkew: 1.6},
+	}
+	keys := testKeys(20000)
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("n%d_p%d", tc.nodes, tc.points), func(t *testing.T) {
+			nodes := make([]string, tc.nodes)
+			for i := range nodes {
+				nodes[i] = fmt.Sprintf("node-%d", i)
+			}
+			r := mustRing(t, Config{Nodes: nodes, Points: tc.points})
+
+			ideal := 1.0 / float64(tc.nodes)
+			var totalFrac float64
+			for _, n := range nodes {
+				f := r.OwnershipFraction(n)
+				totalFrac += f
+				if f > ideal*tc.maxSkew || f < ideal/tc.maxSkew {
+					t.Errorf("node %s owns fraction %.4f, outside [%.4f, %.4f]",
+						n, f, ideal/tc.maxSkew, ideal*tc.maxSkew)
+				}
+			}
+			if math.Abs(totalFrac-1) > 1e-9 {
+				t.Errorf("ownership fractions sum to %.12f, want 1", totalFrac)
+			}
+
+			// Sampled key counts agree with the arc fractions.
+			counts := make(map[string]int)
+			for _, key := range keys {
+				counts[r.Owner(key)]++
+			}
+			for _, n := range nodes {
+				got := float64(counts[n]) / float64(len(keys))
+				if got > ideal*tc.maxSkew*1.2 || got < ideal/(tc.maxSkew*1.2) {
+					t.Errorf("node %s got %.4f of sampled keys, ideal %.4f", n, got, ideal)
+				}
+			}
+		})
+	}
+}
+
+// TestMinimalMovement: growing the membership moves keys only onto the
+// new node, and shrinking moves only the removed node's keys — never a
+// key between two surviving nodes.
+func TestMinimalMovement(t *testing.T) {
+	keys := testKeys(5000)
+	for _, n := range []int{2, 3, 5, 9} {
+		t.Run(fmt.Sprintf("grow_%d_to_%d", n, n+1), func(t *testing.T) {
+			nodes := make([]string, n)
+			for i := range nodes {
+				nodes[i] = fmt.Sprintf("node-%d", i)
+			}
+			before := mustRing(t, Config{Nodes: nodes})
+			grown := mustRing(t, Config{Nodes: append(append([]string(nil), nodes...), "node-new")})
+
+			moved := 0
+			for _, key := range keys {
+				was, is := before.Owner(key), grown.Owner(key)
+				if was == is {
+					continue
+				}
+				moved++
+				if is != "node-new" {
+					t.Fatalf("key %q moved %q -> %q, but only the new node may gain keys", key, was, is)
+				}
+			}
+			// The new node should own about 1/(n+1) of the keys; allow wide
+			// slack, but catch both "nothing moved" and "everything moved".
+			frac := float64(moved) / float64(len(keys))
+			ideal := 1.0 / float64(n+1)
+			if frac < ideal/3 || frac > ideal*3 {
+				t.Errorf("grow moved %.3f of keys, ideal %.3f", frac, ideal)
+			}
+		})
+		t.Run(fmt.Sprintf("shrink_%d", n+1), func(t *testing.T) {
+			nodes := make([]string, n+1)
+			for i := range nodes {
+				nodes[i] = fmt.Sprintf("node-%d", i)
+			}
+			before := mustRing(t, Config{Nodes: nodes})
+			after := mustRing(t, Config{Nodes: nodes[:n]})
+			for _, key := range keys {
+				was, is := before.Owner(key), after.Owner(key)
+				if was == is {
+					continue
+				}
+				if was != nodes[n] {
+					t.Fatalf("key %q moved %q -> %q though its owner survived", key, was, is)
+				}
+			}
+		})
+	}
+}
+
+func TestOwnersDistinctAndStable(t *testing.T) {
+	r := mustRing(t, Config{Nodes: []string{"a", "b", "c", "d"}})
+	for _, key := range testKeys(300) {
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%q, 2) = %v", key, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("Owners(%q, 2) repeated node %q", key, owners[0])
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("Owners(%q)[0] = %q != Owner %q", key, owners[0], r.Owner(key))
+		}
+		// Clamping: more replicas than members yields every member once.
+		all := r.Owners(key, 99)
+		if len(all) != 4 {
+			t.Fatalf("Owners(%q, 99) = %v, want all 4 members", key, all)
+		}
+	}
+	// A single-node ring owns everything, at any replication factor.
+	solo := mustRing(t, Config{Nodes: []string{"only"}})
+	if got := solo.Owners("anything", 2); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("single-node Owners = %v", got)
+	}
+	if f := solo.OwnershipFraction("only"); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("single node owns fraction %v, want 1", f)
+	}
+	if f := solo.OwnershipFraction("stranger"); f != 0 {
+		t.Fatalf("unknown node owns fraction %v, want 0", f)
+	}
+}
+
+func BenchmarkOwner(b *testing.B) {
+	r, err := New(Config{Nodes: []string{"n1", "n2", "n3", "n4", "n5"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := testKeys(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owner(keys[i%len(keys)])
+	}
+}

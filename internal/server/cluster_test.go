@@ -1,0 +1,278 @@
+package server
+
+// Tests for the server side of cluster mode: the PeerForwarder seam in
+// serveCached (cluster.go), exercised with a stub forwarder so placement
+// and transport outcomes are scripted. End-to-end multi-node behavior —
+// real rings, real peer clients, byte-identity across entry nodes —
+// lives in internal/cluster's tests.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"memhier/internal/machine"
+	"memhier/internal/sim/backend"
+)
+
+// stubForwarder scripts placement and forwarding.
+type stubForwarder struct {
+	self    string
+	place   func(key string) ([]string, bool)
+	forward func(ctx context.Context, peer, path, requestID string, body []byte) (ForwardResult, error)
+
+	mu       sync.Mutex
+	placed   int      // guarded by mu
+	forwards []string // guarded by mu; "peer path" per Forward call
+}
+
+func (f *stubForwarder) Self() string { return f.self }
+
+func (f *stubForwarder) Place(key string) ([]string, bool) {
+	f.mu.Lock()
+	f.placed++
+	f.mu.Unlock()
+	return f.place(key)
+}
+
+func (f *stubForwarder) Forward(ctx context.Context, peer, path, requestID string, body []byte) (ForwardResult, error) {
+	f.mu.Lock()
+	f.forwards = append(f.forwards, peer+" "+path)
+	f.mu.Unlock()
+	return f.forward(ctx, peer, path, requestID, body)
+}
+
+func (f *stubForwarder) Stats() map[string]any { return map[string]any{"self": f.self} }
+
+func (f *stubForwarder) forwardCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.forwards)
+}
+
+// postForwarded is post with the peer-forwarding hop marker set.
+func postForwarded(t *testing.T, s *Server, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	req.Header.Set(ForwardedHeader, "origin-node")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+var predictReq = PredictRequest{Config: ConfigSpec{Name: "C4"}, Workload: WorkloadSpec{Name: "fft"}}
+
+// TestForwardMissRelaysOwnerBytes: a miss on a peer-owned key is proxied
+// to the owner and the owner's bytes come back verbatim — the same body
+// a standalone server computes — tagged with the owner's X-Cache verdict
+// and the placement headers. The relayed answer enters the local cache,
+// so the key is answered locally (hit) from then on.
+func TestForwardMissRelaysOwnerBytes(t *testing.T) {
+	owner := New(Config{})
+	defer owner.Close()
+	fwd := &stubForwarder{
+		self:  "entry",
+		place: func(string) ([]string, bool) { return []string{"owner"}, false },
+	}
+	fwd.forward = func(ctx context.Context, peer, path, requestID string, body []byte) (ForwardResult, error) {
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		req.Header.Set(ForwardedHeader, fwd.self)
+		req.Header.Set(requestIDHeader, requestID)
+		rec := httptest.NewRecorder()
+		owner.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return ForwardResult{}, errors.New("owner answered " + rec.Result().Status)
+		}
+		return ForwardResult{Status: rec.Code, Cache: rec.Header().Get("X-Cache"), Body: rec.Body.Bytes()}, nil
+	}
+	entry := New(Config{Forwarder: fwd})
+	defer entry.Close()
+	standalone := New(Config{})
+	defer standalone.Close()
+
+	rec := post(t, entry, "/v1/predict", predictReq)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	want := post(t, standalone, "/v1/predict", predictReq)
+	if !bytes.Equal(rec.Body.Bytes(), want.Body.Bytes()) {
+		t.Error("forwarded answer is not byte-identical to a standalone computation")
+	}
+	if got := rec.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("X-Cache = %q, want the owner's verdict %q", got, "miss")
+	}
+	if got := rec.Header().Get(ClusterViaHeader); got != "forward" {
+		t.Errorf("%s = %q, want %q", ClusterViaHeader, got, "forward")
+	}
+	if got := rec.Header().Get(ClusterOwnerHeader); got != "owner" {
+		t.Errorf("%s = %q, want %q", ClusterOwnerHeader, got, "owner")
+	}
+	if got := rec.Header().Get(ClusterNodeHeader); got != "entry" {
+		t.Errorf("%s = %q, want %q", ClusterNodeHeader, got, "entry")
+	}
+
+	// Hot-key replication at the entry node: the relayed bytes were
+	// cached, so the repeat is a local hit — no second forward.
+	rec = post(t, entry, "/v1/predict", predictReq)
+	if got := rec.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("repeat X-Cache = %q, want local hit from the replicated entry", got)
+	}
+	if n := fwd.forwardCount(); n != 1 {
+		t.Errorf("forward count = %d, want 1 (repeat served locally)", n)
+	}
+}
+
+// TestForwardFailureFallsBackLocal: when every owner attempt fails, the
+// node computes the answer itself — correctness over placement — and
+// says so in the placement headers and metrics.
+func TestForwardFailureFallsBackLocal(t *testing.T) {
+	fwd := &stubForwarder{
+		self:  "entry",
+		place: func(string) ([]string, bool) { return []string{"dead1", "dead2"}, false },
+		forward: func(context.Context, string, string, string, []byte) (ForwardResult, error) {
+			return ForwardResult{}, errors.New("connection refused")
+		},
+	}
+	s := New(Config{Forwarder: fwd})
+	defer s.Close()
+
+	rec := post(t, s, "/v1/predict", predictReq)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(ClusterViaHeader); got != "fallback" {
+		t.Errorf("%s = %q, want %q", ClusterViaHeader, got, "fallback")
+	}
+	if n := fwd.forwardCount(); n != 2 {
+		t.Errorf("forward attempts = %d, want 2 (both owners tried)", n)
+	}
+	if got := s.metrics.LocalFallbacks.Value(); got != 1 {
+		t.Errorf("local_fallbacks = %d, want 1", got)
+	}
+	if got := s.metrics.ForwardFails.Value(); got != 2 {
+		t.Errorf("forward_fails = %d, want 2", got)
+	}
+}
+
+// TestForwardedRequestComputesLocally: a request that already took its
+// one forwarding hop never consults the ring again, whatever the ring
+// would say — the hop budget is what makes ring-view disagreement safe.
+func TestForwardedRequestComputesLocally(t *testing.T) {
+	fwd := &stubForwarder{
+		self:  "owner",
+		place: func(string) ([]string, bool) { return []string{"elsewhere"}, false },
+		forward: func(context.Context, string, string, string, []byte) (ForwardResult, error) {
+			return ForwardResult{}, errors.New("must not be called")
+		},
+	}
+	s := New(Config{Forwarder: fwd})
+	defer s.Close()
+
+	rec := postForwarded(t, s, "/v1/predict", predictReq)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if fwd.forwardCount() != 0 || fwd.placed != 0 {
+		t.Errorf("forwarded request consulted the ring (place=%d forwards=%d)", fwd.placed, fwd.forwardCount())
+	}
+	if got := rec.Header().Get(ClusterNodeHeader); got != "owner" {
+		t.Errorf("%s = %q, want %q", ClusterNodeHeader, got, "owner")
+	}
+}
+
+// TestForwardedDrainingRejected: a draining node refuses forwarded work
+// with the draining error body, telling the forwarder to fall back to
+// local compute instead of waiting out a dying peer. (The user-visible
+// effect — no 429 reaches the client while other nodes are healthy — is
+// asserted end-to-end in internal/cluster.)
+func TestForwardedDrainingRejected(t *testing.T) {
+	fwd := &stubForwarder{
+		self:  "owner",
+		place: func(string) ([]string, bool) { return nil, true },
+	}
+	s := New(Config{Forwarder: fwd})
+	defer s.Close()
+	s.BeginDrain()
+
+	rec := postForwarded(t, s, "/v1/predict", predictReq)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 for forwarded work on a draining node", rec.Code)
+	}
+	resp := decodeBody[ErrorResponse](t, rec)
+	if resp.Code != CodeDraining {
+		t.Errorf("code = %q, want %q", resp.Code, CodeDraining)
+	}
+	if resp.RetryAfterSeconds < 1 || rec.Header().Get("Retry-After") == "" {
+		t.Error("draining rejection is missing the Retry-After contract")
+	}
+}
+
+// TestMetricsClusterSection: cluster counters and the forwarder's view
+// appear in the snapshot only in cluster mode.
+func TestMetricsClusterSection(t *testing.T) {
+	solo := New(Config{})
+	defer solo.Close()
+	if _, ok := solo.Metrics()["cluster"]; ok {
+		t.Error("single-node snapshot carries a cluster section")
+	}
+
+	fwd := &stubForwarder{
+		self:  "entry",
+		place: func(string) ([]string, bool) { return []string{"peer-b"}, false },
+		forward: func(context.Context, string, string, string, []byte) (ForwardResult, error) {
+			return ForwardResult{Status: http.StatusOK, Cache: "miss", Body: []byte("{}\n")}, nil
+		},
+	}
+	s := New(Config{Forwarder: fwd})
+	defer s.Close()
+	if rec := post(t, s, "/v1/predict", predictReq); rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	snap := s.Metrics()
+	if got := snap["forwards"].(map[string]int64)["peer-b"]; got != 1 {
+		t.Errorf("forwards[peer-b] = %d, want 1", got)
+	}
+	if got := snap["cluster"].(map[string]any)["self"]; got != "entry" {
+		t.Errorf("cluster.self = %v, want entry", got)
+	}
+}
+
+// TestValidateCanonicalReplayIdempotent: the canonical validate request
+// the forwarder replays (already-scaled config, divisor pinned to 1)
+// resolves to the same cache entry as the original divisor-N spelling —
+// replaying must not scale the platform a second time.
+func TestValidateCanonicalReplayIdempotent(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	var simulated []string
+	s.simulate = func(cfg machine.Config, kernel string) (backend.RunResult, error) {
+		simulated = append(simulated, cfg.Name)
+		return backend.RunResult{}, nil
+	}
+
+	rec := post(t, s, "/v1/validate", ValidateRequest{Config: ConfigSpec{Name: "C4"}, Workload: "fft", Divisor: 16})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("original request: status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	// The canonical replay form: key the handler derived, body the
+	// forwarder would send.
+	rec = post(t, s, "/v1/validate", ValidateRequest{Config: ConfigSpec{Name: "C4", Divisor: 16}, Workload: "fft", Divisor: 1})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("canonical replay: status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("canonical replay X-Cache = %q, want hit (same cache entry)", got)
+	}
+	if len(simulated) != 1 || simulated[0] != "C4/16" {
+		t.Errorf("simulated platforms %v, want exactly one run of the scaled C4/16", simulated)
+	}
+}

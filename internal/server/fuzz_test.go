@@ -4,7 +4,19 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"memhier/internal/cluster/ring"
 )
+
+// fuzzRing places fuzzed keys on a small cluster; built once — ring
+// construction is deterministic, lookups are read-only.
+var fuzzRing = func() *ring.Ring {
+	r, err := ring.New(ring.Config{Nodes: []string{"n0", "n1", "n2", "n3", "n4"}})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}()
 
 // FuzzCanonicalKey exercises the request-canonicalization pipeline that
 // derives cache keys — the exact path handlePredict runs before touching
@@ -102,8 +114,19 @@ func FuzzCanonicalKey(f *testing.F) {
 				return // unencodable delta (NaN/Inf): the sweep handler rejects it with the same error
 			}
 		}
-		if composed := composePredictKey(cfgJSON, wlJSON, deltaJSON); composed != key1 {
+		composed := composePredictKey(cfgJSON, wlJSON, deltaJSON)
+		if composed != key1 {
 			t.Fatalf("composed sweep key diverges from canonical key:\ncomposed:  %q\ncanonical: %q", composed, key1)
+		}
+
+		// Cluster placement rides these keys: a sweep point and the
+		// equivalent single request must land on the same ring owner, or
+		// a grid would forward points away from the shard that caches
+		// their single-request twins. (Byte-identity above implies this;
+		// asserting it directly keys the property to what the cluster
+		// actually consumes.)
+		if fuzzRing.Owner(composed) != fuzzRing.Owner(key1) {
+			t.Fatalf("composed key %q and canonical key %q placed on different owners", composed, key1)
 		}
 
 		// Sweep budget keys embed their own endpoint and the full budget

@@ -120,9 +120,15 @@ type serverMetrics struct {
 	Shed        expvar.Int // 429 responses from the full queue
 	Panics      expvar.Int // handler panics recovered into 500s
 	Timeouts    expvar.Int // requests answered 503 at their route deadline
-	queueDepth  func() int64
-	cacheLen    func() int
-	endpoints   map[string]*endpointMetrics
+	// Cluster-mode counters (zero and absent from the snapshot outside
+	// cluster mode).
+	Forwards       expvar.Map // per-peer misses proxied to their owner
+	ForwardFails   expvar.Int // forward attempts that fell through to the next owner
+	LocalFallbacks expvar.Int // peer-owned keys computed locally (owners unusable)
+	queueDepth     func() int64
+	cacheLen       func() int
+	endpoints      map[string]*endpointMetrics
+	cluster        func() map[string]any // forwarder's view; nil = single-node
 }
 
 func newServerMetrics(endpoints []string, queueDepth func() int64, cacheLen func() int) *serverMetrics {
@@ -134,6 +140,7 @@ func newServerMetrics(endpoints []string, queueDepth func() int64, cacheLen func
 	for _, name := range endpoints {
 		m.endpoints[name] = &endpointMetrics{Latency: newHistogram()}
 	}
+	m.Forwards.Init()
 	return m
 }
 
@@ -156,7 +163,7 @@ func (m *serverMetrics) snapshot() map[string]any {
 	for name, e := range m.endpoints {
 		eps[name] = e.snapshot()
 	}
-	return map[string]any{
+	snap := map[string]any{
 		"requests":     m.Requests.Value(),
 		"cache_hits":   m.CacheHits.Value(),
 		"cache_misses": m.CacheMisses.Value(),
@@ -168,4 +175,17 @@ func (m *serverMetrics) snapshot() map[string]any {
 		"cache_len":    m.cacheLen(),
 		"endpoints":    eps,
 	}
+	if m.cluster != nil {
+		forwards := make(map[string]int64)
+		m.Forwards.Do(func(kv expvar.KeyValue) {
+			if v, ok := kv.Value.(*expvar.Int); ok {
+				forwards[kv.Key] = v.Value()
+			}
+		})
+		snap["forwards"] = forwards
+		snap["forward_fails"] = m.ForwardFails.Value()
+		snap["local_fallbacks"] = m.LocalFallbacks.Value()
+		snap["cluster"] = m.cluster()
+	}
+	return snap
 }

@@ -71,7 +71,7 @@ func (s *Server) instrument(name string, api bool, h func(http.ResponseWriter, *
 				// mid-body, the status is already on the wire and only the
 				// metric records the crash.
 				if !sw.wroteHeader {
-					s.failCode(sw, http.StatusInternalServerError, codePanic,
+					s.failCode(sw, http.StatusInternalServerError, CodePanic,
 						fmt.Errorf("server: %s handler panicked: %v", name, rec))
 				}
 			}

@@ -56,7 +56,7 @@ func TestPanicRecovery(t *testing.T) {
 	rec := post(t, s, "/v1/predict", PredictRequest{
 		Config: ConfigSpec{Name: "C4"}, Workload: WorkloadSpec{Name: "fft"},
 	})
-	resp := checkErrorContract(t, rec, http.StatusInternalServerError, codePanic)
+	resp := checkErrorContract(t, rec, http.StatusInternalServerError, CodePanic)
 	if !strings.Contains(resp.Error, "panicked") {
 		t.Errorf("error message %q does not mention the panic", resp.Error)
 	}
@@ -85,7 +85,7 @@ func TestInjectedPanicRecovered(t *testing.T) {
 	rec := post(t, s, "/v1/predict", PredictRequest{
 		Config: ConfigSpec{Name: "C4"}, Workload: WorkloadSpec{Name: "fft"},
 	})
-	checkErrorContract(t, rec, http.StatusInternalServerError, codePanic)
+	checkErrorContract(t, rec, http.StatusInternalServerError, CodePanic)
 	if got := s.metrics.Panics.Value(); got != 1 {
 		t.Errorf("panics metric = %d, want 1", got)
 	}
@@ -132,7 +132,7 @@ func TestRequestIDPropagation(t *testing.T) {
 		req.Header.Set("X-Request-ID", "err-trace-9")
 		rec := httptest.NewRecorder()
 		s.Handler().ServeHTTP(rec, req)
-		resp := checkErrorContract(t, rec, http.StatusBadRequest, codeBadRequest)
+		resp := checkErrorContract(t, rec, http.StatusBadRequest, CodeBadRequest)
 		if resp.RequestID != "err-trace-9" {
 			t.Errorf("error body request_id = %q, want err-trace-9", resp.RequestID)
 		}
@@ -153,7 +153,7 @@ func TestRouteDeadlineEnforced(t *testing.T) {
 	rec := post(t, s, "/v1/predict", PredictRequest{
 		Config: ConfigSpec{Name: "C4"}, Workload: WorkloadSpec{Name: "fft"},
 	})
-	checkErrorContract(t, rec, http.StatusServiceUnavailable, codeDeadline)
+	checkErrorContract(t, rec, http.StatusServiceUnavailable, CodeDeadline)
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("deadline response took %v", elapsed)
 	}
@@ -174,7 +174,7 @@ func TestEntryFaultMapsToTransient503(t *testing.T) {
 	rec := post(t, s, "/v1/predict", PredictRequest{
 		Config: ConfigSpec{Name: "C4"}, Workload: WorkloadSpec{Name: "fft"},
 	})
-	checkErrorContract(t, rec, http.StatusServiceUnavailable, codeTransient)
+	checkErrorContract(t, rec, http.StatusServiceUnavailable, CodeTransient)
 }
 
 func TestComputeFaultMapsToTransient503(t *testing.T) {
@@ -189,7 +189,7 @@ func TestComputeFaultMapsToTransient503(t *testing.T) {
 	rec := post(t, s, "/v1/predict", PredictRequest{
 		Config: ConfigSpec{Name: "C4"}, Workload: WorkloadSpec{Name: "fft"},
 	})
-	checkErrorContract(t, rec, http.StatusServiceUnavailable, codeTransient)
+	checkErrorContract(t, rec, http.StatusServiceUnavailable, CodeTransient)
 
 	// Failed flights must not poison the cache: the same request succeeds
 	// once injection stops.
@@ -218,7 +218,7 @@ func TestInjectedSaturationMapsTo422(t *testing.T) {
 	rec := post(t, s, "/v1/predict", PredictRequest{
 		Config: ConfigSpec{Name: "C4"}, Workload: WorkloadSpec{Name: "fft"},
 	})
-	resp := checkErrorContract(t, rec, http.StatusUnprocessableEntity, codeSaturated)
+	resp := checkErrorContract(t, rec, http.StatusUnprocessableEntity, CodeSaturated)
 	if resp.Rho <= queueing.DefaultMaxRho || resp.Rho >= 1 {
 		t.Errorf("rho = %v, want in (%v, 1)", resp.Rho, queueing.DefaultMaxRho)
 	}
@@ -231,7 +231,7 @@ func TestNotFoundIsJSON(t *testing.T) {
 	req := httptest.NewRequest(http.MethodGet, "/v2/nonsense", nil)
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, req)
-	resp := checkErrorContract(t, rec, http.StatusNotFound, codeNotFound)
+	resp := checkErrorContract(t, rec, http.StatusNotFound, CodeNotFound)
 	if !strings.Contains(resp.Error, "/v2/nonsense") {
 		t.Errorf("404 message %q does not name the path", resp.Error)
 	}
@@ -244,7 +244,7 @@ func TestMethodNotAllowedIsJSON(t *testing.T) {
 	req := httptest.NewRequest(http.MethodGet, "/v1/predict", nil)
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, req)
-	checkErrorContract(t, rec, http.StatusMethodNotAllowed, codeMethodNotAllowed)
+	checkErrorContract(t, rec, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
 	if got := rec.Header().Get("Allow"); got != http.MethodPost {
 		t.Errorf("Allow = %q, want POST", got)
 	}
@@ -258,7 +258,7 @@ func TestReadyzDrainingIsJSON(t *testing.T) {
 	req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
 	rec := httptest.NewRecorder()
 	s.Handler().ServeHTTP(rec, req)
-	checkErrorContract(t, rec, http.StatusServiceUnavailable, codeDraining)
+	checkErrorContract(t, rec, http.StatusServiceUnavailable, CodeDraining)
 }
 
 func TestShedResponseContract(t *testing.T) {
@@ -270,7 +270,7 @@ func TestShedResponseContract(t *testing.T) {
 	rec := post(t, s, "/v1/validate", ValidateRequest{
 		Config: ConfigSpec{Name: "C4"}, Workload: "fft", Divisor: 64,
 	})
-	resp := checkErrorContract(t, rec, http.StatusTooManyRequests, codeDraining)
+	resp := checkErrorContract(t, rec, http.StatusTooManyRequests, CodeDraining)
 	if rec.Header().Get("Retry-After") == "" {
 		t.Error("429 missing Retry-After header")
 	}

@@ -59,6 +59,10 @@ type Config struct {
 	// testing; see internal/faults). Nil — the default — disables
 	// injection entirely: the hot path pays one nil check.
 	Faults faults.Hook
+	// Forwarder enables cluster mode: cache misses for keys owned by a
+	// peer are proxied to that peer (see cluster.go). Nil — the default —
+	// is single-node operation with no extra cost on the hot path.
+	Forwarder PeerForwarder
 }
 
 func (c Config) withDefaults() Config {
@@ -109,13 +113,14 @@ var endpointNames = []string{"predict", "sweep", "batch", "optimize", "advise", 
 // Server is the chc-serve service: handlers, result cache, simulation
 // worker pool, and operational state.
 type Server struct {
-	cfg      Config
-	cache    *resultCache
-	pool     *workerPool
-	metrics  *serverMetrics
-	mux      *http.ServeMux
-	faults   faults.Hook // nil = no injection
-	draining atomic.Bool
+	cfg       Config
+	cache     *resultCache
+	pool      *workerPool
+	metrics   *serverMetrics
+	mux       *http.ServeMux
+	faults    faults.Hook   // nil = no injection
+	forwarder PeerForwarder // nil = single-node mode
+	draining  atomic.Bool
 	// sweepSem admits whole-grid sweeps: one token per streaming sweep,
 	// acquired non-blocking so excess grids shed immediately with 429.
 	sweepSem chan struct{}
@@ -131,16 +136,20 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    newResultCache(cfg.CacheEntries, cfg.CacheShards),
-		pool:     newWorkerPool(cfg.SimWorkers, cfg.SimQueueDepth),
-		sweepSem: make(chan struct{}, cfg.SweepConcurrency),
-		faults:   cfg.Faults,
-		evaluate: core.Evaluate,
-		simulate: runSimulation,
-		resolve:  experiments.ResolveWorkload,
+		cfg:       cfg,
+		cache:     newResultCache(cfg.CacheEntries, cfg.CacheShards),
+		pool:      newWorkerPool(cfg.SimWorkers, cfg.SimQueueDepth),
+		sweepSem:  make(chan struct{}, cfg.SweepConcurrency),
+		faults:    cfg.Faults,
+		forwarder: cfg.Forwarder,
+		evaluate:  core.Evaluate,
+		simulate:  runSimulation,
+		resolve:   experiments.ResolveWorkload,
 	}
 	s.metrics = newServerMetrics(endpointNames, s.pool.depth, s.cache.len)
+	if s.forwarder != nil {
+		s.metrics.cluster = s.forwarder.Stats
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/predict", s.instrument("predict", true, s.handlePredict))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", true, s.handleSweep))
@@ -188,7 +197,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		// Draining is an error response like any other: JSON body with a
 		// machine-readable code and the request ID.
-		s.failCode(w, http.StatusServiceUnavailable, codeDraining,
+		s.failCode(w, http.StatusServiceUnavailable, CodeDraining,
 			errors.New("server: draining: not accepting new work"))
 		return
 	}
@@ -198,7 +207,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // handleNotFound is the fallback route: unknown paths get the same JSON
 // error contract as every other failure, not net/http's bare-text 404.
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
-	s.failCode(w, http.StatusNotFound, codeNotFound,
+	s.failCode(w, http.StatusNotFound, CodeNotFound,
 		fmt.Errorf("server: no such endpoint %q", r.URL.Path))
 }
 
@@ -231,7 +240,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		// and a machine-readable code (http.Error would write text/plain).
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.WriteHeader(http.StatusInternalServerError)
-		fmt.Fprintf(w, "{\n  \"error\": \"server: encoding response\",\n  \"code\": %q\n}\n", codeInternal)
+		fmt.Fprintf(w, "{\n  \"error\": \"server: encoding response\",\n  \"code\": %q\n}\n", CodeInternal)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -240,19 +249,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // Machine-readable error codes: the stable vocabulary of the "code" field
-// in every non-2xx body. Clients branch on these, not on message text.
+// in every non-2xx body. Clients branch on these, not on message text —
+// they are exported so internal/client and the cluster forwarding layer
+// share the vocabulary instead of re-spelling the strings.
 const (
-	codeBadRequest       = "bad_request"
-	codeMethodNotAllowed = "method_not_allowed"
-	codeNotFound         = "not_found"
-	codeOverloaded       = "overloaded"
-	codeDraining         = "draining"
-	codeSaturated        = "saturated"
-	codeInfeasible       = "infeasible"
-	codeDeadline         = "deadline"
-	codeTransient        = "transient"
-	codePanic            = "panic"
-	codeInternal         = "internal"
+	CodeBadRequest       = "bad_request"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeNotFound         = "not_found"
+	CodeOverloaded       = "overloaded"
+	CodeDraining         = "draining"
+	CodeSaturated        = "saturated"
+	CodeInfeasible       = "infeasible"
+	CodeDeadline         = "deadline"
+	CodeTransient        = "transient"
+	CodePanic            = "panic"
+	CodeInternal         = "internal"
 )
 
 // errInfeasible marks an optimization with no feasible configuration at
@@ -277,29 +288,29 @@ func errorCode(status int, err error) string {
 	var cpe *computePanicError
 	switch {
 	case errors.As(err, &cpe):
-		return codePanic
+		return CodePanic
 	case errors.Is(err, ErrShuttingDown):
-		return codeDraining
+		return CodeDraining
 	case errors.Is(err, ErrOverloaded):
-		return codeOverloaded
+		return CodeOverloaded
 	case errors.As(err, &sat):
-		return codeSaturated
+		return CodeSaturated
 	case errors.Is(err, errInfeasible):
-		return codeInfeasible
+		return CodeInfeasible
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		return codeDeadline
+		return CodeDeadline
 	case errors.Is(err, faults.ErrInjected):
-		return codeTransient
+		return CodeTransient
 	}
 	switch status {
 	case http.StatusBadRequest:
-		return codeBadRequest
+		return CodeBadRequest
 	case http.StatusMethodNotAllowed:
-		return codeMethodNotAllowed
+		return CodeMethodNotAllowed
 	case http.StatusNotFound:
-		return codeNotFound
+		return CodeNotFound
 	default:
-		return codeInternal
+		return CodeInternal
 	}
 }
 
@@ -369,8 +380,31 @@ func (s *Server) post(w http.ResponseWriter, r *http.Request, timeout time.Durat
 // abandon on ctx inside cache.do). Compute-site fault injection wraps the
 // computation, so injected failures share the single-flight path real
 // failures take.
-func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, endpoint, key string, compute func() (entry, error)) {
+//
+// In cluster mode the single-flight leader additionally consults the
+// ring (cluster.go): a miss on a peer-owned key forwards to the owner
+// inside the leader slot, so local duplicates dedup onto one forward and
+// the forwarded answer — byte-identical to the owner's — lands in the
+// local cache, replicating the hot key at its entry node.
+func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, r *http.Request, endpoint, key string, compute func() (entry, error)) {
+	var note forwardNote
 	run := s.wrapCompute(endpoint, compute)
+	if s.forwarder != nil {
+		w.Header().Set(ClusterNodeHeader, s.forwarder.Self())
+		if r.Header.Get(ForwardedHeader) != "" {
+			// A forwarded request always computes here — one hop maximum,
+			// so disagreeing ring views cannot loop a request — and a
+			// draining node refuses it outright: the deliberate draining
+			// answer tells the forwarder to fall back to local compute
+			// instead of waiting out a dying peer.
+			if s.draining.Load() {
+				s.fail(w, http.StatusTooManyRequests, ErrShuttingDown)
+				return
+			}
+		} else {
+			run = s.forwardableCompute(ctx, endpoint, key, w.Header().Get(requestIDHeader), run, &note)
+		}
+	}
 	type cacheAnswer struct {
 		ent entry
 		how outcome
@@ -398,7 +432,23 @@ func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, endpoin
 		w.Header().Set("X-Cache", "dedup")
 	default:
 		s.metrics.CacheMisses.Add(1)
-		w.Header().Set("X-Cache", "miss")
+		// A forwarded answer relays the owner's X-Cache verdict: the
+		// cluster-wide miss count then equals actual computations, no
+		// matter which entry node a client hit.
+		if note.via == "forward" && note.cache != "" {
+			w.Header().Set("X-Cache", note.cache)
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+	}
+	// note is written by the leader closure before its cache.do returns,
+	// which happens-before the done receive above; waiters and hits leave
+	// it empty and get no placement headers.
+	if note.via != "" {
+		w.Header().Set(ClusterViaHeader, note.via)
+		if note.owner != "" {
+			w.Header().Set(ClusterOwnerHeader, note.owner)
+		}
 	}
 	if ans.err != nil {
 		s.fail(w, http.StatusInternalServerError, ans.err)
@@ -471,7 +521,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.serveCached(ctx, w, "predict", key, s.predictCompute(cfg, wspec, req.Delta))
+	s.serveCached(ctx, w, r, "predict", key, s.predictCompute(cfg, wspec, req.Delta))
 }
 
 // predictCompute is the /v1/predict computation behind the cache: resolve
@@ -525,7 +575,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.serveCached(ctx, w, "optimize", key, func() (entry, error) {
+	s.serveCached(ctx, w, r, "optimize", key, func() (entry, error) {
 		wl, err := s.resolveSpec(wspec)
 		if err != nil {
 			return entry{}, err
@@ -579,7 +629,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.serveCached(ctx, w, "advise", key, func() (entry, error) {
+	s.serveCached(ctx, w, r, "advise", key, func() (entry, error) {
 		wl, err := s.resolveSpec(wspec)
 		if err != nil {
 			return entry{}, err
@@ -618,7 +668,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.serveCached(ctx, w, "fit", key, func() (entry, error) {
+	s.serveCached(ctx, w, r, "fit", key, func() (entry, error) {
 		params, stats, err := locality.Fit(req.Xs, req.Ps, locality.FitOptions{Weights: req.Weights})
 		if err != nil {
 			return entry{}, err
@@ -663,12 +713,16 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	key, err := canonicalKey("validate", ValidateRequest{Config: configKey(cfg), Workload: kernel})
+	// The canonical Config is the already-scaled form (its Divisor, if
+	// any, is part of configKey), so the canonical request pins Divisor
+	// to 1: replaying these bytes — as the cluster forwarder does — must
+	// not scale the platform a second time.
+	key, err := canonicalKey("validate", ValidateRequest{Config: configKey(cfg), Workload: kernel, Divisor: 1})
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.serveCached(ctx, w, "validate", key, func() (entry, error) {
+	s.serveCached(ctx, w, r, "validate", key, func() (entry, error) {
 		// The expensive leg: bounded workers, bounded queue, shed beyond.
 		var res backend.RunResult
 		var simErr error

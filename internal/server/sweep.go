@@ -318,7 +318,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
-	s.streamGrid(ctx, w, "sweep", total, req.Offset, jobs)
+	s.streamGrid(ctx, w, r, "sweep", total, req.Offset, jobs)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -374,7 +374,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		job.err = err
 		jobs = append(jobs, job)
 	}
-	s.streamGrid(ctx, w, "batch", total, req.Offset, jobs)
+	s.streamGrid(ctx, w, r, "batch", total, req.Offset, jobs)
 }
 
 // streamGrid admits the grid against the sweep semaphore, fans the jobs
@@ -382,7 +382,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // order followed by the summary trailer. Admission is non-blocking: a
 // saturated server sheds the whole grid with 429 + Retry-After rather
 // than queueing it.
-func (s *Server) streamGrid(ctx context.Context, w http.ResponseWriter, endpoint string, total, offset int, jobs []sweepJob) {
+//
+// In cluster mode the grid's predict points are placed on the ring like
+// single requests: a worker that draws a peer-owned point forwards it to
+// the owner under the grid's request ID — the grid itself is never
+// forwarded wholesale, its points scatter to their home shards.
+func (s *Server) streamGrid(ctx context.Context, w http.ResponseWriter, r *http.Request, endpoint string, total, offset int, jobs []sweepJob) {
+	requestID := w.Header().Get(requestIDHeader)
+	forwarded := r.Header.Get(ForwardedHeader) != ""
 	select {
 	case s.sweepSem <- struct{}{}:
 		defer func() { <-s.sweepSem }()
@@ -408,7 +415,7 @@ func (s *Server) streamGrid(ctx context.Context, w http.ResponseWriter, endpoint
 		workers = len(jobs)
 	}
 	for i := 0; i < workers; i++ {
-		go s.gridWorker(ctx, endpoint, jobsCh, results)
+		go s.gridWorker(ctx, endpoint, requestID, forwarded, jobsCh, results)
 	}
 	go func() {
 		defer close(jobsCh)
@@ -477,7 +484,7 @@ recv:
 // under its canonical key (hits short-circuit, concurrent identical points
 // dedup). The compact buffer is reused across the worker's points, so
 // steady-state allocation per point is one exact-size response copy.
-func (s *Server) gridWorker(ctx context.Context, endpoint string, jobs <-chan sweepJob, results chan<- *SweepLine) {
+func (s *Server) gridWorker(ctx context.Context, endpoint, requestID string, forwarded bool, jobs <-chan sweepJob, results chan<- *SweepLine) {
 	var buf bytes.Buffer
 	for job := range jobs {
 		if ctx.Err() != nil {
@@ -489,7 +496,15 @@ func (s *Server) gridWorker(ctx context.Context, endpoint string, jobs <-chan sw
 			results <- line
 			continue
 		}
-		ent, how, err := s.cache.do(ctx, job.key, s.wrapCompute(endpoint, job.compute))
+		run := s.wrapCompute(endpoint, job.compute)
+		var note forwardNote
+		if s.forwarder != nil && !forwarded && job.kind == "predict" {
+			// Predict points share keys — and therefore ring placement —
+			// with single /v1/predict requests; budget points have no
+			// standalone endpoint to replay against and stay local.
+			run = s.forwardableCompute(ctx, "predict", job.key, requestID, run, &note)
+		}
+		ent, how, err := s.cache.do(ctx, job.key, run)
 		switch how {
 		case outcomeHit:
 			s.metrics.CacheHits.Add(1)
@@ -500,6 +515,9 @@ func (s *Server) gridWorker(ctx context.Context, endpoint string, jobs <-chan sw
 		default:
 			s.metrics.CacheMisses.Add(1)
 			line.Cache = "miss"
+			if note.via == "forward" && note.cache != "" {
+				line.Cache = note.cache
+			}
 		}
 		if err != nil {
 			s.errorLine(line, err, http.StatusInternalServerError)

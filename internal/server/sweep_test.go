@@ -290,7 +290,7 @@ func TestSweepShedsBeyondConcurrency(t *testing.T) {
 	if shed.Header().Get("Retry-After") == "" {
 		t.Error("shed sweep missing Retry-After")
 	}
-	if resp := decodeBody[ErrorResponse](t, shed); resp.Code != codeOverloaded || resp.RetryAfterSeconds < 1 {
+	if resp := decodeBody[ErrorResponse](t, shed); resp.Code != CodeOverloaded || resp.RetryAfterSeconds < 1 {
 		t.Errorf("shed body = %+v", resp)
 	}
 
@@ -314,8 +314,8 @@ func TestSweepDrainingRejected(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("draining sweep status = %d, want 429", rec.Code)
 	}
-	if resp := decodeBody[ErrorResponse](t, rec); resp.Code != codeDraining {
-		t.Errorf("code = %q, want %q", resp.Code, codeDraining)
+	if resp := decodeBody[ErrorResponse](t, rec); resp.Code != CodeDraining {
+		t.Errorf("code = %q, want %q", resp.Code, CodeDraining)
 	}
 	if rec = post(t, s, "/v1/batch", BatchRequest{Requests: []PredictRequest{{Config: ConfigSpec{Name: "C4"}, Workload: WorkloadSpec{Name: "fft"}}}}); rec.Code != http.StatusTooManyRequests {
 		t.Errorf("draining batch status = %d, want 429", rec.Code)
@@ -409,7 +409,7 @@ func TestSweepInfeasibleBudget(t *testing.T) {
 	}
 	budget := lines[1]
 	if budget.Kind != "budget" || budget.Status != http.StatusUnprocessableEntity ||
-		budget.Error == nil || budget.Error.Code != codeInfeasible {
+		budget.Error == nil || budget.Error.Code != CodeInfeasible {
 		t.Errorf("budget line = %+v (error %+v)", budget, budget.Error)
 	}
 }
@@ -434,7 +434,7 @@ func TestBatchMixedPoints(t *testing.T) {
 	if lines[0].Error != nil || lines[2].Error != nil {
 		t.Fatalf("valid points errored: %+v / %+v", lines[0].Error, lines[2].Error)
 	}
-	if lines[1].Status != http.StatusBadRequest || lines[1].Error == nil || lines[1].Error.Code != codeBadRequest {
+	if lines[1].Status != http.StatusBadRequest || lines[1].Error == nil || lines[1].Error.Code != CodeBadRequest {
 		t.Errorf("invalid point line = %+v (error %+v)", lines[1], lines[1].Error)
 	}
 	for i, pr := range []PredictRequest{

@@ -4,10 +4,11 @@
 # Usage: scripts/bench.sh [-short] [output.json]
 #
 # Runs the simulator-engine, stack-distance, prediction-service,
-# resilient-client, and sweep/budget-optimization benchmark families with
+# resilient-client, cluster-serving, and sweep/budget-optimization
+# benchmark families with
 # -benchtime=1x -count=3 (best-of-3 per benchmark) and writes a JSON array
 # of {name, ns_op, allocs_op}. The output path comes from the argument,
-# else $BENCH_OUT, else BENCH_PR6.json — it is never hardcoded to one PR's
+# else $BENCH_OUT, else BENCH_PR8.json — it is never hardcoded to one PR's
 # artifact, so each PR records its own snapshot without editing this
 # script. -short drops to -count=1: the CI smoke mode that only proves the
 # benchmarks still compile and run.
@@ -15,7 +16,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 count=3
-out=${BENCH_OUT:-BENCH_PR6.json}
+out=${BENCH_OUT:-BENCH_PR8.json}
 for arg in "$@"; do
   case "$arg" in
     -short) count=1 ;;
@@ -23,12 +24,20 @@ for arg in "$@"; do
   esac
 done
 
-pattern='^(BenchmarkSimulate|BenchmarkRun|BenchmarkStreamRun|BenchmarkAccessCacheHit|BenchmarkTouch|BenchmarkServe|BenchmarkClient|BenchmarkOptimizeBudgets|BenchmarkBudgetSweepBrute)'
+pattern='^(BenchmarkSimulate|BenchmarkRun|BenchmarkStreamRun|BenchmarkAccessCacheHit|BenchmarkTouch|BenchmarkServe|BenchmarkClient|BenchmarkCluster|BenchmarkOptimizeBudgets|BenchmarkBudgetSweepBrute)'
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
-for pkg in ./internal/sim/backend ./internal/stackdist ./internal/server ./internal/client ./internal/cost; do
+for pkg in ./internal/sim/backend ./internal/stackdist ./internal/server ./internal/cost; do
   go test "$pkg" -run '^$' -bench "$pattern" -benchtime=1x -count="$count" -benchmem | tee -a "$raw"
+done
+
+# The client and cluster benches cross real TCP sockets, where a single
+# iteration mostly measures scheduler and connection-state noise; give
+# them enough iterations that ns/op is a steady-state average (the
+# forwarded-hit vs local-hit ratio is meaningless otherwise).
+for pkg in ./internal/client ./internal/cluster; do
+  go test "$pkg" -run '^$' -bench "$pattern" -benchtime=50x -count="$count" -benchmem | tee -a "$raw"
 done
 
 # Parallel benchmarks additionally run at fixed -cpu points so per-core

@@ -17,3 +17,9 @@ seed=${1:-1}
 
 go build -o /tmp/chc-chaos ./cmd/chc-chaos
 /tmp/chc-chaos -seed "$seed" -profile all -requests 400 -concurrency 8
+
+# Cluster chaos: 3 in-process nodes on one ring, soaked through the
+# multi-base client while one node is killed and another drained —
+# byte-identity across entry nodes, compute-at-most-once, and the error
+# contract must survive both.
+/tmp/chc-chaos -seed "$seed" -cluster 3 -requests 400 -concurrency 8

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end smoke test of chc-serve cluster mode.
+#
+# Starts three real chc-serve processes on one consistent-hash ring,
+# posts the golden predict request through every entry node, and demands
+# the three answers be byte-identical (whoever owns the key, whichever
+# door it enters). Exactly one node may have computed it: across the
+# three first-contact responses there must be exactly one X-Cache: miss,
+# with the others hit/dedup relays. Then one non-entry node is killed
+# mid-cluster and every surviving node must keep answering the same
+# bytes — dead-owner keys degrade to local compute, never to an error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp -d)
+pids=()
+trap 'kill "${pids[@]}" 2>/dev/null || true; wait "${pids[@]}" 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+go build -o "$bin/chc-serve" ./cmd/chc-serve
+
+a=127.0.0.1:18091
+b=127.0.0.1:18092
+c=127.0.0.1:18093
+peers="a=http://$a,b=http://$b,c=http://$c"
+
+for node in a b c; do
+  addr_var=${!node}
+  "$bin/chc-serve" -addr "$addr_var" -node "$node" -peers "$peers" \
+    -probe-interval 200ms >"$bin/$node.log" 2>&1 &
+  pids+=($!)
+done
+
+for addr in "$a" "$b" "$c"; do
+  for i in $(seq 1 50); do
+    if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+  done
+  curl -fsS "http://$addr/readyz" >/dev/null
+done
+
+# Wait for every node's probed health view to converge (a node that came
+# up first may have probed a not-yet-listening peer and marked it down
+# for one probe interval; asserting placement before convergence would
+# race that window).
+for addr in "$a" "$b" "$c"; do
+  for i in $(seq 1 50); do
+    if curl -fsS "http://$addr/metrics" |
+      jq -e '.cluster.peers | all(.healthy)' >/dev/null 2>&1; then break; fi
+    sleep 0.1
+  done
+done
+echo "3 nodes up, health view converged"
+
+req='{"config":{"name":"C4"},"workload":{"name":"fft"}}'
+
+# First contact through each entry node: identical bytes, one miss total.
+misses=0
+for addr in "$a" "$b" "$c"; do
+  curl -fsS -D "$bin/h.$addr" -o "$bin/body.$addr" -X POST -d "$req" "http://$addr/v1/predict"
+  cache=$(tr -d '\r' <"$bin/h.$addr" | awk 'tolower($1)=="x-cache:"{print $2}')
+  via=$(tr -d '\r' <"$bin/h.$addr" | awk 'tolower($1)=="x-cluster-via:"{print $2}')
+  echo "  entry $addr: X-Cache=$cache via=${via:-hit}"
+  if [ "$cache" = "miss" ]; then misses=$((misses + 1)); fi
+done
+if ! cmp -s "$bin/body.$a" "$bin/body.$b" || ! cmp -s "$bin/body.$a" "$bin/body.$c"; then
+  echo "FAIL: predict bodies differ across entry nodes" >&2
+  exit 1
+fi
+if [ "$misses" -ne 1 ]; then
+  echo "FAIL: $misses cluster-wide misses for one key via three entries, want 1" >&2
+  exit 1
+fi
+echo "golden predict byte-identical across 3 entry nodes, computed once"
+
+# Every node reports the cluster view in /metrics.
+for addr in "$a" "$b" "$c"; do
+  curl -fsS "http://$addr/metrics" | jq -e '.cluster.ownership_fraction' >/dev/null
+done
+echo "cluster metrics ok"
+
+# Kill node c (SIGKILL: a crash, not a drain) and re-check through the
+# survivors with a fresh key, then the golden key again.
+kill -9 "${pids[2]}"
+wait "${pids[2]}" 2>/dev/null || true
+sleep 0.5 # let health probes notice
+
+fresh='{"config":{"name":"C8"},"workload":{"name":"lu"}}'
+curl -fsS -o "$bin/fresh.a" -X POST -d "$fresh" "http://$a/v1/predict"
+curl -fsS -o "$bin/fresh.b" -X POST -d "$fresh" "http://$b/v1/predict"
+if ! cmp -s "$bin/fresh.a" "$bin/fresh.b"; then
+  echo "FAIL: fresh key bodies differ across survivors after node death" >&2
+  exit 1
+fi
+curl -fsS -o "$bin/again.a" -X POST -d "$req" "http://$a/v1/predict"
+curl -fsS -o "$bin/again.b" -X POST -d "$req" "http://$b/v1/predict"
+if ! cmp -s "$bin/again.a" "$bin/body.$a" || ! cmp -s "$bin/again.b" "$bin/body.$a"; then
+  echo "FAIL: golden key bytes changed after node death" >&2
+  exit 1
+fi
+echo "kill-one-node ok (survivors byte-identical, no errors)"
+
+kill -TERM "${pids[0]}" "${pids[1]}"
+wait "${pids[0]}" "${pids[1]}" 2>/dev/null || true
+echo "cluster smoke: PASS"
