@@ -70,7 +70,7 @@ func main() {
 		}
 		r := runCluster(*clusterN, *seed, *requests, *concurrency)
 		r.print()
-		if len(r.violations) > 0 {
+		if r.failed() {
 			fmt.Println("\nchc-chaos: FAIL — invariant violations above")
 			os.Exit(1)
 		}
@@ -101,7 +101,7 @@ func main() {
 	for _, p := range profiles {
 		r := runProfile(p, *seed, *requests, *concurrency)
 		r.print()
-		if len(r.violations) > 0 {
+		if r.failed() {
 			failed = true
 		}
 	}
@@ -128,6 +128,13 @@ func (r *report) violate(format string, args ...any) {
 	if len(r.violations) < 25 {
 		r.violations = append(r.violations, fmt.Sprintf(format, args...))
 	}
+}
+
+// failed reports whether any violation was recorded.
+func (r *report) failed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.violations) > 0
 }
 
 func (r *report) count(outcome string) {

@@ -266,11 +266,14 @@ func (c *Cluster) Place(key string) ([]string, bool) {
 // Forward replays a canonical request body against peer's path with the
 // original request ID. The peer client adds the hop marker, applies its
 // (small) retry budget, and treats a draining answer as final.
+//chc:hotpath
 func (c *Cluster) Forward(ctx context.Context, peer, path, requestID string, body []byte) (server.ForwardResult, error) {
 	cl, ok := c.clients[peer]
 	if !ok {
+		//chc:allow hotalloc -- cold path: misconfigured ring, request already failed
 		return server.ForwardResult{}, fmt.Errorf("cluster: unknown peer %q", peer)
 	}
+	//chc:allow hotalloc -- Call's body parameter is any by API contract; RawMessage avoids the re-encode, boxing one header is the floor
 	meta, err := cl.Call(ctx, path, requestID, json.RawMessage(body), nil)
 	if err != nil {
 		return server.ForwardResult{}, err

@@ -78,6 +78,19 @@ func Run(t *testing.T, dir string, a *lint.Analyzer) {
 	}
 }
 
+// Diagnostics loads the fixture package in dir, runs the analyzer, and
+// returns the raw diagnostics without consulting want comments. Mutation
+// tests use it to prove an annotation or a code line is load-bearing:
+// copy the fixture with the line stripped, re-run, and assert the
+// findings change.
+func Diagnostics(dir string, a *lint.Analyzer) ([]lint.Diagnostic, error) {
+	pkg, _, err := loadFixture(dir)
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+}
+
 func match(expects []*expectation, d *lint.Diagnostic) *expectation {
 	for _, e := range expects {
 		if e.matched || e.line != d.Pos.Line || filepath.Base(e.file) != filepath.Base(d.Pos.Filename) {

@@ -1,0 +1,122 @@
+// Package atomics enforces all-or-nothing atomic discipline: once any code
+// accesses a variable or field through the sync/atomic functions
+// (atomic.AddInt64(&s.n, 1), atomic.LoadUint64(&hits), …), every access to
+// it must be atomic. A plain read racing an atomic write is still a data
+// race — and one the race detector only catches when the schedule
+// cooperates. Mixed access usually means a counter grew a fast path that
+// silently dropped the discipline.
+//
+// The analyzer works per package, in two passes over the files: first it
+// collects every object passed by address to a sync/atomic function
+// (remembering those sanctioned expression nodes), then it flags any other
+// read or write of the same object. Typed atomics (atomic.Int64 and
+// friends) are safe by construction and need no checking — this analyzer
+// is why the repo prefers them for new code.
+package atomics
+
+import (
+	"go/ast"
+	"go/types"
+
+	"memhier/internal/lint"
+)
+
+// Analyzer flags plain accesses to variables that are elsewhere accessed
+// through sync/atomic functions.
+var Analyzer = &lint.Analyzer{
+	Name: "atomics",
+	Doc: `atomics reports non-atomic reads or writes of a variable or struct field
+that is accessed via sync/atomic functions elsewhere in the package. Mixing
+plain and atomic access is a data race; use the atomic functions everywhere
+or a typed atomic (atomic.Int64, atomic.Bool, …).`,
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	// Pass 1: objects used atomically, and the exact AST nodes where the
+	// atomic access happens (those are sanctioned).
+	atomicObjs := map[types.Object]bool{}
+	sanctioned := map[ast.Node]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFunc(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				target := ast.Unparen(un.X)
+				if obj := referent(pass, target); obj != nil {
+					atomicObjs[obj] = true
+					sanctioned[target] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other use of those objects is a plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if sanctioned[n] {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if obj := referent(pass, x); obj != nil && atomicObjs[obj] {
+					pass.Reportf(x.Pos(),
+						"%s is accessed via sync/atomic elsewhere in this package; this plain access races with it — use the atomic functions or a typed atomic",
+						obj.Name())
+					return false
+				}
+			case *ast.Ident:
+				if obj := referent(pass, x); obj != nil && atomicObjs[obj] {
+					pass.Reportf(x.Pos(),
+						"%s is accessed via sync/atomic elsewhere in this package; this plain access races with it — use the atomic functions or a typed atomic",
+						obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// referent resolves an lvalue expression (ident or field selector) to the
+// object it names: the field's *types.Var for selectors, the variable for
+// idents. Declaration names themselves (struct fields, var specs) are not
+// uses and return nil via Uses lookup falling through to Defs being
+// intentionally excluded — a declaration is not an access.
+func referent(pass *lint.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		sel, ok := pass.TypesInfo.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return nil
+		}
+		return sel.Obj()
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if _, ok := obj.(*types.Var); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// isAtomicFunc reports whether call invokes a package-level function of
+// sync/atomic (not a typed-atomic method).
+func isAtomicFunc(pass *lint.Pass, call *ast.CallExpr) bool {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

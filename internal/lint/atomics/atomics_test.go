@@ -1,0 +1,12 @@
+package atomics_test
+
+import (
+	"testing"
+
+	"memhier/internal/lint/analysistest"
+	"memhier/internal/lint/atomics"
+)
+
+func TestAtomics(t *testing.T) {
+	analysistest.Run(t, "testdata/src/at", atomics.Analyzer)
+}

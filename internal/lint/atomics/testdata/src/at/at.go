@@ -1,0 +1,64 @@
+// Package at exercises the atomics analyzer: once a field or variable is
+// accessed through sync/atomic anywhere in the package, every access must
+// be atomic.
+package at
+
+import "sync/atomic"
+
+type stats struct {
+	n     int64
+	hits  int64
+	plain int64 // never touched atomically: free to access directly
+	typed atomic.Int64
+}
+
+// bump and read keep the discipline.
+func (s *stats) bump() {
+	atomic.AddInt64(&s.n, 1)
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) read() int64 {
+	return atomic.LoadInt64(&s.n)
+}
+
+// mixedRead drops the discipline: a plain read racing bump.
+func (s *stats) mixedRead() int64 {
+	return s.n // want "n is accessed via sync/atomic elsewhere in this package"
+}
+
+// mixedWrite is the same mistake on the write side.
+func (s *stats) mixedWrite() {
+	s.hits = 0 // want "hits is accessed via sync/atomic elsewhere in this package"
+}
+
+// plainOK: a field never accessed atomically has no constraint.
+func (s *stats) plainOK() int64 {
+	s.plain++
+	return s.plain
+}
+
+// typedOK: typed atomics are safe by construction, and their method calls
+// are not sync/atomic package functions.
+func (s *stats) typedOK() int64 {
+	s.typed.Add(1)
+	return s.typed.Load()
+}
+
+// Package-level variables are covered too.
+var counter uint64
+
+func incCounter() {
+	atomic.AddUint64(&counter, 1)
+}
+
+func badCounter() uint64 {
+	return counter // want "counter is accessed via sync/atomic elsewhere in this package"
+}
+
+// allowedSnapshot documents a deliberately non-atomic read (e.g. a
+// monitoring snapshot that tolerates staleness) with the repo directive.
+func allowedSnapshot() uint64 {
+	//chc:allow atomics -- fixture: monitoring snapshot tolerates a stale read
+	return counter
+}

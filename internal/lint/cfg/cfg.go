@@ -1,0 +1,437 @@
+// Package cfg builds function-level control-flow graphs from go/ast and
+// runs forward dataflow analyses over them. It is the engine behind the
+// flow-sensitive analyzers (guardedby v2, lockorder, leakcheck): where the
+// original syntactic checks asked "does a lock call appear anywhere in
+// this body", the CFG answers "is the lock held on every path reaching
+// this access".
+//
+// The graph is deliberately small: basic blocks hold leaf statements and
+// control expressions in execution order, and every structured and
+// unstructured control construct — if/else, for, range, switch (with
+// fallthrough), type switch, select, labeled break/continue, goto, defer,
+// return, and terminating panic calls — contributes its real edges. Defers
+// do not get edges (they run at function exit in reverse order); they are
+// collected on the Graph for analyzers that model exit effects, which is
+// exactly what the lock-leak check needs.
+//
+// The dataflow half is a worklist fixpoint over a join-semilattice the
+// analyzer supplies: facts are joined where paths merge and propagated
+// through a per-leaf transfer function until nothing changes. Must-style
+// analyses (intersection joins) and may-style analyses (union joins) both
+// fit; unreachable blocks are never visited, so they cannot pollute a
+// must-analysis with vacuous facts.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one basic block: leaf statements and control expressions in
+// execution order, with explicit successor and predecessor edges.
+type Block struct {
+	Index int
+	// Nodes holds the block's leaves: simple statements (assignments,
+	// calls, sends, incdec, defer, go, return) and the condition or tag
+	// expressions of the control statements that terminate the block.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry *Block
+	// Exit is the single synthetic exit block: every return, every
+	// terminating panic, and the fall-off-the-end path lead here.
+	Exit   *Block
+	Blocks []*Block
+	// Defers collects every DeferStmt in the body, in source order. They
+	// carry no edges — conceptually they all run on the way to Exit.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the control-flow graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	cur := b.stmts(b.g.Entry, body.List)
+	b.edge(cur, b.g.Exit) // falling off the end
+	b.resolveGotos()
+	renumber(b.g)
+	return b.g
+}
+
+// builder carries the construction state: the loop/switch stack for
+// break/continue targets and the label table for goto/labeled break.
+type builder struct {
+	g *Graph
+	// breaks/continues are the innermost targets for unlabeled branches.
+	breaks    []*Block
+	continues []*Block
+	// labels maps a label name to its branch targets.
+	labels map[string]*labelTarget
+	gotos  []pendingGoto
+	// pendingLabel is the label whose loop/switch targets the next
+	// structured statement should publish (set by LabeledStmt, consumed
+	// by withLoop and switchBody via publishLabel).
+	pendingLabel *labelTarget
+}
+
+type labelTarget struct {
+	breakTo    *Block
+	continueTo *Block
+	stmtBlock  *Block // the labeled statement itself, for goto
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge links from → to. A nil from (dead code after a terminator) is a
+// no-op, which is how unreachable paths stay unreachable.
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// stmts appends the statement list to cur, returning the block control
+// falls out of (nil when every path terminated).
+func (b *builder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt appends one statement and returns the fall-through block.
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	if cur == nil {
+		// Dead code after return/goto/panic: build its structure into a
+		// fresh unreachable block so nested labels still resolve, but do
+		// not connect it.
+		cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		then := b.newBlock()
+		b.edge(cur, then)
+		thenEnd := b.stmts(then, s.Body.List)
+		after := b.newBlock()
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els)
+			elsEnd := b.stmt(els, s.Else)
+			b.edge(elsEnd, after)
+		} else {
+			b.edge(cur, after)
+		}
+		b.edge(thenEnd, after)
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after) // condition false
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		bodyEnd := b.withLoop(after, post, func() *Block {
+			return b.stmts(body, s.Body.List)
+		})
+		b.edge(bodyEnd, post)
+		b.edge(post, head)
+		return after
+
+	case *ast.RangeStmt:
+		// Only the clause's expressions are leaves here — storing the whole
+		// RangeStmt would smuggle the loop body into the header block.
+		cur.Nodes = append(cur.Nodes, s.X) // evaluated once, before the loop
+		head := b.newBlock()
+		b.edge(cur, head)
+		// Key/Value are assigned on each iteration.
+		if s.Key != nil {
+			head.Nodes = append(head.Nodes, s.Key)
+		}
+		if s.Value != nil {
+			head.Nodes = append(head.Nodes, s.Value)
+		}
+		after := b.newBlock()
+		b.edge(head, after) // range exhausted
+		body := b.newBlock()
+		b.edge(head, body)
+		bodyEnd := b.withLoop(after, head, func() *Block {
+			return b.stmts(body, s.Body.List)
+		})
+		b.edge(bodyEnd, head)
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.switchBody(cur, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.switchBody(cur, s.Body, nil)
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		hasDefault := false
+		var ends []*Block
+		b.breaks = append(b.breaks, after)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(cur, blk)
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+			ends = append(ends, b.stmts(blk, cc.Body))
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		for _, e := range ends {
+			b.edge(e, after)
+		}
+		if len(s.Body.List) == 0 && !hasDefault {
+			// select{} blocks forever: no successor.
+			return nil
+		}
+		return after
+
+	case *ast.LabeledStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		if b.labels == nil {
+			b.labels = map[string]*labelTarget{}
+		}
+		lt := &labelTarget{stmtBlock: head}
+		b.labels[s.Label.Name] = lt
+		// For labeled loops and switches the break/continue targets are
+		// discovered while building the inner statement; withLoop and
+		// switchBody publish into lt via pendingLabel.
+		b.pendingLabel = lt
+		end := b.stmt(head, s.Stmt)
+		b.pendingLabel = nil
+		return end
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil {
+					b.edge(cur, lt.breakTo)
+				}
+			} else if n := len(b.breaks); n > 0 {
+				b.edge(cur, b.breaks[n-1])
+			}
+			return nil
+		case token.CONTINUE:
+			if s.Label != nil {
+				if lt := b.labels[s.Label.Name]; lt != nil {
+					b.edge(cur, lt.continueTo)
+				}
+			} else if n := len(b.continues); n > 0 {
+				b.edge(cur, b.continues[n-1])
+			}
+			return nil
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: cur, label: s.Label.Name})
+			return nil
+		case token.FALLTHROUGH:
+			// Handled structurally by switchBody (the clause end falls into
+			// the next clause); nothing to do here.
+			return cur
+		}
+		return cur
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.g.Exit)
+		return nil
+
+	case *ast.DeferStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.g.Defers = append(b.g.Defers, s)
+		return cur
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				b.edge(cur, b.g.Exit)
+				return nil
+			}
+		}
+		return cur
+
+	case nil:
+		return cur
+
+	default:
+		// Assignments, declarations, go statements, sends, incdec, empty
+		// statements: straight-line leaves.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchBody builds the clause blocks of a switch or type switch. Each
+// clause's guard expressions are evaluated on the dispatch block; a clause
+// ending in fallthrough connects to the next clause's body.
+func (b *builder) switchBody(cur *Block, body *ast.BlockStmt, _ *labelTarget) *Block {
+	after := b.newBlock()
+	b.publishLabel(after, nil)
+	b.breaks = append(b.breaks, after)
+	var clauseBodies []*Block
+	var clauseEnds []*Block
+	var falls []bool
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			cur.Nodes = append(cur.Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		b.edge(cur, blk)
+		clauseBodies = append(clauseBodies, blk)
+		end := b.stmts(blk, cc.Body)
+		fallsThrough := false
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		falls = append(falls, fallsThrough)
+		clauseEnds = append(clauseEnds, end)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	for i, end := range clauseEnds {
+		if falls[i] && i+1 < len(clauseBodies) {
+			b.edge(end, clauseBodies[i+1])
+		} else {
+			b.edge(end, after)
+		}
+	}
+	if !hasDefault {
+		b.edge(cur, after) // no clause matched
+	}
+	return after
+}
+
+// publishLabel fills the pending label's branch targets, if one is open.
+func (b *builder) publishLabel(breakTo, continueTo *Block) {
+	if b.pendingLabel != nil {
+		b.pendingLabel.breakTo = breakTo
+		b.pendingLabel.continueTo = continueTo
+		b.pendingLabel = nil
+	}
+}
+
+// withLoop runs body with the given unlabeled break/continue targets.
+func (b *builder) withLoop(breakTo, continueTo *Block, body func() *Block) *Block {
+	b.publishLabel(breakTo, continueTo)
+	b.breaks = append(b.breaks, breakTo)
+	b.continues = append(b.continues, continueTo)
+	end := body()
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	return end
+}
+
+// resolveGotos connects forward and backward gotos once every label block
+// exists.
+func (b *builder) resolveGotos() {
+	for _, g := range b.gotos {
+		if lt := b.labels[g.label]; lt != nil {
+			b.edge(g.from, lt.stmtBlock)
+		}
+	}
+}
+
+func renumber(g *Graph) {
+	for i, blk := range g.Blocks {
+		blk.Index = i
+	}
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *Graph) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// CanReach reports, for every block, whether to is reachable from it
+// (following successor edges; a block trivially reaches itself).
+func (g *Graph) CanReach(to *Block) map[*Block]bool {
+	can := map[*Block]bool{to: true}
+	// Reverse BFS over predecessor edges.
+	queue := []*Block{to}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		for _, p := range blk.Preds {
+			if !can[p] {
+				can[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return can
+}

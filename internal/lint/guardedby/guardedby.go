@@ -1,60 +1,344 @@
 // Package guardedby checks the repo's lock-annotation convention: a struct
 // field whose declaration carries a `// guarded by mu` comment may only be
-// touched from a method of that struct while the named mutex is held. The
-// sharded response cache, single-flight maps, and worker pool in
-// internal/server and internal/experiments carry exactly these comments.
+// touched while the named mutex is held. The sharded response cache,
+// single-flight maps, worker pool, cluster health view, and parallel
+// engine state all carry exactly these comments.
 //
-// The check is syntactic and flow-insensitive: a method that accesses a
-// guarded field must contain a `recv.mu.Lock()` or `recv.mu.RLock()` call
-// somewhere in its body. Methods whose names end in "Locked" declare that
-// their caller holds the lock and are exempt; that suffix is the approved
-// way to split a locked method into helpers.
+// v2 is flow-sensitive: it builds each function's control-flow graph
+// (internal/lint/cfg) and runs a must-hold lock analysis over it — a lock
+// counts as held at an access only if it is held on *every* path reaching
+// that access. This catches what the syntactic v1 ("a Lock call appears
+// somewhere in the body") could not:
+//
+//   - unlock-then-access: mu.Lock(); …; mu.Unlock(); s.field++
+//   - branch-dependent locking: if fast { mu.Lock() }; s.field++
+//   - early-return lock leaks: mu.Lock(); if err { return err } — the
+//     return leaks the lock (no deferred unlock), reported even when every
+//     access itself is guarded.
+//
+// The analysis is object-sensitive, not just receiver-based: sh := c.shard
+// (key); sh.mu.Lock(); sh.items[k] — the lock and the access are matched
+// through the local variable sh. Deferred unlocks keep the lock held to
+// function exit (and exempt the leak check). Conventions carried over from
+// v1 and extended:
+//
+//   - methods named with a "Locked" suffix run under their caller's lock
+//     and are exempt;
+//   - function literals assigned to variables named with a "Locked"
+//     suffix (flushLocked := func() {…}) get the same contract — the
+//     closure form of the helper-under-callers-lock idiom;
+//   - a local variable initialized from a composite literal in the same
+//     function (c := &Cluster{…}) is unshared during construction, so its
+//     fields may be initialized without the lock.
 package guardedby
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
+	"sort"
 	"strings"
 
 	"memhier/internal/lint"
+	"memhier/internal/lint/cfg"
+	"memhier/internal/lint/locks"
 )
 
-// Analyzer flags guarded-field accesses without the guarding lock in scope.
+// Analyzer flags guarded-field accesses without the guarding lock
+// must-held, and returns that leak an acquired lock.
 var Analyzer = &lint.Analyzer{
 	Name: "guardedby",
-	Doc: `guardedby reports accesses to struct fields annotated "// guarded by mu"
-from methods of the same struct that never acquire mu (no mu.Lock/RLock
-call syntactically in the method body). Helpers that run under a caller's
-lock must be named with a "Locked" suffix.`,
+	Doc: `guardedby (v2, flow-sensitive) reports accesses to struct fields annotated
+"// guarded by mu" at program points where the named mutex is not held on
+every control-flow path, and return statements that leak a held lock (no
+unlock on the path and no deferred unlock). Helpers that run under a
+caller's lock must be named with a "Locked" suffix — methods and closure
+variables alike.`,
 	Run: run,
 }
 
 var guardRe = regexp.MustCompile(`guarded by (\w+)`)
 
-// guards maps a struct's type name → guarded field name → mutex field name.
-type guards map[*types.TypeName]map[string]string
+// guardInfo is the annotation table of one package: guarded field objects
+// and the name of the mutex field that guards each.
+type guardInfo struct {
+	// mu maps a guarded field's object to its guarding mutex field name.
+	mu map[*types.Var]string
+	// owner maps the field to its declaring struct's type name (messages).
+	owner map[*types.Var]string
+}
 
 func run(pass *lint.Pass) error {
-	g := collectGuards(pass)
-	if len(g) == 0 {
-		return nil
-	}
+	gi := collectGuards(pass)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+			if !ok || fn.Body == nil {
 				continue
 			}
-			checkMethod(pass, g, fn)
+			exempt := strings.HasSuffix(fn.Name.Name, "Locked")
+			if !exempt {
+				checkFunc(pass, gi, fn.Name.Name, fn.Body)
+			}
+			checkLits(pass, gi, fn.Body)
 		}
 	}
 	return nil
 }
 
+// checkLits finds function literals in body and checks each as its own
+// function (lock state never flows into a literal: it may run on another
+// goroutine or after the caller unlocked). Literals assigned to
+// Locked-suffixed variables are exempt by contract.
+func checkLits(pass *lint.Pass, gi guardInfo, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var lits []*ast.FuncLit
+		var name string
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if lit, ok := rhs.(*ast.FuncLit); ok && i < len(s.Lhs) {
+					if id, ok := s.Lhs[i].(*ast.Ident); ok {
+						lits, name = append(lits, lit), id.Name
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range s.Values {
+				if lit, ok := rhs.(*ast.FuncLit); ok && i < len(s.Names) {
+					lits, name = append(lits, lit), s.Names[i].Name
+				}
+			}
+		case *ast.FuncLit:
+			// A literal not captured by the cases above (direct go/defer/
+			// call argument); checked under its own empty lock state.
+			checkFunc(pass, gi, "func literal", s.Body)
+			return false
+		}
+		for _, lit := range lits {
+			if !strings.HasSuffix(name, "Locked") {
+				checkFunc(pass, gi, name, lit.Body)
+			} else {
+				// Exempt from the must-hold check, but literals nested
+				// inside it still get their own analysis.
+				checkLits(pass, gi, lit.Body)
+			}
+		}
+		return len(lits) == 0
+	})
+}
+
+// checkFunc runs the must-hold analysis over one function body.
+func checkFunc(pass *lint.Pass, gi guardInfo, name string, body *ast.BlockStmt) {
+	if len(gi.mu) == 0 {
+		return
+	}
+	g := cfg.New(body)
+	deferred := locks.DeferredReleases(pass.TypesInfo, g.Defers)
+	fresh := freshObjects(pass.TypesInfo, body)
+
+	flow := cfg.Flow[locks.Set]{
+		Entry: locks.Set{},
+		Join:  locks.Intersect,
+		Equal: locks.Equal,
+		Transfer: func(n ast.Node, in locks.Set) locks.Set {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return in // deferred releases run at exit, not here
+			}
+			for _, op := range locks.OpsIn(pass.TypesInfo, n) {
+				if op.Kind == locks.Acquire {
+					in = in.With(op.Key)
+				} else {
+					in = in.Without(op.Key)
+				}
+			}
+			return in
+		},
+	}
+
+	in := cfg.Forward(g, flow)
+	reported := map[*types.Var]bool{}
+	for _, blk := range g.Blocks {
+		fact, reachable := in[blk]
+		if !reachable {
+			continue
+		}
+		exits := false
+		for _, s := range blk.Succs {
+			if s == g.Exit {
+				exits = true
+			}
+		}
+		for i, n := range blk.Nodes {
+			checkAccesses(pass, gi, name, n, fact, fresh, reported)
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				reportLeaks(pass, name, ret.Pos(), fact, deferred)
+			}
+			fact = flow.Transfer(n, fact)
+			_ = i
+		}
+		// Fall-off-the-end path: a block flowing into Exit without a
+		// return or panic terminator ends the function with fact held.
+		if exits && !terminates(blk) {
+			reportLeaks(pass, name, body.Rbrace, fact, deferred)
+		}
+	}
+}
+
+// terminates reports whether the block's last node explicitly ends the
+// function (return, or a terminating panic call). Panics may hold locks —
+// the process is crashing, or a recover-and-unlock defer handles it.
+func terminates(blk *cfg.Block) bool {
+	if len(blk.Nodes) == 0 {
+		return false
+	}
+	switch last := blk.Nodes[len(blk.Nodes)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reportLeaks flags locks still must-held at a function exit that no
+// deferred unlock releases.
+func reportLeaks(pass *lint.Pass, name string, pos token.Pos, held, deferred locks.Set) {
+	var leaked []string
+	for key := range held {
+		if deferred[key] {
+			continue
+		}
+		leaked = append(leaked, lockName(key))
+	}
+	sort.Strings(leaked)
+	for _, l := range leaked {
+		pass.Reportf(pos, "%s returns with %s held: unlock before returning or defer the unlock", name, l)
+	}
+}
+
+func lockName(key locks.Key) string {
+	return key.Root.Name() + key.Path
+}
+
+// checkAccesses walks one leaf for guarded-field accesses and verifies the
+// guarding lock is in the must-held set. Function literals are skipped —
+// they are separate functions, analyzed by checkLits.
+func checkAccesses(pass *lint.Pass, gi guardInfo, name string, n ast.Node, held locks.Set, fresh map[types.Object]bool, reported map[*types.Var]bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		mu, guarded := gi.mu[field]
+		if !guarded || reported[field] {
+			return true
+		}
+		base, _, ok := locks.Resolve(pass.TypesInfo, sel.X)
+		if !ok {
+			return true // unnameable base: cannot match a lock, stay quiet
+		}
+		if fresh[base.Root] && base.Path == "" {
+			return true // constructing a not-yet-shared object
+		}
+		need := locks.Key{Root: base.Root, Path: base.Path + "." + mu}
+		if held[need] {
+			return true
+		}
+		reported[field] = true
+		pass.Reportf(sel.Pos(),
+			"%s.%s (%s.%s) is guarded by %s, but %s is not held on every path to this access (hold %s, or use a Locked-suffix helper if the caller holds it)",
+			exprString(sel.X), field.Name(), gi.owner[field], field.Name(), mu, lockName(need), lockName(need))
+		return true
+	})
+}
+
+// exprString renders a selector base for messages (best effort).
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprString(e.X)
+	}
+	return "<expr>"
+}
+
+// freshObjects finds local variables initialized from composite literals
+// in this function: objects still private to the constructor, whose fields
+// may be initialized lock-free.
+func freshObjects(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE {
+				return true
+			}
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) {
+					break
+				}
+				if !isCompositeLit(rhs) {
+					continue
+				}
+				if id, ok := s.Lhs[i].(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						fresh[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range s.Values {
+				if i >= len(s.Names) || !isCompositeLit(rhs) {
+					continue
+				}
+				if obj := info.Defs[s.Names[i]]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isCompositeLit(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	}
+	return false
+}
+
 // collectGuards finds `// guarded by <mu>` annotations on struct fields.
-func collectGuards(pass *lint.Pass) guards {
-	g := guards{}
+func collectGuards(pass *lint.Pass) guardInfo {
+	gi := guardInfo{mu: map[*types.Var]string{}, owner: map[*types.Var]string{}}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			ts, ok := n.(*ast.TypeSpec)
@@ -65,26 +349,22 @@ func collectGuards(pass *lint.Pass) guards {
 			if !ok {
 				return true
 			}
-			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
-			if !ok {
-				return true
-			}
 			for _, field := range st.Fields.List {
 				mu := guardAnnotation(field)
 				if mu == "" {
 					continue
 				}
 				for _, name := range field.Names {
-					if g[tn] == nil {
-						g[tn] = map[string]string{}
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						gi.mu[v] = mu
+						gi.owner[v] = ts.Name.Name
 					}
-					g[tn][name.Name] = mu
 				}
 			}
 			return true
 		})
 	}
-	return g
+	return gi
 }
 
 func guardAnnotation(field *ast.Field) string {
@@ -97,78 +377,4 @@ func guardAnnotation(field *ast.Field) string {
 		}
 	}
 	return ""
-}
-
-// checkMethod verifies one method against its receiver struct's guards.
-func checkMethod(pass *lint.Pass, g guards, fn *ast.FuncDecl) {
-	recv := fn.Recv.List[0]
-	tn := receiverTypeName(pass, recv.Type)
-	fields := g[tn]
-	if fields == nil || len(recv.Names) == 0 {
-		return
-	}
-	if strings.HasSuffix(fn.Name.Name, "Locked") {
-		return // contract: the caller holds the lock.
-	}
-	recvObj := pass.TypesInfo.Defs[recv.Names[0]]
-	if recvObj == nil {
-		return
-	}
-
-	locked := map[string]bool{}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
-			return true
-		}
-		muSel, ok := sel.X.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		if id, ok := muSel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recvObj {
-			locked[muSel.Sel.Name] = true
-		}
-		return true
-	})
-
-	reported := map[string]bool{}
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok || pass.TypesInfo.Uses[id] != recvObj {
-			return true
-		}
-		mu, guarded := fields[sel.Sel.Name]
-		if !guarded || locked[mu] || reported[sel.Sel.Name] {
-			return true
-		}
-		reported[sel.Sel.Name] = true
-		pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, but %s never acquires %s.%s (hold the lock, or name the method with a Locked suffix if the caller holds it)",
-			id.Name, sel.Sel.Name, mu, fn.Name.Name, id.Name, mu)
-		return true
-	})
-}
-
-// receiverTypeName resolves a method receiver's type expression to the
-// named type it declares a method on.
-func receiverTypeName(pass *lint.Pass, expr ast.Expr) *types.TypeName {
-	switch t := expr.(type) {
-	case *ast.StarExpr:
-		return receiverTypeName(pass, t.X)
-	case *ast.IndexExpr: // generic receiver T[P]
-		return receiverTypeName(pass, t.X)
-	case *ast.IndexListExpr:
-		return receiverTypeName(pass, t.X)
-	case *ast.Ident:
-		tn, _ := pass.TypesInfo.Uses[t].(*types.TypeName)
-		return tn
-	}
-	return nil
 }

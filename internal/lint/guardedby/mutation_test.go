@@ -1,0 +1,61 @@
+package guardedby_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memhier/internal/lint/analysistest"
+	"memhier/internal/lint/guardedby"
+)
+
+// TestMutationAnnotationIsLoadBearing proves the "guarded by mu" comments
+// drive the analysis: the same fixture with every annotation stripped must
+// produce zero diagnostics, which would fail every positive want in the
+// fixture suite. A refactor that silently drops annotation parsing cannot
+// pass both this test and TestGuardedby.
+func TestMutationAnnotationIsLoadBearing(t *testing.T) {
+	orig, err := analysistest.Diagnostics("testdata/src/gb", guardedby.Analyzer)
+	if err != nil {
+		t.Fatalf("original fixture: %v", err)
+	}
+	if len(orig) == 0 {
+		t.Fatalf("original fixture produced no diagnostics; the mutation proves nothing")
+	}
+
+	dir := copyFixture(t, "testdata/src/gb", func(src string) string {
+		return strings.ReplaceAll(src, "guarded by", "tracked near")
+	})
+	mutated, err := analysistest.Diagnostics(dir, guardedby.Analyzer)
+	if err != nil {
+		t.Fatalf("mutated fixture: %v", err)
+	}
+	if len(mutated) != 0 {
+		t.Errorf("stripped annotations still produced %d diagnostics, first: %s", len(mutated), mutated[0])
+	}
+}
+
+// copyFixture copies every fixture file through transform into a temp dir.
+func copyFixture(t *testing.T, src string, transform func(string) string) string {
+	t.Helper()
+	dir := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, ent.Name()))
+		if err != nil {
+			t.Fatalf("reading %s: %v", ent.Name(), err)
+		}
+		out := transform(string(data))
+		if err := os.WriteFile(filepath.Join(dir, ent.Name()), []byte(out), 0o644); err != nil {
+			t.Fatalf("writing mutated %s: %v", ent.Name(), err)
+		}
+	}
+	return dir
+}

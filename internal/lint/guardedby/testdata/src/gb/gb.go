@@ -24,13 +24,13 @@ func (c *counter) inc() {
 
 // get forgets the lock.
 func (c *counter) get() int {
-	return c.n // want "c.n is guarded by mu, but get never acquires c.mu"
+	return c.n // want "c.n .* guarded by mu, but c.mu is not held on every path"
 }
 
 // reset touches two guarded fields without the lock; each is reported once.
 func (c *counter) reset() {
-	c.n = 0    // want "c.n is guarded by mu, but reset never acquires c.mu"
-	c.hits = 0 // want "c.hits is guarded by mu, but reset never acquires c.mu"
+	c.n = 0    // want "c.n .* guarded by mu, but c.mu is not held on every path"
+	c.hits = 0 // want "c.hits .* guarded by mu, but c.mu is not held on every path"
 }
 
 // bumpLocked declares via its name that the caller holds the lock.
@@ -56,7 +56,7 @@ func (s *rwstate) lookup(k string) int {
 }
 
 func (s *rwstate) peek(k string) int {
-	return s.data[k] // want "s.data is guarded by mu, but peek never acquires s.mu"
+	return s.data[k] // want "s.data .* guarded by mu, but s.mu is not held on every path"
 }
 
 // allowed demonstrates a justified suppression (e.g. a read that races

@@ -1,0 +1,137 @@
+// gb_flow.go exercises what v2's CFG/dataflow analysis sees and the
+// syntactic v1 could not: early-return lock leaks, branch-dependent
+// locking, unlock-then-access, object-sensitive lock matching, the
+// Locked-suffix closure contract, and constructor freshness.
+package gb
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFixture = errors.New("fixture")
+
+type box struct {
+	mu  sync.Mutex
+	val int // guarded by mu
+}
+
+// earlyReturn is THE v1 blind spot: a Lock call appears in the body, so
+// the syntactic check was satisfied — but the error path returns with the
+// lock still held.
+func (b *box) earlyReturn(fail bool) error {
+	b.mu.Lock()
+	if fail {
+		return errFixture // want "earlyReturn returns with b.mu held"
+	}
+	b.val++
+	b.mu.Unlock()
+	return nil
+}
+
+// deferred is the same shape done right: the deferred unlock covers every
+// return, so neither the early return nor the access is a finding.
+func (b *box) deferred(fail bool) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fail {
+		return errFixture
+	}
+	b.val++
+	return nil
+}
+
+// branchDependent only locks on one path; the access is not must-guarded.
+func (b *box) branchDependent(fast bool) {
+	if fast {
+		b.mu.Lock()
+	}
+	b.val++ // want "b.val .* b.mu is not held on every path"
+	if fast {
+		b.mu.Unlock()
+	}
+}
+
+// unlockThenUse touches the field after releasing.
+func (b *box) unlockThenUse() int {
+	b.mu.Lock()
+	b.val = 1
+	b.mu.Unlock()
+	return b.val // want "b.val .* b.mu is not held on every path"
+}
+
+// lockLoopBody re-locks around every iteration: clean.
+func (b *box) lockLoopBody(n int) {
+	for i := 0; i < n; i++ {
+		b.mu.Lock()
+		b.val++
+		b.mu.Unlock()
+	}
+}
+
+// newBox initializes a guarded field before the value is shared: the
+// freshly-constructed object needs no lock.
+func newBox() *box {
+	b := &box{}
+	b.val = 7
+	return b
+}
+
+type shardSet struct {
+	shards []*box
+}
+
+func (s *shardSet) pick(i int) *box { return s.shards[i] }
+
+// addVia locks through a local variable: the lock and the access match on
+// the variable's object, not just the receiver.
+func (s *shardSet) addVia(i int) {
+	sh := s.pick(i)
+	sh.mu.Lock()
+	sh.val++
+	sh.mu.Unlock()
+}
+
+// addWrongLock holds a's lock while touching c's field: different objects,
+// different locks.
+func (s *shardSet) addWrongLock(i, j int) {
+	a := s.pick(i)
+	c := s.pick(j)
+	a.mu.Lock()
+	c.val++ // want "c.val .* c.mu is not held on every path"
+	a.mu.Unlock()
+}
+
+// total locks each shard inside the range body — a regression guard for
+// the CFG builder: the body must not be analyzed at the loop header.
+func (s *shardSet) total() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.val
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// batch uses the closure form of the Locked-suffix contract: a literal
+// assigned to a Locked-suffixed variable runs under its caller's lock.
+func (b *box) batch(n int) {
+	bumpLocked := func() {
+		b.val++
+	}
+	b.mu.Lock()
+	for i := 0; i < n; i++ {
+		bumpLocked()
+	}
+	b.mu.Unlock()
+}
+
+// closureMiss shows a plain closure gets its own (empty) lock state: the
+// literal may run on any goroutine at any time.
+func (b *box) closureMiss() func() {
+	f := func() {
+		b.val++ // want "b.val .* b.mu is not held on every path"
+	}
+	return f
+}

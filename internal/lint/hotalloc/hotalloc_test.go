@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"memhier/internal/lint/analysistest"
+	"memhier/internal/lint/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ha", hotalloc.Analyzer)
+}

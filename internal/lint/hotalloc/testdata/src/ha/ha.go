@@ -1,0 +1,95 @@
+// Package ha exercises the hotalloc analyzer: allocation-prone constructs
+// are flagged only inside //chc:hotpath-marked functions.
+package ha
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type table struct {
+	m    map[string]int
+	keys []string
+}
+
+// scan iterates the map and grows an unsized slice: both hot-path smells.
+//chc:hotpath
+func (t *table) scan(out []int) []int {
+	for k := range t.m { // want "map iteration on a hot path"
+		out = append(out, t.m[k]) // want "append to out without preallocation on a hot path"
+	}
+	return out
+}
+
+// scanKeys walks the slice kept alongside the map, into a presized
+// destination: the approved idiom.
+//chc:hotpath
+func (t *table) scanKeys() []int {
+	out := make([]int, 0, len(t.keys))
+	for _, k := range t.keys {
+		out = append(out, t.m[k])
+	}
+	return out
+}
+
+// format reaches for fmt where strconv does the job.
+//chc:hotpath
+func format(n int) string {
+	return fmt.Sprintf("%d", n) // want "fmt.Sprintf on a hot path"
+}
+
+// formatFast is the fix.
+//chc:hotpath
+func formatFast(n int) string {
+	return strconv.Itoa(n)
+}
+
+func sink(x any) { _ = x }
+
+// boxing passes a concrete value where the parameter is an interface.
+//chc:hotpath
+func boxing(v int) {
+	sink(v) // want "passing concrete int as interface"
+}
+
+// boxingAssign boxes through an assignment.
+//chc:hotpath
+func boxingAssign(v int) any {
+	var x any
+	x = v // want "assigning concrete int to interface"
+	return x
+}
+
+// boxingConvert boxes through an explicit conversion.
+//chc:hotpath
+func boxingConvert(v int) {
+	sink(any(v)) // want "conversion to any boxes a concrete value"
+}
+
+// closureInHot inherits the marker: the literal runs on the hot path too.
+//chc:hotpath
+func closureInHot(ns []int) func() string {
+	return func() string {
+		return fmt.Sprint(len(ns)) // want "fmt.Sprint on a hot path"
+	}
+}
+
+// cold is unmarked: the same constructs are fine off the hot path.
+func cold(t *table) string {
+	s := ""
+	for k := range t.m {
+		s += k
+	}
+	return fmt.Sprintf("%q", s)
+}
+
+// coldError keeps a justified fmt on a cold error path inside a hot
+// function, with the repo directive documenting why.
+//chc:hotpath
+func coldError(n int) (string, error) {
+	if n < 0 {
+		//chc:allow hotalloc -- fixture: cold path, the request already failed
+		return "", fmt.Errorf("negative: %d", n)
+	}
+	return strconv.Itoa(n), nil
+}

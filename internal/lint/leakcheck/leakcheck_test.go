@@ -1,0 +1,12 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"memhier/internal/lint/analysistest"
+	"memhier/internal/lint/leakcheck"
+)
+
+func TestLeakcheck(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lc", leakcheck.Analyzer)
+}

@@ -1,0 +1,95 @@
+// Package lc exercises the leakcheck analyzer: goroutines must have a
+// reachable exit or a channel operation that shutdown can unblock.
+package lc
+
+import "context"
+
+func work() {}
+
+// spinner is the classic leak: an infinite loop with nothing to wake it.
+func spinner() {
+	go func() { // want "goroutine can loop forever with no exit"
+		for {
+			work()
+		}
+	}()
+}
+
+// runLoop leaks the same way when launched by name.
+func runLoop() {
+	for {
+		work()
+	}
+}
+
+func launchNamed() {
+	go runLoop() // want "goroutine can loop forever with no exit"
+}
+
+// stoppable has a select with a stop case: the loop has an exit.
+func stoppable(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// ctxLoop is the context idiom.
+func ctxLoop(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// bounded loops finitely: every block reaches exit.
+func bounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}
+
+// receiver blocks on a channel each round: closing ch (or sending) wakes
+// it, so the outside world can stop it.
+func receiver(ch chan int) {
+	go func() {
+		for {
+			<-ch
+			work()
+		}
+	}()
+}
+
+// drainer ranges a channel: exits when the channel closes.
+func drainer(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// allowedSpinner documents a deliberate forever-goroutine (e.g. a
+// process-lifetime daemon) with the repo directive.
+func allowedSpinner() {
+	//chc:allow leakcheck -- fixture: process-lifetime daemon, dies with the process
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,384 @@
+// Package lockorder builds a whole-program lock-acquisition-order graph
+// and reports cycles: if one code path locks A then B while another locks
+// B then A, the two can deadlock even though each path is locally correct.
+// The repo holds locks across call boundaries in exactly the places this
+// matters — the serve hit path locks a cache shard then calls into the
+// single-flight machinery, the cluster forwarder consults the health view,
+// the parallel engine's baton passes ps.mu between worker closures.
+//
+// Per package, a may-held dataflow pass (union join over the CFG) computes
+// which locks can be held at every Lock call and every function call. Each
+// function contributes to a shared summary:
+//
+//   - direct edges: lock class A held when lock class B is acquired;
+//   - acquires: the classes the function itself locks;
+//   - calls: callees invoked with at least one lock held, plus the full
+//     call graph for closure.
+//
+// Finish computes transitive acquires over the call graph to fixpoint —
+// the classes each function can lock directly or through callees — and adds
+// an edge A→B for every call made with A held to a function that
+// transitively acquires B. Cycles in the class graph are reported once per
+// canonical cycle.
+//
+// Determinism: nodes, adjacency, and DFS roots are all processed in sorted
+// class order, and each edge keeps its smallest (file, line) witness, so
+// the same source always yields the same diagnostics in the same order.
+// Function literals are summarized as anonymous functions — their internal
+// edges count, but their acquires are not attributed to the enclosing
+// function, since a literal may run on another goroutine where the
+// caller's locks are not held.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"memhier/internal/lint"
+	"memhier/internal/lint/cfg"
+	"memhier/internal/lint/locks"
+)
+
+// Analyzer reports potential-deadlock cycles in the program's lock
+// acquisition order.
+var Analyzer = &lint.Analyzer{
+	Name: "lockorder",
+	Doc: `lockorder builds the whole-program lock-acquisition graph — lock class A
+held while lock class B is acquired, directly or through calls — and
+reports cycles as potential deadlocks. Node identity is the lock's static
+class ("pkg.Type.field" or "pkg.var"); construction and reporting are
+deterministic.`,
+	Run:      run,
+	NewState: func() any { return newState() },
+	Finish:   finish,
+}
+
+// edge is one observed acquisition ordering with its first witness.
+type edge struct {
+	from, to string
+	pos      token.Position
+}
+
+// funcSummary is one function's contribution to the program graph.
+type funcSummary struct {
+	// acquires holds the lock classes the function locks directly.
+	acquires map[string]bool
+	// calls lists resolvable callees with the classes held at the call.
+	calls []callSite
+}
+
+type callSite struct {
+	callee string
+	held   []string
+	pos    token.Position
+}
+
+type state struct {
+	funcs map[string]*funcSummary
+	edges []edge
+	// classes remembers every class seen, for stable node ordering.
+	classes map[string]bool
+}
+
+func newState() *state {
+	return &state{funcs: map[string]*funcSummary{}, classes: map[string]bool{}}
+}
+
+func run(pass *lint.Pass) error {
+	st := pass.State.(*state)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := funcName(pass, fn)
+			summarize(pass, st, name, fn.Body)
+			// Literals are separate anonymous functions; see package doc.
+			i := 0
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					i++
+					summarize(pass, st, fmt.Sprintf("%s$%d", name, i), lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func funcName(pass *lint.Pass, fn *ast.FuncDecl) string {
+	if obj, ok := pass.TypesInfo.Defs[fn.Name].(interface{ FullName() string }); ok {
+		return obj.FullName()
+	}
+	return pass.Pkg.Path() + "." + fn.Name.Name
+}
+
+// summarize runs the may-held pass over one body and records acquisitions,
+// ordering edges, and call sites into the shared state.
+func summarize(pass *lint.Pass, st *state, name string, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	// classByKey resolves held Keys back to classes when recording edges.
+	classByKey := map[locks.Key]string{}
+	flow := cfg.Flow[locks.Set]{
+		Entry: locks.Set{},
+		Join:  locks.Union,
+		Equal: locks.Equal,
+		Transfer: func(n ast.Node, in locks.Set) locks.Set {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return in
+			}
+			for _, op := range locks.OpsIn(pass.TypesInfo, n) {
+				if op.Kind == locks.Acquire {
+					if op.Class != "" {
+						classByKey[op.Key] = op.Class
+					}
+					in = in.With(op.Key)
+				} else {
+					in = in.Without(op.Key)
+				}
+			}
+			return in
+		},
+	}
+
+	sum := st.funcs[name]
+	if sum == nil {
+		sum = &funcSummary{acquires: map[string]bool{}}
+		st.funcs[name] = sum
+	}
+
+	cfg.Visit(g, flow, func(n ast.Node, before locks.Set) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return
+		}
+		fact := before
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pos := pass.Fset.Position(call.Pos())
+			ops := locks.OpsIn(pass.TypesInfo, call)
+			if len(ops) == 1 && ops[0].Call == call {
+				op := ops[0]
+				if op.Kind == locks.Acquire && op.Class != "" {
+					st.classes[op.Class] = true
+					sum.acquires[op.Class] = true
+					for _, from := range heldClasses(fact, classByKey) {
+						st.addEdge(from, op.Class, pos)
+					}
+					classByKey[op.Key] = op.Class
+				}
+				// Keep fact current within multi-op leaves (a, b := …).
+				if op.Kind == locks.Acquire {
+					fact = fact.With(op.Key)
+				} else {
+					fact = fact.Without(op.Key)
+				}
+				return true
+			}
+			if fn := pass.CalleeFunc(call); fn != nil {
+				held := heldClasses(fact, classByKey)
+				sum.calls = append(sum.calls, callSite{callee: fn.FullName(), held: held, pos: pos})
+			}
+			return true
+		})
+	})
+}
+
+// heldClasses maps a held Key set to its sorted class names.
+func heldClasses(held locks.Set, classByKey map[locks.Key]string) []string {
+	var out []string
+	for key := range held {
+		if c := classByKey[key]; c != "" {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (st *state) addEdge(from, to string, pos token.Position) {
+	st.classes[from] = true
+	st.classes[to] = true
+	for i := range st.edges {
+		e := &st.edges[i]
+		if e.from == from && e.to == to {
+			if posLess(pos, e.pos) {
+				e.pos = pos
+			}
+			return
+		}
+	}
+	st.edges = append(st.edges, edge{from: from, to: to, pos: pos})
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// finish closes the call graph and reports cycles in the class graph.
+func finish(s any, report func(lint.Diagnostic)) error {
+	st := s.(*state)
+
+	// Transitive acquires per function, to fixpoint over the call graph.
+	trans := map[string]map[string]bool{}
+	names := make([]string, 0, len(st.funcs))
+	for name, sum := range st.funcs {
+		names = append(names, name)
+		t := map[string]bool{}
+		for c := range sum.acquires {
+			t[c] = true
+		}
+		trans[name] = t
+	}
+	sort.Strings(names)
+	for changed := true; changed; {
+		changed = false
+		for _, name := range names {
+			t := trans[name]
+			for _, call := range st.funcs[name].calls {
+				for c := range trans[call.callee] {
+					if !t[c] {
+						t[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Call-induced edges: A held at a call whose callee transitively
+	// acquires B contributes A→B at the call site.
+	for _, name := range names {
+		for _, call := range st.funcs[name].calls {
+			if len(call.held) == 0 {
+				continue
+			}
+			callee := make([]string, 0, len(trans[call.callee]))
+			for c := range trans[call.callee] {
+				callee = append(callee, c)
+			}
+			sort.Strings(callee)
+			for _, from := range call.held {
+				for _, to := range callee {
+					st.addEdge(from, to, call.pos)
+				}
+			}
+		}
+	}
+
+	// Adjacency in sorted order, DFS from sorted roots: deterministic.
+	adj := map[string][]edge{}
+	for _, e := range st.edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	for _, es := range adj {
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+	}
+	nodes := make([]string, 0, len(st.classes))
+	for c := range st.classes {
+		nodes = append(nodes, c)
+	}
+	sort.Strings(nodes)
+
+	seen := map[string]bool{}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var stack []edge
+	var dfs func(node string)
+	dfs = func(node string) {
+		color[node] = gray
+		for _, e := range adj[node] {
+			switch color[e.to] {
+			case white:
+				stack = append(stack, e)
+				dfs(e.to)
+				stack = stack[:len(stack)-1]
+			case gray:
+				reportCycle(append(stack[:len(stack):len(stack)], e), e.to, seen, report)
+			}
+		}
+		color[node] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+	return nil
+}
+
+// reportCycle extracts the cycle closing at head from the DFS edge stack,
+// canonicalizes it (rotated so the smallest class leads), and reports it
+// once at the witness position of its first edge.
+func reportCycle(stack []edge, head string, seen map[string]bool, report func(lint.Diagnostic)) {
+	start := 0
+	for i, e := range stack {
+		if e.from == head {
+			start = i
+			break
+		}
+	}
+	cycle := stack[start:]
+	// Rotate so the lexicographically smallest from-class leads.
+	min := 0
+	for i, e := range cycle {
+		if e.from < cycle[min].from {
+			min = i
+		}
+	}
+	rotated := make([]edge, 0, len(cycle))
+	rotated = append(rotated, cycle[min:]...)
+	rotated = append(rotated, cycle[:min]...)
+
+	var path strings.Builder
+	for _, e := range rotated {
+		path.WriteString(e.from)
+		path.WriteString(" -> ")
+	}
+	path.WriteString(rotated[0].from)
+	key := path.String()
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+
+	var wits strings.Builder
+	for i, e := range rotated {
+		if i > 0 {
+			wits.WriteString(", ")
+		}
+		fmt.Fprintf(&wits, "%s->%s at %s:%d", shortClass(e.from), shortClass(e.to), e.pos.Filename, e.pos.Line)
+	}
+	report(lint.Diagnostic{
+		Pos:     rotated[0].pos,
+		Message: fmt.Sprintf("lock order cycle (potential deadlock): %s [%s]; pick one global order and release before acquiring against it", key, wits.String()),
+	})
+}
+
+// shortClass trims the package path to its last element for witness lists.
+func shortClass(c string) string {
+	if i := strings.LastIndex(c, "/"); i >= 0 {
+		return c[i+1:]
+	}
+	return c
+}

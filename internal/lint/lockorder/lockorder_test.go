@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"memhier/internal/lint/analysistest"
+	"memhier/internal/lint/lockorder"
+)
+
+func TestLockorderCycles(t *testing.T) {
+	analysistest.Run(t, "testdata/src/cycle", lockorder.Analyzer)
+}
+
+func TestLockorderConsistentOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/order", lockorder.Analyzer)
+}

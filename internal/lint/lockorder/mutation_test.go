@@ -1,0 +1,66 @@
+package lockorder_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memhier/internal/lint"
+	"memhier/internal/lint/analysistest"
+	"memhier/internal/lint/lockorder"
+)
+
+// TestMutationRemovedEdgeBreaksCycle proves the acquisition edges drive
+// the cycle reports: deleting baPath's B-then-A inversion from the fixture
+// must make the muA/muB cycle disappear (while the unrelated muC/muD and
+// muE cycles survive). A lockorder that hallucinates edges — or one that
+// stops collecting them — cannot pass both this test and
+// TestLockorderCycles.
+func TestMutationRemovedEdgeBreaksCycle(t *testing.T) {
+	orig, err := analysistest.Diagnostics("testdata/src/cycle", lockorder.Analyzer)
+	if err != nil {
+		t.Fatalf("original fixture: %v", err)
+	}
+	if !hasCycle(orig, "muA -> ") {
+		t.Fatalf("original fixture missing the muA/muB cycle; the mutation proves nothing")
+	}
+
+	dir := t.TempDir()
+	data, err := os.ReadFile("testdata/src/cycle/cycle.go")
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	src := string(data)
+	inversion := "\tmuB.Lock()\n\tmuA.Lock()\n\tn++\n\tmuA.Unlock()\n\tmuB.Unlock()\n"
+	if !strings.Contains(src, inversion) {
+		t.Fatalf("fixture no longer contains baPath's inversion; update the mutation")
+	}
+	src = strings.Replace(src, inversion, "\tmuB.Lock()\n\tn++\n\tmuB.Unlock()\n", 1)
+	if err := os.WriteFile(filepath.Join(dir, "cycle.go"), []byte(src), 0o644); err != nil {
+		t.Fatalf("writing mutated fixture: %v", err)
+	}
+
+	mutated, err := analysistest.Diagnostics(dir, lockorder.Analyzer)
+	if err != nil {
+		t.Fatalf("mutated fixture: %v", err)
+	}
+	if hasCycle(mutated, "muA -> ") {
+		t.Errorf("muA/muB cycle still reported after its inversion was deleted")
+	}
+	if !hasCycle(mutated, "muC -> ") {
+		t.Errorf("unrelated muC/muD cycle vanished with the muA/muB mutation")
+	}
+	if !hasCycle(mutated, "muE -> ") {
+		t.Errorf("unrelated muE self-cycle vanished with the muA/muB mutation")
+	}
+}
+
+func hasCycle(diags []lint.Diagnostic, marker string) bool {
+	for _, d := range diags {
+		if strings.Contains(d.Message, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+// Package cycle exercises the lockorder analyzer's positive cases: a
+// direct A-then-B / B-then-A inversion, a cycle closed through a call, and
+// a conditional re-acquire of the same lock.
+package cycle
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	n   int
+)
+
+// abPath acquires A then B. The diagnostic for the A/B cycle lands on the
+// inner acquisition of the canonical (lexicographically smallest-first)
+// edge, which is this one.
+func abPath() {
+	muA.Lock()
+	muB.Lock() // want "lock order cycle .potential deadlock.: .*muA -> .*muB -> .*muA"
+	n++
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// baPath closes the cycle: B then A.
+func baPath() {
+	muB.Lock()
+	muA.Lock()
+	n++
+	muA.Unlock()
+	muB.Unlock()
+}
+
+var (
+	muC sync.Mutex
+	muD sync.Mutex
+)
+
+// lockD is the callee through which cdPath picks up D while holding C.
+func lockD() {
+	muD.Lock()
+	n++
+	muD.Unlock()
+}
+
+// cdPath holds C across a call that (transitively) acquires D…
+func cdPath() {
+	muC.Lock()
+	lockD() // want "lock order cycle .potential deadlock.: .*muC -> .*muD -> .*muC"
+	muC.Unlock()
+}
+
+// dcPath …while dcPath acquires them in the other order directly.
+func dcPath() {
+	muD.Lock()
+	muC.Lock()
+	n++
+	muC.Unlock()
+	muD.Unlock()
+}
+
+var muE sync.Mutex
+
+// reacquire may lock E twice on one path: a self-deadlock with a plain
+// Mutex.
+func reacquire(maybe bool) {
+	if maybe {
+		muE.Lock()
+	}
+	muE.Lock() // want "lock order cycle .potential deadlock.: .*muE -> .*muE"
+	n++
+	muE.Unlock()
+	if maybe {
+		muE.Unlock()
+	}
+}

@@ -1,0 +1,61 @@
+// Package order is the lockorder negative fixture: a consistent global
+// acquisition order (outer before inner, everywhere), nested instance
+// locks released before re-acquiring, and deferred unlocks. No cycles, no
+// diagnostics.
+package order
+
+import "sync"
+
+var (
+	outer sync.Mutex
+	inner sync.Mutex
+	n     int
+)
+
+// nested always acquires outer before inner: one global order.
+func nested() {
+	outer.Lock()
+	inner.Lock()
+	n++
+	inner.Unlock()
+	outer.Unlock()
+}
+
+// nestedAgain repeats the same order through a call.
+func lockInner() {
+	inner.Lock()
+	n++
+	inner.Unlock()
+}
+
+func nestedAgain() {
+	outer.Lock()
+	defer outer.Unlock()
+	lockInner()
+}
+
+// handoff releases before acquiring the other: no ordering edge at all.
+func handoff() {
+	inner.Lock()
+	n++
+	inner.Unlock()
+	outer.Lock()
+	n++
+	outer.Unlock()
+}
+
+type shard struct {
+	mu sync.Mutex
+	v  int
+}
+
+// oneAtATime locks shards strictly one at a time.
+func oneAtATime(shards []*shard) int {
+	total := 0
+	for _, sh := range shards {
+		sh.mu.Lock()
+		total += sh.v
+		sh.mu.Unlock()
+	}
+	return total
+}

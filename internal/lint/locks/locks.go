@@ -1,0 +1,317 @@
+// Package locks resolves mutex operations in an AST to approximate lock
+// identities, shared by the flow-sensitive analyzers: guardedby v2 tracks
+// which locks are held at each statement, lockorder tracks which locks are
+// held when another lock is acquired.
+//
+// Two identity levels exist:
+//
+//   - Key names one runtime lock object within a function: the root
+//     variable's types.Object plus the field path reaching the mutex
+//     ("sh" + ".mu"). Object identity makes the analysis alias-aware
+//     enough for real code — two names for the same variable share the
+//     object, two distinct variables never do.
+//   - Class names the static home of a lock across the whole program:
+//     "pkg/path.Type.mu" for a struct field, "pkg/path.var" for a
+//     package-level mutex. The lock-order graph is built over classes, so
+//     every cacheShard instance contributes to one node.
+package locks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Key identifies one lock object within a function: the root variable and
+// the selector path from it to the mutex.
+type Key struct {
+	Root types.Object
+	Path string // e.g. ".mu", or "" when Root itself is the mutex
+}
+
+// Op is one mutex operation found in a leaf node.
+type Op struct {
+	Key  Key
+	Kind Kind
+	// Call is the operation's call expression (for positions).
+	Call *ast.CallExpr
+	// Class is the static identity of the lock, or "" when it has none
+	// (a mutex local to an unnamed scope).
+	Class string
+}
+
+// Kind classifies a mutex operation.
+type Kind int
+
+const (
+	Acquire Kind = iota // Lock, RLock
+	Release             // Unlock, RUnlock
+)
+
+// mutexMethods maps sync.Mutex/RWMutex method names to operation kinds.
+var mutexMethods = map[string]Kind{
+	"Lock":    Acquire,
+	"RLock":   Acquire,
+	"Unlock":  Release,
+	"RUnlock": Release,
+}
+
+// IsMutexType reports whether t (possibly behind pointers) is sync.Mutex
+// or sync.RWMutex.
+func IsMutexType(t types.Type) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// OpsIn walks one leaf node and returns the mutex operations it performs,
+// in source order. Function literals are not descended into: a literal's
+// body is its own function with its own lock discipline.
+func OpsIn(info *types.Info, n ast.Node) []Op {
+	var ops []Op
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind, ok := mutexMethods[sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		key, class, ok := Resolve(info, sel.X)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[sel.X]; !ok || !IsMutexType(tv.Type) {
+			return true
+		}
+		ops = append(ops, Op{Key: key, Kind: kind, Call: call, Class: class})
+		return true
+	})
+	return ops
+}
+
+// Resolve reduces a selector chain (c.mu, sh.items, pkg-level mu) to a
+// lock/field Key and its static Class. ok is false for expressions the
+// analysis cannot name (calls, index expressions, …).
+func Resolve(info *types.Info, expr ast.Expr) (Key, string, bool) {
+	var fields []string
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			fields = append(fields, e.Sel.Name)
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			if obj == nil {
+				return Key{}, "", false
+			}
+			if _, ok := obj.(*types.PkgName); ok {
+				// sync.Mutex the package qualifier — not a value chain.
+				return Key{}, "", false
+			}
+			// fields were collected innermost-first; reverse into a path.
+			var path strings.Builder
+			for i := len(fields) - 1; i >= 0; i-- {
+				path.WriteByte('.')
+				path.WriteString(fields[i])
+			}
+			return Key{Root: obj, Path: path.String()}, classOf(obj, fields), true
+		default:
+			return Key{}, "", false
+		}
+	}
+}
+
+// classOf derives the static class of a lock from its root object and the
+// (innermost-first) field chain: the owning struct type of the mutex field
+// when the chain ends in a named struct, else the package-level variable.
+func classOf(root types.Object, fieldsInnerFirst []string) string {
+	if len(fieldsInnerFirst) == 0 {
+		// A bare variable: package-level mutexes get "pkg.name"; function
+		// locals have no useful cross-program identity.
+		if root.Pkg() != nil && root.Parent() == root.Pkg().Scope() {
+			return root.Pkg().Path() + "." + root.Name()
+		}
+		return ""
+	}
+	// Walk the types from the root down to the struct owning the last
+	// field, so "s.inner.mu" classifies by inner's type, not s's.
+	t := root.Type()
+	for i := len(fieldsInnerFirst) - 1; i >= 1; i-- {
+		ft, ok := fieldType(t, fieldsInnerFirst[i])
+		if !ok {
+			return ""
+		}
+		t = ft
+	}
+	name := namedOf(t)
+	if name == nil {
+		return ""
+	}
+	pkg := ""
+	if name.Obj().Pkg() != nil {
+		pkg = name.Obj().Pkg().Path() + "."
+	}
+	return pkg + name.Obj().Name() + "." + fieldsInnerFirst[0]
+}
+
+// fieldType finds the named field's type within t's underlying struct.
+func fieldType(t types.Type, field string) (types.Type, bool) {
+	st, ok := structOf(t)
+	if !ok {
+		return nil, false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			return st.Field(i).Type(), true
+		}
+	}
+	return nil, false
+}
+
+func structOf(t types.Type) (*types.Struct, bool) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			t = u.Underlying()
+		case *types.Struct:
+			return u, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// Set is an immutable-by-convention set of held locks. Transfer functions
+// copy before mutating.
+type Set map[Key]bool
+
+// With returns a copy of s with k added.
+func (s Set) With(k Key) Set {
+	if s[k] {
+		return s
+	}
+	n := make(Set, len(s)+1)
+	for key := range s {
+		n[key] = true
+	}
+	n[k] = true
+	return n
+}
+
+// Without returns a copy of s with k removed.
+func (s Set) Without(k Key) Set {
+	if !s[k] {
+		return s
+	}
+	n := make(Set, len(s))
+	for key := range s {
+		if key != k {
+			n[key] = true
+		}
+	}
+	return n
+}
+
+// Intersect returns the must-join of two sets.
+func Intersect(a, b Set) Set {
+	n := Set{}
+	for k := range a {
+		if b[k] {
+			n[k] = true
+		}
+	}
+	return n
+}
+
+// Union returns the may-join of two sets.
+func Union(a, b Set) Set {
+	n := make(Set, len(a)+len(b))
+	for k := range a {
+		n[k] = true
+	}
+	for k := range b {
+		n[k] = true
+	}
+	return n
+}
+
+// Equal reports set equality.
+func Equal(a, b Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// DeferredReleases collects the lock keys released by the function's defer
+// statements (including `defer mu.Unlock()` and unlocks inside deferred
+// literals): those locks are held to function exit by design, not leaked.
+func DeferredReleases(info *types.Info, defers []*ast.DeferStmt) Set {
+	rel := Set{}
+	for _, d := range defers {
+		// The deferred call itself (defer mu.Unlock()).
+		if sel, ok := d.Call.Fun.(*ast.SelectorExpr); ok {
+			if kind, ok := mutexMethods[sel.Sel.Name]; ok && kind == Release {
+				if key, _, ok := Resolve(info, sel.X); ok {
+					rel[key] = true
+				}
+			}
+		}
+		// Unlocks inside a deferred func literal.
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			for _, op := range OpsIn(info, lit.Body) {
+				if op.Kind == Release {
+					rel[op.Key] = true
+				}
+			}
+		}
+	}
+	return rel
+}

@@ -3,7 +3,6 @@ package server
 import (
 	"container/list"
 	"context"
-	"hash/fnv"
 	"sync"
 )
 
@@ -75,10 +74,26 @@ func newResultCache(entries, shards int) *resultCache {
 	return c
 }
 
+// FNV-1a constants (hash/fnv), inlined so shard hashes the key string
+// directly — the hash.Hash32 version allocated the hasher and a []byte
+// copy of the key on every cache operation.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// shard picks the consistent shard for key. It runs once per cache
+// operation, on the request hit path. The hash is bit-identical to
+// fnv.New32a over the same bytes (TestShardHashMatchesFNV), so cached
+// keys keep their shard across this change.
+//chc:hotpath
 func (c *resultCache) shard(key string) *cacheShard {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return c.shards[h.Sum32()%uint32(len(c.shards))]
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= fnvPrime32
+	}
+	return c.shards[h%uint32(len(c.shards))]
 }
 
 // do returns the cached entry for key, or runs compute exactly once across
@@ -87,6 +102,7 @@ func (c *resultCache) shard(key string) *cacheShard {
 // but not cached, so a transient failure doesn't poison the key. A waiter
 // whose ctx expires abandons the wait (the leader still completes and
 // caches for future callers).
+//chc:hotpath
 func (c *resultCache) do(ctx context.Context, key string, compute func() (entry, error)) (entry, outcome, error) {
 	sh := c.shard(key)
 	sh.mu.Lock()

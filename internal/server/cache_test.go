@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -132,4 +133,18 @@ func TestCacheWaiterHonorsContext(t *testing.T) {
 		t.Errorf("cancelled waiter err = %v, want context.Canceled", err)
 	}
 	close(release)
+}
+
+// TestShardHashMatchesFNV pins the inlined shard hash to hash/fnv's
+// FNV-1a: cached keys must keep their shard across the inlining.
+func TestShardHashMatchesFNV(t *testing.T) {
+	c := newResultCache(64, 8)
+	for _, key := range []string{"", "a", "predict\x00{}", "sweep\x00{\"sizes\":[1,2,4]}", "Ωunicode\x00body"} {
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		want := c.shards[h.Sum32()%uint32(len(c.shards))]
+		if got := c.shard(key); got != want {
+			t.Errorf("shard(%q) diverged from FNV-1a placement", key)
+		}
+	}
 }

@@ -360,6 +360,7 @@ outer:
 // execution structure mirrors runSeqWheel step for step — same batching
 // limit, same pend parking, same accounting order — so the two engines are
 // bit-identical (TestWheelEngineMatchesScan).
+//chc:hotpath
 func runSeqScan(tr *trace.Trace, sys *System) (RunResult, error) {
 	want := tr.NumCPU()
 	inf := math.Inf(1)
@@ -374,6 +375,7 @@ func runSeqScan(tr *trace.Trace, sys *System) (RunResult, error) {
 	for i := range opsPer {
 		var err error
 		if opsPer[i], err = tr.Streams[i].Ops(); err != nil {
+			//chc:allow hotalloc -- cold path: stream decode failed, the run is over
 			return RunResult{}, fmt.Errorf("backend: %w", err)
 		}
 	}
@@ -574,6 +576,7 @@ outer:
 		nexts[bi] = next
 	}
 	if arrived > 0 {
+		//chc:allow hotalloc -- cold path: malformed trace detected after the loop exits
 		return RunResult{}, fmt.Errorf("backend: %d processors stuck at a barrier", arrived)
 	}
 	appendTailPhase(&res, sys, phaseStart, phaseBase)
@@ -601,6 +604,7 @@ outer:
 // them in bulk and must run before anything reads those accumulators (phase
 // snapshots and final assembly). See DESIGN.md ("Exact integer clocks") for
 // the full argument.
+//chc:hotpath
 func runSeqScanInt(tr *trace.Trace, sys *System, hots []cache.Hot) (RunResult, error) {
 	want := tr.NumCPU()
 	const infu = math.MaxUint64
@@ -616,6 +620,7 @@ func runSeqScanInt(tr *trace.Trace, sys *System, hots []cache.Hot) (RunResult, e
 	for i := range opsPer {
 		var err error
 		if opsPer[i], err = tr.Streams[i].Ops(); err != nil {
+			//chc:allow hotalloc -- cold path: stream decode failed, the run is over
 			return RunResult{}, fmt.Errorf("backend: %w", err)
 		}
 	}
@@ -864,6 +869,7 @@ outer:
 		nexts[bi] = next
 	}
 	if arrived > 0 {
+		//chc:allow hotalloc -- cold path: malformed trace detected after the loop exits
 		return RunResult{}, fmt.Errorf("backend: %d processors stuck at a barrier", arrived)
 	}
 	flush()

@@ -145,11 +145,12 @@ func runParScan(tr *trace.Trace, sys *System, hots []cache.Hot, workers int) (Ru
 	fLatHit := sys.lat.CacheHit
 	stats := &sys.stats
 
-	// flush and release mirror runSeqScanInt exactly; both run with the
-	// baton held (every peer parked in cond.Wait), so the shared System is
-	// quiescent and the float accumulation order matches the sequential
-	// engine's.
-	flush := func() {
+	// flushLocked and releaseLocked mirror runSeqScanInt exactly; both run
+	// with the baton (ps.mu) held by the calling worker — the Locked suffix
+	// is the repo-wide caller-holds-the-lock contract — so the shared
+	// System is quiescent and the float accumulation order matches the
+	// sequential engine's.
+	flushLocked := func() {
 		var total uint64
 		for i, n := range ps.hitNs {
 			if n != 0 {
@@ -167,8 +168,8 @@ func runParScan(tr *trace.Trace, sys *System, hots []cache.Hot, workers int) (Ru
 			ps.refs += total
 		}
 	}
-	release := func() {
-		flush()
+	releaseLocked := func() {
+		flushLocked()
 		ps.res.Barriers++
 		var wait uint64
 		for i := range ps.clocks {
@@ -195,13 +196,13 @@ func runParScan(tr *trace.Trace, sys *System, hots []cache.Hot, workers int) (Ru
 		ps.barrierMax = 0
 	}
 
-	// finish runs once, by whichever worker retires the last round, with
-	// the baton held.
-	finish := func() {
+	// finishLocked runs once, by whichever worker retires the last round,
+	// with the baton held.
+	finishLocked := func() {
 		if ps.arrived > 0 {
 			ps.err = fmt.Errorf("backend: %d processors stuck at a barrier", ps.arrived)
 		} else {
-			flush()
+			flushLocked()
 			ps.res.WallCycles = float64(ps.wall)
 			appendTailPhase(&ps.res, sys, float64(ps.phaseStart), ps.phaseBase)
 			assemble(&ps.res, tr.Instructions(), ps.refs, ps.tTotal, sys)
@@ -285,7 +286,7 @@ func runParScan(tr *trace.Trace, sys *System, hots []cache.Hot, workers int) (Ru
 					ps.arrived++
 					if ps.arrived == want {
 						ps.arrived = 0
-						release()
+						releaseLocked()
 					}
 					break round
 				}
@@ -353,7 +354,7 @@ func runParScan(tr *trace.Trace, sys *System, hots []cache.Hot, workers int) (Ru
 			}
 
 			if ps.live == 0 {
-				finish()
+				finishLocked()
 				return
 			}
 			// Hand the baton to whichever worker owns the new minimum.

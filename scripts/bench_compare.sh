@@ -5,7 +5,8 @@
 #
 # Compares ns/op for every benchmark present in both files and prints a
 # delta table. Exits non-zero when any benchmark matching
-# ^BenchmarkSimulate or ^BenchmarkServePredict regressed by more than the
+# ^BenchmarkSimulate, ^BenchmarkServePredict, or ^BenchmarkCluster
+# regressed by more than the
 # threshold (default 15%). Other families are reported but never gate:
 # they are tracked for trend, not enforced, because single-run CI hosts
 # are too noisy to hold every microbenchmark to a bound.
@@ -50,7 +51,7 @@ BEGIN {
     name = $1; old = $2 + 0; cur = $3 + 0
     delta = (old > 0) ? (cur - old) / old * 100 : 0
     mark = ""
-    gated = (name ~ /^BenchmarkSimulate/ || name ~ /^BenchmarkServePredict/)
+    gated = (name ~ /^BenchmarkSimulate/ || name ~ /^BenchmarkServePredict/ || name ~ /^BenchmarkCluster/)
     if (gated && delta > thr) { mark = "  << REGRESSION"; fail = 1 }
     else if (delta > thr)     { mark = "  (ungated)" }
     printf "%-44s %14d %14d %+8.1f%%%s\n", name, old, cur, delta, mark

@@ -3,10 +3,12 @@
 # every package. Exits nonzero on any finding, so CI can gate on it the
 # same way it gates on go vet.
 #
-# Usage: scripts/lint.sh [packages...]   (defaults to ./...)
+# Usage: scripts/lint.sh [chc-lint flags] [packages...]
+# Arguments pass straight through to chc-lint (which defaults to ./...),
+# so `scripts/lint.sh -json` works for tooling.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go build -o /tmp/chc-lint ./cmd/chc-lint
-/tmp/chc-lint "${@:-./...}"
+/tmp/chc-lint "$@"
 echo "chc-lint: clean"
