@@ -27,6 +27,28 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// parseLevels accepts a comma-separated cache hierarchy, innermost level
+// first, each level "size" or "size@cycles" ("32KB@4,1MB@14,4MB@44").
+func parseLevels(s string) ([]machine.CacheLevel, error) {
+	var out []machine.CacheLevel
+	for _, part := range strings.Split(s, ",") {
+		spec, latStr, hasLat := strings.Cut(strings.TrimSpace(part), "@")
+		bytes, err := parseSize(spec)
+		if err != nil {
+			return nil, err
+		}
+		lv := machine.CacheLevel{Bytes: bytes}
+		if hasLat {
+			lv.LatencyCycles, err = strconv.ParseFloat(strings.TrimSpace(latStr), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad level latency %q", part)
+			}
+		}
+		out = append(out, lv)
+	}
+	return out, nil
+}
+
 // parseSize accepts "256KB", "64MB", or plain bytes.
 func parseSize(s string) (int64, error) {
 	u := strings.ToUpper(strings.TrimSpace(s))
@@ -48,11 +70,12 @@ func parseSize(s string) (int64, error) {
 
 func main() {
 	var (
-		config       = flag.String("config", "", "catalog configuration C1-C15")
+		config       = flag.String("config", "", "catalog configuration C1-C15 or a modern preset (modern-2s-server, cloud-vm-8)")
 		kind         = flag.String("kind", "", "custom platform: smp, ws, or csmp")
 		nMach        = flag.Int("N", 1, "machines in the cluster")
 		nProc        = flag.Int("n", 1, "processors per machine")
 		cacheStr     = flag.String("cache", "256KB", "per-processor cache size")
+		levelsStr    = flag.String("levels", "", "cache hierarchy, innermost first, size[@cycles] per level (e.g. 32KB@4,1MB@14,4MB@44; overrides -cache)")
 		memStr       = flag.String("mem", "64MB", "per-machine memory size")
 		netStr       = flag.String("net", "none", "cluster network: 10, 100, atm")
 		workload     = flag.String("workload", "FFT", "workload: FFT, LU, Radix, EDGE, TPC-C (paper) or fft, lu, radix, edge, tpcc (measured)")
@@ -88,6 +111,15 @@ func main() {
 		}
 		cfg = machine.Config{Name: "custom", Kind: k, N: *nMach, Procs: *nProc,
 			CacheBytes: cache, MemoryBytes: mem, Net: net, ClockMHz: 200}
+		if *levelsStr != "" {
+			levels, err := parseLevels(*levelsStr)
+			if err != nil {
+				fail(err)
+			}
+			cfg.Levels = levels
+			cfg.CacheBytes = levels[0].Bytes
+			cfg = cfg.Canonical()
+		}
 	}
 
 	var wl core.Workload

@@ -29,7 +29,7 @@ func fail(err error) {
 
 func main() {
 	var (
-		config     = flag.String("config", "C1", "catalog configuration C1-C15")
+		config     = flag.String("config", "C1", "catalog configuration C1-C15 or a modern preset (modern-2s-server, cloud-vm-8)")
 		workload   = flag.String("workload", "fft", "workload: fft, lu, radix, edge, tpcc")
 		divisor    = flag.Int("divisor", 1, "divide cache/memory capacities by this factor")
 		paperScale = flag.Bool("paper-scale", false, "use the paper's full problem sizes (slow, memory-hungry)")
@@ -114,8 +114,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("platform:  %s (%s, n=%d, N=%d, cache %dKB, mem %dMB, net %v)\n",
-		cfg.Name, cfg.Kind, cfg.Procs, cfg.N, cfg.CacheBytes>>10, cfg.MemoryBytes>>20, cfg.Net)
+	fmt.Printf("platform:  %s (%s, n=%d, N=%d, cache %s, mem %dMB, net %v)\n",
+		cfg.Name, cfg.Kind, cfg.Procs, cfg.N, cfg.CacheDesc(), cfg.MemoryBytes>>20, cfg.Net)
 	fmt.Printf("wall      = %.0f cycles\n", res.WallCycles)
 	fmt.Printf("E(Instr)  = %.4f cycles = %.4g seconds at %g MHz\n", res.EInstr, res.Seconds, cfg.ClockMHz)
 	fmt.Printf("avg T     = %.2f cycles/reference\n", res.AvgT)
@@ -123,6 +123,11 @@ func main() {
 		res.Barriers, res.BarrierWaitCycles, res.BarrierWaitCycles/float64(res.Instructions))
 	fmt.Println("served by:")
 	for c := backend.ClassCacheHit; c <= backend.ClassDisk; c++ {
+		// Deep-level classes only exist on multi-level hierarchies; hiding
+		// them at zero keeps one-level output identical to earlier releases.
+		if c.DeepOnly() && res.ClassShare[c] == 0 {
+			continue
+		}
 		fmt.Printf("  %-14s %8.4f%%\n", c, res.ClassShare[c]*100)
 	}
 	fmt.Printf("coherence bus share = %.2f%%  (paper reports 2.1-7.2%% on SMPs)\n", res.CoherenceShare*100)

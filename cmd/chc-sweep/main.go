@@ -112,7 +112,7 @@ func parseBudgets(s string) ([]float64, error) {
 func main() {
 	var (
 		addr      = flag.String("addr", "http://127.0.0.1:8080", "chc-serve base URL")
-		configs   = flag.String("configs", "C1-C15", "configurations: comma list of names and Cx-Cy ranges (empty: budget axis only)")
+		configs   = flag.String("configs", "C1-C15", "configurations: comma list of names (incl. modern-2s-server, cloud-vm-8) and Cx-Cy ranges (empty: budget axis only)")
 		workloads = flag.String("workloads", "fft,lu,radix", "comma-separated workloads")
 		budgets   = flag.String("budgets", "2000,3000,5000,8000,12000,16000,20000,30000,40000,60000",
 			"budget axis: comma list or lo:hi:step (empty: no budget points)")

@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"reflect"
 
 	"memhier"
 )
@@ -25,7 +26,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if plan.To == plan.From {
+			if reflect.DeepEqual(plan.To, plan.From) {
 				fmt.Printf("  +$%-5.0f keep as is\n", budget)
 				continue
 			}

@@ -105,10 +105,11 @@ func Sensitivities(cfg machine.Config, wl Workload, opts Options) ([]Sensitivity
 		return r.EInstr, nil
 	}
 
-	// Cache capacity.
-	cUp, cDown := cfg, cfg
-	cUp.CacheBytes = int64(float64(cfg.CacheBytes) * (1 + eps))
-	cDown.CacheBytes = int64(float64(cfg.CacheBytes) * (1 - eps))
+	// Cache capacity: every level scales together, so the elasticity
+	// describes growing the whole hierarchy (a one-level config reduces to
+	// the old CacheBytes perturbation).
+	cUp := scaleCacheLevels(cfg, 1+eps)
+	cDown := scaleCacheLevels(cfg, 1-eps)
 	if up, err1 := evalE(cUp); err1 == nil {
 		if down, err2 := evalE(cDown); err2 == nil {
 			out = append(out, Sensitivity{Resource: "cache", Elasticity: elasticity(up, down)})
@@ -183,4 +184,21 @@ func EvaluateMix(cfg machine.Config, mix []MixComponent, opts Options) (float64,
 		total += c.Weight
 	}
 	return acc / total, nil
+}
+
+// scaleCacheLevels returns a copy of cfg with every cache level's capacity
+// multiplied by factor (the legacy CacheBytes field stays in step with
+// level 1).
+func scaleCacheLevels(cfg machine.Config, factor float64) machine.Config {
+	cfg.CacheBytes = int64(float64(cfg.CacheBytes) * factor)
+	if len(cfg.Levels) > 0 {
+		levels := make([]machine.CacheLevel, len(cfg.Levels))
+		for i, lv := range cfg.Levels {
+			lv.Bytes = int64(float64(lv.Bytes) * factor)
+			levels[i] = lv
+		}
+		cfg.Levels = levels
+		cfg.CacheBytes = levels[0].Bytes
+	}
+	return cfg
 }

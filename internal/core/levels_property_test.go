@@ -1,0 +1,183 @@
+package core
+
+// Property tests for multi-level hierarchies: the EMAT recursion must stay
+// monotone level by level — growing any one level's capacity can never slow
+// the model down, slowing any one level's latency can never speed it up —
+// and a degenerate intermediate level (zero latency, same capacity as its
+// inner neighbor) must collapse out of the prediction exactly.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"memhier/internal/machine"
+	"memhier/internal/queueing"
+)
+
+// deepMonotonicityConfigs are the monotonicityConfigs with the 256KB
+// one-level cache replaced by an explicit three-level hierarchy, so the
+// per-level sweeps exercise the bus, network, and DSM branches too.
+func deepMonotonicityConfigs() []machine.Config {
+	out := monotonicityConfigs()
+	for i := range out {
+		out[i] = withHierarchy(out[i], []machine.CacheLevel{
+			{Bytes: 64 << 10, LatencyCycles: 1},
+			{Bytes: 1 << 20, LatencyCycles: 12},
+			{Bytes: 8 << 20, LatencyCycles: 40},
+		})
+	}
+	return out
+}
+
+func withHierarchy(cfg machine.Config, levels []machine.CacheLevel) machine.Config {
+	cp := make([]machine.CacheLevel, len(levels))
+	copy(cp, levels)
+	cfg.Levels = cp
+	cfg.CacheBytes = cp[0].Bytes
+	return cfg.Canonical()
+}
+
+// levelCapacitySweeps returns, per hierarchy level, an increasing capacity
+// sequence that keeps the three-level hierarchy valid (non-decreasing
+// inward-out) while every other level stays at its base size.
+func levelCapacitySweeps() [][]int64 {
+	return [][]int64{
+		{16 << 10, 64 << 10, 256 << 10, 1 << 20}, // L1: up to the base L2
+		{64 << 10, 256 << 10, 1 << 20, 8 << 20},  // L2: between base L1 and L3
+		{1 << 20, 4 << 20, 16 << 20, 32 << 20},   // L3: from the base L2 up
+	}
+}
+
+func TestEInstrNonIncreasingInAnyLevelCapacity(t *testing.T) {
+	for _, cfg := range deepMonotonicityConfigs() {
+		for _, wl := range PaperWorkloads() {
+			for li, sweep := range levelCapacitySweeps() {
+				t.Run(fmt.Sprintf("%s-%dx%d/%s/L%d", cfg.Kind, cfg.N, cfg.Procs, wl.Name, li+1), func(t *testing.T) {
+					prev := math.Inf(1)
+					for _, bytes := range sweep {
+						c := cfg
+						levels := append([]machine.CacheLevel(nil), cfg.Levels...)
+						levels[li].Bytes = bytes
+						c = withHierarchy(c, levels)
+						res, err := Evaluate(c, wl, Options{})
+						if err != nil {
+							// A small capacity can push a shared level past the
+							// saturation guard; refusing is fine, but the model
+							// must not refuse a larger capacity after accepting
+							// a smaller one.
+							if !math.IsInf(prev, 1) {
+								t.Fatalf("L%d = %d KB rejected after a smaller capacity was accepted: %v",
+									li+1, bytes>>10, err)
+							}
+							continue
+						}
+						if res.EInstr <= 0 || math.IsNaN(res.EInstr) {
+							t.Fatalf("L%d = %d KB: EInstr = %v", li+1, bytes>>10, res.EInstr)
+						}
+						if res.EInstr > prev*(1+relTol) {
+							t.Errorf("L%d = %d KB: EInstr %.9g > %.9g at a smaller capacity — growing one level slowed the model down",
+								li+1, bytes>>10, res.EInstr, prev)
+						}
+						prev = res.EInstr
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestEInstrNonDecreasingInAnyLevelLatency(t *testing.T) {
+	for _, cfg := range deepMonotonicityConfigs() {
+		for _, wl := range PaperWorkloads() {
+			for li := range cfg.Levels {
+				t.Run(fmt.Sprintf("%s-%dx%d/%s/L%d", cfg.Kind, cfg.N, cfg.Procs, wl.Name, li+1), func(t *testing.T) {
+					prev := 0.0
+					for _, factor := range []float64{1, 2, 4, 8} {
+						c := cfg
+						levels := append([]machine.CacheLevel(nil), cfg.Levels...)
+						levels[li].LatencyCycles *= factor
+						c = withHierarchy(c, levels)
+						res, err := Evaluate(c, wl, Options{})
+						if err != nil {
+							var sat *queueing.SaturationError
+							if errors.As(err, &sat) {
+								// A slower level raises utilization; saturating
+								// at high factors is legitimate divergence.
+								return
+							}
+							t.Fatalf("L%d × %v: %v", li+1, factor, err)
+						}
+						if res.EInstr < prev*(1-relTol) {
+							t.Errorf("L%d × %v: EInstr %.9g < %.9g at a faster level — slowing one level sped the model up",
+								li+1, factor, res.EInstr, prev)
+						}
+						prev = res.EInstr
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCollapseDegenerateLevelIsExactNoOp pins the EMAT recursion's collapse
+// identity: a zero-latency intermediate level with the same capacity as its
+// inner neighbor adds no stack inclusion and no service time, so deleting it
+// must not move the prediction by even one ulp. This is the property that
+// makes the Levels generalization safe — the 1-level legacy path is the
+// n-level path with every intermediate level collapsed.
+func TestCollapseDegenerateLevelIsExactNoOp(t *testing.T) {
+	type pair struct {
+		label     string
+		full      []machine.CacheLevel
+		collapsed []machine.CacheLevel
+	}
+	pairs := []pair{
+		{
+			"after-L1",
+			[]machine.CacheLevel{
+				{Bytes: 64 << 10, LatencyCycles: 1},
+				{Bytes: 64 << 10, LatencyCycles: 0},
+				{Bytes: 8 << 20, LatencyCycles: 40},
+			},
+			[]machine.CacheLevel{
+				{Bytes: 64 << 10, LatencyCycles: 1},
+				{Bytes: 8 << 20, LatencyCycles: 40},
+			},
+		},
+		{
+			"trailing",
+			[]machine.CacheLevel{
+				{Bytes: 64 << 10, LatencyCycles: 1},
+				{Bytes: 1 << 20, LatencyCycles: 12},
+				{Bytes: 1 << 20, LatencyCycles: 0},
+			},
+			[]machine.CacheLevel{
+				{Bytes: 64 << 10, LatencyCycles: 1},
+				{Bytes: 1 << 20, LatencyCycles: 12},
+			},
+		},
+	}
+	for _, cfg := range monotonicityConfigs() {
+		for _, wl := range PaperWorkloads() {
+			for _, p := range pairs {
+				t.Run(fmt.Sprintf("%s-%dx%d/%s/%s", cfg.Kind, cfg.N, cfg.Procs, wl.Name, p.label), func(t *testing.T) {
+					full, err := Evaluate(withHierarchy(cfg, p.full), wl, Options{})
+					if err != nil {
+						t.Fatalf("full hierarchy: %v", err)
+					}
+					short, err := Evaluate(withHierarchy(cfg, p.collapsed), wl, Options{})
+					if err != nil {
+						t.Fatalf("collapsed hierarchy: %v", err)
+					}
+					//chc:allow floateq -- the collapse identity is exact by construction
+					if full.EInstr != short.EInstr || full.T != short.T {
+						t.Errorf("degenerate level moved the prediction: EInstr %.17g vs %.17g, T %.17g vs %.17g",
+							full.EInstr, short.EInstr, full.T, short.T)
+					}
+				})
+			}
+		}
+	}
+}

@@ -299,6 +299,12 @@ func Evaluate(cfg machine.Config, wl Workload, opts Options) (Result, error) {
 	if perProcFootprint > 0 && !opts.NoRescale {
 		perProcFootprint /= float64(totalProcs)
 	}
+	// The index of the first beyond-cache level: intermediate cache levels
+	// (L2, L3) occupy indices 0..cacheExit-1, so miss[cacheExit] is the
+	// fraction of references leaving the private cache hierarchy — the
+	// "cache miss fraction" of the one-level formulas (where cacheExit is
+	// 0 and everything reduces to the paper's form).
+	cacheExit := len(cfg.CacheLevels()) - 1
 	miss := make([]float64, len(levels))
 	for i := range levels {
 		levels[i].CapacityItems *= itemScale
@@ -308,10 +314,15 @@ func Evaluate(cfg machine.Config, wl Workload, opts Options) (Result, error) {
 			continue
 		}
 		miss[i] = (1 - wl.HitMass) * params.MissBeyond(levels[i].CapacityItems)
-		if i == 0 {
-			// κ inflates the cache-level misses; everything that leaves the
-			// cache flows through level 2, so only the first fraction is
-			// corrected (deeper levels are fully associative page pools).
+		// κ inflates the misses leaving the level-1 cache (the 2-way
+		// set-associative geometry the factor was measured on); deeper
+		// boundaries keep the associativity-free stack-distance tail. A
+		// boundary whose capacity still equals L1's is the same boundary
+		// (a degenerate equal-capacity level adds no stack inclusion), so
+		// κ follows it — which makes collapsing a zero-latency
+		// equal-capacity intermediate level an exact no-op.
+		//chc:allow floateq -- capacities derive from identical integer byte counts
+		if i == 0 || (i <= cacheExit && levels[i].CapacityItems == levels[0].CapacityItems) {
 			kappa := wl.kappaAt(levels[i].CapacityItems)
 			miss[i] = math.Min(1-wl.HitMass, miss[i]*kappa)
 		}
@@ -321,7 +332,7 @@ func Evaluate(cfg machine.Config, wl Workload, opts Options) (Result, error) {
 			// local memory capacity, and invalidation-induced coherence
 			// misses cross it regardless of any capacity. Capped at the
 			// non-register reference mass.
-			withSharing := miss[i] + wl.RemoteShare*miss[0] + wl.CoherenceMissRate
+			withSharing := miss[i] + wl.RemoteShare*miss[cacheExit] + wl.CoherenceMissRate
 			miss[i] = math.Min(withSharing, 1-wl.HitMass)
 		}
 	}
@@ -337,6 +348,9 @@ func Evaluate(cfg machine.Config, wl Workload, opts Options) (Result, error) {
 	if opts.Latencies != nil {
 		lat = *opts.Latencies
 	}
+	// A multi-level config may pin its L1 hit latency; one-level configs
+	// keep the table's value, so the paper platforms are untouched.
+	lat.CacheHit = cfg.L1Latency(lat.CacheHit)
 
 	// computeT evaluates the right-hand side of the fixed point given an
 	// achieved instruction rate R (instructions per cycle). It returns
@@ -467,6 +481,33 @@ func buildLevels(cfg machine.Config, opts Options) ([]Level, error) {
 	n := float64(cfg.Procs)
 	N := float64(cfg.N)
 
+	// Multi-level hierarchies: the intermediate cache levels (L2, L3) sit
+	// in front of the per-platform beyond-cache hierarchy as private,
+	// uncontended levels — each one's boundary is the previous level's
+	// capacity, exactly the EMAT recursion
+	// EMAT = L1 + m1·(L2 + m2·(L3 + m3·Mem)) unrolled into eq. 7's
+	// per-level decomposition. The beyond-cache hierarchy then starts at
+	// the outermost cache level's capacity. A one-level config prepends
+	// nothing and returns the per-platform slice unchanged.
+	cl := cfg.CacheLevels()
+	lastCache := items(cfg.LastCacheBytes())
+	deep := func(beyond []Level) []Level {
+		if len(cl) == 1 {
+			return beyond
+		}
+		levels := make([]Level, 0, len(cl)-1+len(beyond))
+		for i := 1; i < len(cl); i++ {
+			levels = append(levels, Level{
+				Name:          fmt.Sprintf("L%d cache", i+1),
+				CapacityItems: items(cl[i-1].Bytes),
+				Service:       cl[i].LatencyCycles,
+				ArrivalMult:   0,
+				RateAdjust:    1,
+			})
+		}
+		return append(levels, beyond...)
+	}
+
 	dirty := opts.dirtyFraction()
 	netService := func() (float64, error) {
 		rn, ok := lat.RemoteNode[cfg.Net]
@@ -480,22 +521,22 @@ func buildLevels(cfg machine.Config, opts Options) ([]Level, error) {
 
 	switch cfg.Kind {
 	case machine.SMP:
-		return []Level{
-			{Name: "memory", CapacityItems: items(cfg.CacheBytes),
+		return deep([]Level{
+			{Name: "memory", CapacityItems: lastCache,
 				Service: lat.LocalMemory, ArrivalMult: n - 1, RateAdjust: 1},
 			{Name: "disk", CapacityItems: items(cfg.MemoryBytes) / n,
 				Service: lat.LocalDisk, ArrivalMult: n - 1, RateAdjust: 1, TruncateAtFootprint: true},
-		}, nil
+		}), nil
 
 	case machine.ClusterWS:
 		if cfg.N == 1 {
 			// A single workstation degenerates to a uniprocessor.
-			return []Level{
-				{Name: "memory", CapacityItems: items(cfg.CacheBytes),
+			return deep([]Level{
+				{Name: "memory", CapacityItems: lastCache,
 					Service: lat.LocalMemory, ArrivalMult: 0, RateAdjust: 1},
 				{Name: "disk", CapacityItems: items(cfg.MemoryBytes),
 					Service: lat.LocalDisk, ArrivalMult: 0, RateAdjust: 1, TruncateAtFootprint: true},
-			}, nil
+			}), nil
 		}
 		svc, err := netService()
 		if err != nil {
@@ -507,10 +548,10 @@ func buildLevels(cfg machine.Config, opts Options) ([]Level, error) {
 			netArrival = N - 1
 		}
 		_ = N
-		return []Level{
+		return deep([]Level{
 			// Beyond the cache: the local memory (the φ share acting as the
 			// process's working area under the DSM layer).
-			{Name: "local memory", CapacityItems: items(cfg.CacheBytes),
+			{Name: "local memory", CapacityItems: lastCache,
 				Service: lat.LocalMemory, ArrivalMult: 0, RateAdjust: 1},
 			// Beyond the local working area: a remote memory over the
 			// cluster network.
@@ -520,7 +561,7 @@ func buildLevels(cfg machine.Config, opts Options) ([]Level, error) {
 			// (N·mem over N processes): disk.
 			{Name: "disk", CapacityItems: items(cfg.MemoryBytes),
 				Service: lat.LocalDisk, ArrivalMult: 0, RateAdjust: 1, TruncateAtFootprint: true},
-		}, nil
+		}), nil
 
 	case machine.ClusterSMP:
 		if cfg.N == 1 {
@@ -539,10 +580,10 @@ func buildLevels(cfg machine.Config, opts Options) ([]Level, error) {
 			netArrival = n*N - 1
 		}
 		_ = N
-		return []Level{
+		return deep([]Level{
 			// Beyond the cache: the machine's memory (n processors share
 			// it, and its bus).
-			{Name: "local memory", CapacityItems: items(cfg.CacheBytes),
+			{Name: "local memory", CapacityItems: lastCache,
 				Service: lat.LocalMemory, ArrivalMult: n - 1, RateAdjust: 1},
 			// Beyond the per-processor share of the local working area.
 			{Name: "remote memory", CapacityItems: phi * items(cfg.MemoryBytes) / n,
@@ -551,7 +592,7 @@ func buildLevels(cfg machine.Config, opts Options) ([]Level, error) {
 			// (N·mem over nN processes): disk.
 			{Name: "disk", CapacityItems: items(cfg.MemoryBytes) / n,
 				Service: lat.LocalDisk, ArrivalMult: n - 1, RateAdjust: 1, TruncateAtFootprint: true},
-		}, nil
+		}), nil
 	}
 	return nil, fmt.Errorf("core: unknown platform kind %d", int(cfg.Kind))
 }

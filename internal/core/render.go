@@ -12,8 +12,11 @@ import (
 // for the same configuration and workload.
 func RenderResult(w io.Writer, wl Workload, res Result) {
 	cfg := res.Config
-	fmt.Fprintf(w, "platform:  %s (%s, n=%d, N=%d, cache %dKB, mem %dMB, net %v)\n",
-		cfg.Name, cfg.Kind, cfg.Procs, cfg.N, cfg.CacheBytes>>10, cfg.MemoryBytes>>20, cfg.Net)
+	// CacheDesc keeps the historical "%dKB" spelling for one-level configs
+	// (the rendered text is part of the bit-identity contract) and lists
+	// every level ("32KB+1MB+4MB") for multi-level hierarchies.
+	fmt.Fprintf(w, "platform:  %s (%s, n=%d, N=%d, cache %s, mem %dMB, net %v)\n",
+		cfg.Name, cfg.Kind, cfg.Procs, cfg.N, cfg.CacheDesc(), cfg.MemoryBytes>>20, cfg.Net)
 	fmt.Fprintf(w, "workload:  %s (alpha=%.2f beta=%.2f gamma=%.2f)\n",
 		wl.Name, wl.Locality.Alpha, wl.Locality.Beta, wl.Locality.Gamma)
 	fmt.Fprintf(w, "T        = %.3f cycles/reference (barrier part %.3f)\n", res.T, res.Barrier)

@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"memhier/internal/core"
 	"memhier/internal/machine"
@@ -76,13 +78,52 @@ type pricedConfig struct {
 }
 
 // structureKey identifies a group of configurations that differ only along
-// the monotone capacity axes (cache bytes, memory bytes).
+// the monotone capacity axes (per-level cache bytes, memory bytes). The
+// level signature — depth and per-level latencies — is part of the
+// structure: capacity monotonicity only holds with latencies fixed.
 type structureKey struct {
-	kind  machine.PlatformKind
-	n     int
-	procs int
-	net   machine.NetworkKind
-	clock float64
+	kind   machine.PlatformKind
+	n      int
+	procs  int
+	net    machine.NetworkKind
+	clock  float64
+	levels string
+}
+
+// levelSig folds a hierarchy's non-capacity shape into a comparable string.
+// Every legacy one-level configuration maps to "", so spaces without
+// DeepOptions group exactly as before.
+func levelSig(cfg machine.Config) string {
+	cl := cfg.CacheLevels()
+	if len(cl) == 1 && cl[0].LatencyCycles == 0 {
+		return ""
+	}
+	parts := make([]string, len(cl))
+	for i, lv := range cl {
+		parts[i] = strconv.FormatFloat(lv.LatencyCycles, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+// dominatesCapacity reports whether b is at least a along every monotone
+// capacity axis — each cache level's bytes and the memory bytes — and
+// strictly above on one. Both configs must share a structure group, so the
+// level counts match.
+func dominatesCapacity(a, b machine.Config) bool {
+	la, lb := a.CacheLevels(), b.CacheLevels()
+	if len(la) != len(lb) || b.MemoryBytes < a.MemoryBytes {
+		return false
+	}
+	strict := b.MemoryBytes > a.MemoryBytes
+	for i := range la {
+		if lb[i].Bytes < la[i].Bytes {
+			return false
+		}
+		if lb[i].Bytes > la[i].Bytes {
+			strict = true
+		}
+	}
+	return strict
 }
 
 // enumeratePriced prices every configuration in the space and returns them
@@ -101,7 +142,7 @@ func (s Space) enumeratePriced(cat Catalog) ([]pricedConfig, [][]int) {
 		if err != nil {
 			continue
 		}
-		key := structureKey{kind: cfg.Kind, n: cfg.N, procs: cfg.Procs, net: cfg.Net, clock: cfg.ClockMHz}
+		key := structureKey{kind: cfg.Kind, n: cfg.N, procs: cfg.Procs, net: cfg.Net, clock: cfg.ClockMHz, levels: levelSig(cfg)}
 		g, ok := groups[key]
 		if !ok {
 			g = len(members)
@@ -122,9 +163,7 @@ func (s Space) enumeratePriced(cat Catalog) ([]pricedConfig, [][]int) {
 				if i == j {
 					continue
 				}
-				a, b := pcs[i].cfg, pcs[j].cfg
-				if b.CacheBytes >= a.CacheBytes && b.MemoryBytes >= a.MemoryBytes &&
-					(b.CacheBytes > a.CacheBytes || b.MemoryBytes > a.MemoryBytes) {
+				if dominatesCapacity(pcs[i].cfg, pcs[j].cfg) {
 					dominated = true
 					break
 				}

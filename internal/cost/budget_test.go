@@ -2,6 +2,7 @@ package cost
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"memhier/internal/core"
@@ -25,7 +26,7 @@ func assertSweepEquivalent(t *testing.T, pruned []BudgetPoint, brute []SweepPoin
 		if p.Budget != b.Budget {
 			t.Fatalf("point %d: budget %v vs %v (different budgets skipped)", i, p.Budget, b.Budget)
 		}
-		if p.Best.Config != b.Best.Config {
+		if !reflect.DeepEqual(p.Best.Config, b.Best.Config) {
 			t.Errorf("budget %v: winner differs:\n  pruned: %+v\n  brute:  %+v", p.Budget, p.Best.Config, b.Best.Config)
 		}
 		if p.Best.Cost != b.Best.Cost || p.Best.EInstr != b.Best.EInstr || p.Best.Seconds != b.Best.Seconds {

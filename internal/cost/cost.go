@@ -42,6 +42,11 @@ type Catalog struct {
 	// CPUPer100MHz is the per-processor premium of each 100 MHz of clock
 	// above the 200 MHz baseline (slower clocks earn no refund).
 	CPUPer100MHz float64
+	// DeepCachePerMB is the per-processor cost of each MB of capacity in
+	// cache levels beyond the first (L2/L3). Level-1 capacity is priced by
+	// CacheUpgrade as before, so one-level platforms cost exactly what
+	// they always did.
+	DeepCachePerMB float64
 }
 
 // DefaultCatalog returns the 1999-era price estimates.
@@ -57,7 +62,8 @@ func DefaultCatalog() Catalog {
 			machine.NetBus100:    150,
 			machine.NetSwitch155: 650,
 		},
-		CPUPer100MHz: 500,
+		CPUPer100MHz:   500,
+		DeepCachePerMB: 200,
 	}
 }
 
@@ -65,6 +71,17 @@ const (
 	baseCache = 256 << 10
 	mb32      = 32 << 20
 )
+
+// deepBytes sums the capacity of every cache level beyond the first.
+func deepBytes(cfg machine.Config) int64 {
+	var total int64
+	if levels := cfg.CacheLevels(); len(levels) > 1 {
+		for _, lv := range levels[1:] {
+			total += lv.Bytes
+		}
+	}
+	return total
+}
 
 // MachineCost prices one machine of the configuration (C_machine(n) in
 // eq. 5).
@@ -85,6 +102,11 @@ func (c Catalog) MachineCost(cfg machine.Config) (float64, error) {
 	if cfg.CacheBytes > baseCache {
 		steps := float64(cfg.CacheBytes-baseCache) / float64(baseCache)
 		price += steps * c.CacheUpgrade * float64(cfg.Procs)
+	}
+	if levels := cfg.CacheLevels(); len(levels) > 1 {
+		for _, lv := range levels[1:] {
+			price += float64(lv.Bytes) / (1 << 20) * c.DeepCachePerMB * float64(cfg.Procs)
+		}
 	}
 	if cfg.MemoryBytes > baseMem {
 		price += float64(cfg.MemoryBytes-baseMem) / mb32 * c.MemoryPer32MB
@@ -115,10 +137,13 @@ func (c Catalog) ClusterCost(cfg machine.Config) (float64, error) {
 type Space struct {
 	MaxMachines   int
 	SMPSizes      []int   // processors per SMP machine
-	CacheOptions  []int64 // per-processor cache sizes
+	CacheOptions  []int64 // per-processor cache sizes (one-level hierarchies)
 	MemoryOptions []int64 // per-machine memory sizes
-	Networks      []machine.NetworkKind
-	ClockMHz      float64
+	// DeepOptions adds multi-level hierarchy choices beside CacheOptions:
+	// each entry is a full per-processor level stack, innermost first.
+	DeepOptions [][]machine.CacheLevel
+	Networks    []machine.NetworkKind
+	ClockMHz    float64
 	// ClockOptions adds alternative processor clocks to the enumeration
 	// (empty means ClockMHz only). With mixed clocks the optimizer ranks
 	// by wall seconds, not cycles.
@@ -163,12 +188,26 @@ func (s Space) enumerateAt(clock float64) []machine.Config {
 			out = append(out, c)
 		}
 	}
+	// The cache axis: every one-level option, then every deep stack.
+	type hierOpt struct {
+		cache  int64
+		levels []machine.CacheLevel
+	}
+	hiers := make([]hierOpt, 0, len(s.CacheOptions)+len(s.DeepOptions))
 	for _, cache := range s.CacheOptions {
+		hiers = append(hiers, hierOpt{cache: cache})
+	}
+	for _, lv := range s.DeepOptions {
+		if len(lv) > 0 {
+			hiers = append(hiers, hierOpt{cache: lv[0].Bytes, levels: lv})
+		}
+	}
+	for _, h := range hiers {
 		for _, mem := range s.MemoryOptions {
 			// Single SMPs.
 			for _, n := range s.SMPSizes {
 				add(machine.Config{Kind: machine.SMP, N: 1, Procs: n,
-					CacheBytes: cache, MemoryBytes: mem, Net: machine.NetNone, ClockMHz: s.ClockMHz})
+					CacheBytes: h.cache, Levels: h.levels, MemoryBytes: mem, Net: machine.NetNone, ClockMHz: s.ClockMHz})
 			}
 			for N := 1; N <= s.MaxMachines; N++ {
 				nets := s.Networks
@@ -178,12 +217,12 @@ func (s Space) enumerateAt(clock float64) []machine.Config {
 				for _, net := range nets {
 					// Clusters of workstations.
 					add(machine.Config{Kind: machine.ClusterWS, N: N, Procs: 1,
-						CacheBytes: cache, MemoryBytes: mem, Net: net, ClockMHz: s.ClockMHz})
+						CacheBytes: h.cache, Levels: h.levels, MemoryBytes: mem, Net: net, ClockMHz: s.ClockMHz})
 					// Clusters of SMPs (N >= 2 to be a cluster).
 					if N >= 2 {
 						for _, n := range s.SMPSizes {
 							add(machine.Config{Kind: machine.ClusterSMP, N: N, Procs: n,
-								CacheBytes: cache, MemoryBytes: mem, Net: net, ClockMHz: s.ClockMHz})
+								CacheBytes: h.cache, Levels: h.levels, MemoryBytes: mem, Net: net, ClockMHz: s.ClockMHz})
 						}
 					}
 				}
@@ -198,16 +237,18 @@ func describe(c machine.Config) string {
 	if c.ClockMHz != machine.ReferenceClockMHz {
 		clock = fmt.Sprintf(" @%gMHz", c.ClockMHz)
 	}
+	// CacheDesc spells one-level hierarchies "%dKB" exactly as the old
+	// format string did, and lists the levels ("32KB+1MB") otherwise.
 	switch c.Kind {
 	case machine.SMP:
-		return fmt.Sprintf("SMP n=%d cache=%dKB mem=%dMB%s",
-			c.Procs, c.CacheBytes>>10, c.MemoryBytes>>20, clock)
+		return fmt.Sprintf("SMP n=%d cache=%s mem=%dMB%s",
+			c.Procs, c.CacheDesc(), c.MemoryBytes>>20, clock)
 	case machine.ClusterWS:
-		return fmt.Sprintf("WSx%d cache=%dKB mem=%dMB net=%v%s",
-			c.N, c.CacheBytes>>10, c.MemoryBytes>>20, c.Net, clock)
+		return fmt.Sprintf("WSx%d cache=%s mem=%dMB net=%v%s",
+			c.N, c.CacheDesc(), c.MemoryBytes>>20, c.Net, clock)
 	default:
-		return fmt.Sprintf("SMP%dx%d cache=%dKB mem=%dMB net=%v%s",
-			c.Procs, c.N, c.CacheBytes>>10, c.MemoryBytes>>20, c.Net, clock)
+		return fmt.Sprintf("SMP%dx%d cache=%s mem=%dMB net=%v%s",
+			c.Procs, c.N, c.CacheDesc(), c.MemoryBytes>>20, c.Net, clock)
 	}
 }
 
@@ -291,6 +332,9 @@ func (c Catalog) UpgradeCost(old, next machine.Config) (float64, error) {
 	if next.MemoryBytes > old.MemoryBytes {
 		total += float64(old.N) * float64(next.MemoryBytes-old.MemoryBytes) / mb32 * c.MemoryPer32MB
 	}
+	if dn, do := deepBytes(next), deepBytes(old); dn > do {
+		total += float64(old.N) * float64(dn-do) / (1 << 20) * c.DeepCachePerMB * float64(old.Procs)
+	}
 	// Network change: every node needs the new interface. Added nodes on an
 	// unchanged network still need one each.
 	netNew, ok := c.NetPerNode[next.Net]
@@ -339,7 +383,8 @@ func Upgrade(existing machine.Config, budgetIncrease float64, wl core.Workload,
 		if cfg.Kind != existing.Kind || cfg.Procs != existing.Procs || cfg.N < existing.N {
 			continue
 		}
-		if cfg.CacheBytes < existing.CacheBytes || cfg.MemoryBytes < existing.MemoryBytes {
+		if cfg.CacheBytes < existing.CacheBytes || cfg.MemoryBytes < existing.MemoryBytes ||
+			deepBytes(cfg) < deepBytes(existing) {
 			continue
 		}
 		price, err := cat.UpgradeCost(existing, cfg)

@@ -2,6 +2,7 @@ package cost
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -226,7 +227,7 @@ func TestUpgradeImproves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if noop.To != existing || noop.UpgradeCost != 0 || noop.Speedup != 1 {
+	if !reflect.DeepEqual(noop.To, existing) || noop.UpgradeCost != 0 || noop.Speedup != 1 {
 		t.Errorf("zero-budget plan not a no-op: %+v", noop)
 	}
 	if _, err := Upgrade(existing, -5, wl, DefaultCatalog(), DefaultSpace(), core.Options{}); err == nil {

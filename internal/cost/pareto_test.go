@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"reflect"
 	"testing"
 
 	"memhier/internal/core"
@@ -62,7 +63,7 @@ func TestKneePoint(t *testing.T) {
 	}
 	onFront := false
 	for _, p := range front {
-		if p.Config == knee.Config {
+		if reflect.DeepEqual(p.Config, knee.Config) {
 			onFront = true
 		}
 	}
@@ -75,7 +76,7 @@ func TestKneePoint(t *testing.T) {
 	}
 	single := front[:1]
 	k, err := KneePoint(single)
-	if err != nil || k.Config != single[0].Config {
+	if err != nil || !reflect.DeepEqual(k.Config, single[0].Config) {
 		t.Errorf("single-point knee: %+v, %v", k, err)
 	}
 }

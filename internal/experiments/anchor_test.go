@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenArtifacts is the checked-in bit-identity anchor for the repro
+// pipeline: one SHA-256 per deterministic artifact, captured before the
+// multi-level cache refactor. Every catalog configuration carries exactly
+// one cache level, so the Levels generalization must reproduce these bytes
+// exactly — any drift here means the 1-level reduction contract broke.
+//
+// Regenerate (only for an intentional output change) with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/experiments -run TestArtifactBytesMatchGoldenAnchor
+const goldenArtifactsFile = "testdata/golden_artifacts.sha256"
+
+// TestArtifactBytesMatchGoldenAnchor renders every deterministic Fig. 2–4 /
+// §6 artifact and compares its bytes against the pre-refactor golden
+// hashes. It runs under -race too (the race CI job runs the full test set),
+// so the anchor also covers the parallel artifact pipeline.
+func TestArtifactBytesMatchGoldenAnchor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full reproduction render")
+	}
+	s := NewSuite(Options{})
+	type sum struct{ name, hash string }
+	var got []sum
+	for _, a := range s.Artifacts() {
+		if !a.Deterministic {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := a.Render(&buf); err != nil {
+			t.Fatalf("render %s: %v", a.Name, err)
+		}
+		h := sha256.Sum256(buf.Bytes())
+		got = append(got, sum{a.Name, hex.EncodeToString(h[:])})
+	}
+	if len(got) == 0 {
+		t.Fatal("no deterministic artifacts rendered")
+	}
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		var out strings.Builder
+		for _, g := range got {
+			fmt.Fprintf(&out, "%s  %s\n", g.hash, g.name)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenArtifactsFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenArtifactsFile, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden hashes to %s", len(got), goldenArtifactsFile)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenArtifactsFile)
+	if err != nil {
+		t.Fatalf("missing golden anchor (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	want := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[fields[1]] = fields[0]
+	}
+	for _, g := range got {
+		wantHash, ok := want[g.name]
+		if !ok {
+			t.Errorf("artifact %s has no golden hash; regenerate with UPDATE_GOLDEN=1 if the addition is intentional", g.name)
+			continue
+		}
+		if g.hash != wantHash {
+			t.Errorf("artifact %s: bytes drifted from the pre-refactor anchor\n  got  %s\n  want %s", g.name, g.hash, wantHash)
+		}
+		delete(want, g.name)
+	}
+	for name := range want {
+		t.Errorf("golden artifact %s no longer rendered", name)
+	}
+}

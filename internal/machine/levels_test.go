@@ -1,0 +1,245 @@
+package machine
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// levels3 is a representative explicit three-level hierarchy.
+func levels3() []CacheLevel {
+	return []CacheLevel{
+		{Bytes: 32 << 10, LatencyCycles: 4},
+		{Bytes: 1 << 20, LatencyCycles: 14},
+		{Bytes: 4 << 20, LatencyCycles: 44},
+	}
+}
+
+func deepSMP(levels []CacheLevel) Config {
+	c := Config{Name: "deep", Kind: SMP, N: 1, Procs: 2,
+		MemoryBytes: 64 << 20, ClockMHz: 200, Levels: levels}
+	if len(levels) > 0 {
+		c.CacheBytes = levels[0].Bytes
+	}
+	return c
+}
+
+func TestCacheLevelsExpandsLegacyAlias(t *testing.T) {
+	legacy := Config{Name: "x", Kind: SMP, N: 1, Procs: 2,
+		CacheBytes: 256 << 10, MemoryBytes: 64 << 20, ClockMHz: 200}
+	if got := legacy.CacheLevels(); !reflect.DeepEqual(got, []CacheLevel{{Bytes: 256 << 10}}) {
+		t.Errorf("legacy CacheLevels = %+v", got)
+	}
+	if legacy.LastCacheBytes() != 256<<10 {
+		t.Errorf("legacy LastCacheBytes = %d", legacy.LastCacheBytes())
+	}
+	if legacy.L1Latency(1) != 1 {
+		t.Errorf("legacy L1Latency = %v, want the default", legacy.L1Latency(1))
+	}
+
+	deep := deepSMP(levels3())
+	if got := deep.CacheLevels(); !reflect.DeepEqual(got, levels3()) {
+		t.Errorf("deep CacheLevels = %+v", got)
+	}
+	if deep.LastCacheBytes() != 4<<20 {
+		t.Errorf("deep LastCacheBytes = %d, want the outermost level", deep.LastCacheBytes())
+	}
+	if deep.L1Latency(1) != 4 {
+		t.Errorf("deep L1Latency = %v, want the explicit level-1 latency", deep.L1Latency(1))
+	}
+}
+
+func TestCanonicalFoldsOneLevelAlias(t *testing.T) {
+	legacy := Config{Name: "x", Kind: SMP, N: 1, Procs: 2,
+		CacheBytes: 256 << 10, MemoryBytes: 64 << 20, ClockMHz: 200}
+
+	// A 1-element default-latency Levels list is the same platform as the
+	// legacy spelling: Canonical folds it back so both share one struct,
+	// one JSON encoding, and therefore one server cache key.
+	alias := legacy
+	alias.CacheBytes = 0
+	alias.Levels = []CacheLevel{{Bytes: 256 << 10}}
+	if got := alias.Canonical(); !reflect.DeepEqual(got, legacy) {
+		t.Errorf("Canonical(1-level alias) = %+v, want %+v", got, legacy)
+	}
+
+	// The legacy spelling is already canonical.
+	if got := legacy.Canonical(); !reflect.DeepEqual(got, legacy) {
+		t.Errorf("Canonical(legacy) = %+v, want unchanged", got)
+	}
+
+	// A 1-level hierarchy with a non-default latency is NOT the legacy
+	// platform; it must keep its Levels list.
+	lat := alias
+	lat.Levels = []CacheLevel{{Bytes: 256 << 10, LatencyCycles: 4}}
+	got := lat.Canonical()
+	if len(got.Levels) != 1 || got.CacheBytes != 256<<10 {
+		t.Errorf("Canonical(1-level explicit latency) = %+v, want Levels kept and CacheBytes pinned", got)
+	}
+
+	// Multi-level: CacheBytes pins to level 1, and the returned config must
+	// not share its Levels backing array with the input.
+	deep := deepSMP(levels3())
+	deep.CacheBytes = 0
+	canon := deep.Canonical()
+	if canon.CacheBytes != 32<<10 {
+		t.Errorf("Canonical deep CacheBytes = %d, want level-1 capacity", canon.CacheBytes)
+	}
+
+	// Canonicalization is idempotent.
+	if c2 := canon.Canonical(); !reflect.DeepEqual(c2, canon) {
+		t.Errorf("Canonical not idempotent: %+v vs %+v", c2, canon)
+	}
+
+	// The returned config must not share its Levels backing array with the
+	// input.
+	canon.Levels[0].Bytes = 1
+	if deep.Levels[0].Bytes == 1 {
+		t.Error("Canonical aliased the input's Levels slice")
+	}
+}
+
+func TestCanonicalOneLevelJSONIsByteIdentical(t *testing.T) {
+	legacy := Config{Name: "x", Kind: SMP, N: 1, Procs: 2,
+		CacheBytes: 256 << 10, MemoryBytes: 64 << 20, ClockMHz: 200}
+	alias := legacy
+	alias.CacheBytes = 0
+	alias.Levels = []CacheLevel{{Bytes: 256 << 10}}
+
+	a, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(alias.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("canonical alias encodes differently:\nlegacy: %s\nalias:  %s", a, b)
+	}
+	if strings.Contains(string(a), "cache_levels") {
+		t.Errorf("legacy encoding grew a cache_levels field: %s", a)
+	}
+}
+
+func TestValidateLevels(t *testing.T) {
+	if err := deepSMP(levels3()).Validate(); err != nil {
+		t.Fatalf("valid 3-level hierarchy rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"too many levels", func(c *Config) {
+			c.Levels = append(c.Levels, CacheLevel{Bytes: 8 << 20, LatencyCycles: 80})
+		}},
+		{"non-positive level size", func(c *Config) { c.Levels[1].Bytes = 0 }},
+		{"negative latency", func(c *Config) { c.Levels[2].LatencyCycles = -1 }},
+		{"shrinking outward", func(c *Config) { c.Levels[1].Bytes = 16 << 10 }},
+		{"alias disagreement", func(c *Config) { c.CacheBytes = 64 << 10 }},
+	}
+	for _, tc := range cases {
+		c := deepSMP(levels3())
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, c)
+		}
+	}
+
+	// Equal adjacent capacities are a degenerate but legal hierarchy.
+	eq := deepSMP([]CacheLevel{
+		{Bytes: 256 << 10, LatencyCycles: 1},
+		{Bytes: 256 << 10, LatencyCycles: 10},
+	})
+	if err := eq.Validate(); err != nil {
+		t.Errorf("equal-capacity adjacent levels rejected: %v", err)
+	}
+
+	// A zero CacheBytes alias is repaired by Canonical and accepted.
+	noAlias := deepSMP(levels3())
+	noAlias.CacheBytes = 0
+	if err := noAlias.Validate(); err != nil {
+		t.Errorf("zero alias with explicit levels rejected: %v", err)
+	}
+}
+
+func TestScaledDividesEveryLevel(t *testing.T) {
+	c := deepSMP(levels3())
+	s, err := c.Scaled(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []CacheLevel{
+		{Bytes: 2 << 10, LatencyCycles: 4},
+		{Bytes: 64 << 10, LatencyCycles: 14},
+		{Bytes: 256 << 10, LatencyCycles: 44},
+	}
+	if !reflect.DeepEqual(s.Levels, want) {
+		t.Errorf("Scaled(16) levels = %+v, want %+v", s.Levels, want)
+	}
+	if s.CacheBytes != s.Levels[0].Bytes {
+		t.Errorf("Scaled alias %d disagrees with level 1 (%d)", s.CacheBytes, s.Levels[0].Bytes)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("scaled hierarchy invalid: %v", err)
+	}
+	// The original must be untouched (Scaled copies the slice).
+	if !reflect.DeepEqual(c.Levels, levels3()) {
+		t.Errorf("Scaled mutated the input: %+v", c.Levels)
+	}
+}
+
+func TestCacheDesc(t *testing.T) {
+	one := Config{CacheBytes: 256 << 10}
+	if got := one.CacheDesc(); got != "256KB" {
+		t.Errorf("1-level CacheDesc = %q, want the historical form", got)
+	}
+	deep := deepSMP(levels3())
+	if got := deep.CacheDesc(); got != "32KB+1MB+4MB" {
+		t.Errorf("deep CacheDesc = %q", got)
+	}
+}
+
+func TestModernCatalog(t *testing.T) {
+	modern := ModernCatalog()
+	if len(modern) == 0 {
+		t.Fatal("empty modern catalog")
+	}
+	names := make(map[string]bool, len(modern))
+	for _, c := range modern {
+		names[c.Name] = true
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.Name, err)
+		}
+		if len(c.Levels) < 2 {
+			t.Errorf("%s has %d cache levels; modern presets are multi-level", c.Name, len(c.Levels))
+		}
+		if c.CacheBytes != c.Levels[0].Bytes {
+			t.Errorf("%s alias %d disagrees with level 1 (%d)", c.Name, c.CacheBytes, c.Levels[0].Bytes)
+		}
+		// Clocks stay integral multiples of the 200 MHz reference so scaled
+		// latencies remain integral cycle counts (the simulator's contract).
+		if mult := c.ClockMHz / ReferenceClockMHz; mult != float64(int(mult)) {
+			t.Errorf("%s clock %v MHz is not an integral multiple of the reference", c.Name, c.ClockMHz)
+		}
+	}
+	for _, want := range []string{"modern-2s-server", "cloud-vm-8"} {
+		if !names[want] {
+			t.Errorf("modern catalog missing %q", want)
+		}
+	}
+
+	// ByName resolves modern presets beside C1–C15, case-insensitively.
+	got, err := ByName("Modern-2S-Server")
+	if err != nil || got.Name != "modern-2s-server" {
+		t.Errorf("ByName(modern preset) = %+v, %v", got, err)
+	}
+	// ...without leaking them into the paper catalog.
+	for _, c := range Catalog() {
+		if names[c.Name] {
+			t.Errorf("modern preset %q leaked into the C1–C15 catalog", c.Name)
+		}
+	}
+}

@@ -158,22 +158,131 @@ func ParseNetwork(s string) (NetworkKind, error) {
 	return 0, fmt.Errorf("machine: unknown network %q (want 10, 100, atm)", s)
 }
 
+// CacheLevel describes one level of a per-processor cache hierarchy.
+type CacheLevel struct {
+	// Bytes is the level's capacity.
+	Bytes int64 `json:"bytes"`
+	// LatencyCycles is the level's access latency in CPU cycles. Zero on
+	// the first level means the §5.1 default (one cycle); deeper levels
+	// normally set it explicitly. Deep cache levels are on-package SRAM
+	// that tracks the core, so — like the L1 hit cost — their cycle
+	// latencies do not scale with the clock.
+	LatencyCycles float64 `json:"latency_cycles,omitempty"`
+}
+
+// MaxCacheLevels bounds the hierarchy depth: L1, L2, L3. Every platform the
+// predictor targets fits in three levels, and the simulator's access-class
+// accounting enumerates them.
+const MaxCacheLevels = 3
+
 // Config is one cluster platform configuration. The JSON encoding is part
 // of the chc-serve API surface: kinds and networks serialize as their short
 // text spellings via the TextMarshaler implementations above.
 type Config struct {
-	Name        string       `json:"name"`
-	Kind        PlatformKind `json:"kind"`
-	N           int          `json:"machines"`     // machines in the cluster
-	Procs       int          `json:"procs"`        // processors per machine (n)
-	CacheBytes  int64        `json:"cache_bytes"`  // per-processor cache capacity
-	MemoryBytes int64        `json:"memory_bytes"` // per-machine memory capacity
-	Net         NetworkKind  `json:"net"`
-	ClockMHz    float64      `json:"clock_mhz"` // processor clock; instruction rate is 1/cycle
+	Name  string       `json:"name"`
+	Kind  PlatformKind `json:"kind"`
+	N     int          `json:"machines"` // machines in the cluster
+	Procs int          `json:"procs"`    // processors per machine (n)
+	// CacheBytes is the per-processor level-1 cache capacity. It predates
+	// Levels and remains the canonical spelling for one-level platforms
+	// (every C1–C15 catalog entry): a config with an empty Levels list
+	// means a single cache level of CacheBytes at the default hit latency,
+	// and marshals byte-identically to the pre-Levels encoding.
+	CacheBytes  int64 `json:"cache_bytes"`  // per-processor L1 capacity (deprecated alias, see Levels)
+	MemoryBytes int64 `json:"memory_bytes"` // per-machine memory capacity
+	// Levels is the ordered per-processor cache hierarchy, innermost
+	// first. Empty means the one-level hierarchy [{Bytes: CacheBytes}].
+	// When non-empty, Levels[0].Bytes and CacheBytes must agree (Canonical
+	// repairs a zero CacheBytes).
+	Levels   []CacheLevel `json:"cache_levels,omitempty"`
+	Net      NetworkKind  `json:"net"`
+	ClockMHz float64      `json:"clock_mhz"` // processor clock; instruction rate is 1/cycle
 }
 
 // TotalProcs returns n·N, the processor count of the whole platform.
 func (c Config) TotalProcs() int { return c.N * c.Procs }
+
+// CacheLevels returns the per-processor hierarchy in canonical expanded
+// form, innermost first: the explicit Levels list, or the one-level
+// hierarchy the legacy CacheBytes field describes.
+func (c Config) CacheLevels() []CacheLevel {
+	if len(c.Levels) > 0 {
+		return c.Levels
+	}
+	return []CacheLevel{{Bytes: c.CacheBytes}}
+}
+
+// LastCacheBytes returns the capacity of the outermost cache level: the
+// boundary at which references spill to memory.
+func (c Config) LastCacheBytes() int64 {
+	if n := len(c.Levels); n > 0 {
+		return c.Levels[n-1].Bytes
+	}
+	return c.CacheBytes
+}
+
+// L1Latency returns the level-1 access latency, or def where the config
+// leaves it at the default.
+func (c Config) L1Latency(def float64) float64 {
+	if len(c.Levels) > 0 && c.Levels[0].LatencyCycles > 0 {
+		return c.Levels[0].LatencyCycles
+	}
+	return def
+}
+
+// Canonical returns the configuration in canonical form: a one-element
+// Levels list at the default latency folds back into the legacy
+// CacheBytes-only spelling (so the two spellings are one platform, with
+// one JSON encoding and one server cache key), and a multi-level config
+// has CacheBytes pinned to its first level. Validate accepts exactly the
+// configurations whose Canonical form it accepts.
+func (c Config) Canonical() Config {
+	switch {
+	case len(c.Levels) == 0:
+		return c
+	case len(c.Levels) == 1 && c.Levels[0].LatencyCycles == 0:
+		c.CacheBytes = c.Levels[0].Bytes
+		c.Levels = nil
+	default:
+		levels := make([]CacheLevel, len(c.Levels))
+		copy(levels, c.Levels)
+		c.Levels = levels
+		c.CacheBytes = c.Levels[0].Bytes
+	}
+	return c
+}
+
+// validateLevels checks the explicit hierarchy: capacities positive and
+// non-decreasing inward-out, latencies non-negative, depth bounded, and
+// the deprecated CacheBytes alias in agreement when set.
+func (c Config) validateLevels() error {
+	if len(c.Levels) == 0 {
+		return nil
+	}
+	if len(c.Levels) > MaxCacheLevels {
+		return fmt.Errorf("machine: %s: at most %d cache levels supported, got %d",
+			c.Name, MaxCacheLevels, len(c.Levels))
+	}
+	for i, lv := range c.Levels {
+		if lv.Bytes <= 0 {
+			return fmt.Errorf("machine: %s: cache level %d size must be positive, got %d",
+				c.Name, i+1, lv.Bytes)
+		}
+		if lv.LatencyCycles < 0 {
+			return fmt.Errorf("machine: %s: cache level %d latency must be non-negative, got %v",
+				c.Name, i+1, lv.LatencyCycles)
+		}
+		if i > 0 && lv.Bytes < c.Levels[i-1].Bytes {
+			return fmt.Errorf("machine: %s: cache level %d (%d bytes) smaller than level %d (%d bytes)",
+				c.Name, i+1, lv.Bytes, i, c.Levels[i-1].Bytes)
+		}
+	}
+	if c.CacheBytes != 0 && c.CacheBytes != c.Levels[0].Bytes {
+		return fmt.Errorf("machine: %s: cache_bytes (%d) disagrees with cache level 1 (%d bytes)",
+			c.Name, c.CacheBytes, c.Levels[0].Bytes)
+	}
+	return nil
+}
 
 // Validate checks structural consistency.
 func (c Config) Validate() error {
@@ -182,12 +291,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: %s: need at least one machine, got %d", c.Name, c.N)
 	case c.Procs < 1:
 		return fmt.Errorf("machine: %s: need at least one processor per machine, got %d", c.Name, c.Procs)
-	case c.CacheBytes <= 0:
+	case len(c.Levels) == 0 && c.CacheBytes <= 0:
 		return fmt.Errorf("machine: %s: cache size must be positive, got %d", c.Name, c.CacheBytes)
 	case c.MemoryBytes <= 0:
 		return fmt.Errorf("machine: %s: memory size must be positive, got %d", c.Name, c.MemoryBytes)
 	case c.ClockMHz <= 0:
 		return fmt.Errorf("machine: %s: clock must be positive, got %v", c.Name, c.ClockMHz)
+	}
+	if err := c.validateLevels(); err != nil {
+		return err
 	}
 	switch c.Kind {
 	case SMP:
@@ -230,7 +342,41 @@ func (c Config) Scaled(factor int) (Config, error) {
 	s.Name = fmt.Sprintf("%s/%d", c.Name, factor)
 	s.CacheBytes = maxInt64(1, c.CacheBytes/int64(factor))
 	s.MemoryBytes = maxInt64(1, c.MemoryBytes/int64(factor))
+	if len(c.Levels) > 0 {
+		s.Levels = make([]CacheLevel, len(c.Levels))
+		for i, lv := range c.Levels {
+			lv.Bytes = maxInt64(1, lv.Bytes/int64(factor))
+			s.Levels[i] = lv
+		}
+		s.CacheBytes = s.Levels[0].Bytes
+	}
 	return s, nil
+}
+
+// CacheDesc renders the cache hierarchy for human-readable output. A
+// one-level config keeps the historical "%dKB" form (part of the rendered
+// byte-identity contract); multi-level configs list every level, e.g.
+// "32KB+1MB+4MB".
+func (c Config) CacheDesc() string {
+	if len(c.Levels) == 0 {
+		return fmt.Sprintf("%dKB", c.CacheBytes/kb)
+	}
+	parts := make([]string, len(c.Levels))
+	for i, lv := range c.Levels {
+		parts[i] = sizeDesc(lv.Bytes)
+	}
+	return strings.Join(parts, "+")
+}
+
+// sizeDesc formats a capacity with the largest exact binary unit.
+func sizeDesc(b int64) string {
+	switch {
+	case b >= mb && b%mb == 0:
+		return fmt.Sprintf("%dMB", b/mb)
+	case b >= kb && b%kb == 0:
+		return fmt.Sprintf("%dKB", b/kb)
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 func maxInt64(a, b int64) int64 {
@@ -301,10 +447,56 @@ func Catalog() []Config {
 	return all
 }
 
-// ByName returns the named catalog configuration (C1–C15).
+const gb = 1 << 30
+
+// ModernCatalog returns present-day platform descriptions alongside the
+// paper's 1999 tables: multi-level cache hierarchies and the clock speeds
+// the paper's "speed gap" conclusion predicted. Clocks are exact multiples
+// of the 200 MHz reference so every scaled latency stays an integral cycle
+// count and the simulator keeps its exact integer-clock engine.
+//
+// These live in their own catalog — ByName resolves them, but Catalog()
+// still returns exactly C1–C15, so the paper-reproduction tables and
+// golden artifacts are untouched.
+func ModernCatalog() []Config {
+	return []Config{
+		{
+			// A two-socket server: 2×8 cores sharing one memory system.
+			// Per-core L1/L2 plus a per-core share of a socket-level L3.
+			Name: "modern-2s-server", Kind: SMP, N: 1, Procs: 16,
+			CacheBytes: 32 * kb,
+			Levels: []CacheLevel{
+				{Bytes: 32 * kb, LatencyCycles: 4},
+				{Bytes: 1 * mb, LatencyCycles: 14},
+				{Bytes: 4 * mb, LatencyCycles: 44},
+			},
+			MemoryBytes: 64 * gb, Net: NetNone, ClockMHz: 3000,
+		},
+		{
+			// A general-purpose 8-vCPU cloud instance.
+			Name: "cloud-vm-8", Kind: SMP, N: 1, Procs: 8,
+			CacheBytes: 32 * kb,
+			Levels: []CacheLevel{
+				{Bytes: 32 * kb, LatencyCycles: 4},
+				{Bytes: 512 * kb, LatencyCycles: 12},
+				{Bytes: 2 * mb, LatencyCycles: 40},
+			},
+			MemoryBytes: 32 * gb, Net: NetNone, ClockMHz: 2600,
+		},
+	}
+}
+
+// ByName returns the named configuration: a paper catalog entry (C1–C15)
+// or a modern-platform entry (modern-2s-server, cloud-vm-8).
 func ByName(name string) (Config, error) {
+	name = strings.TrimSpace(name)
 	for _, c := range Catalog() {
-		if strings.EqualFold(c.Name, strings.TrimSpace(name)) {
+		if strings.EqualFold(c.Name, name) {
+			return c, nil
+		}
+	}
+	for _, c := range ModernCatalog() {
+		if strings.EqualFold(c.Name, name) {
 			return c, nil
 		}
 	}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memhier/internal/machine"
+)
+
+// anchorRequests is the fixed request table of the bit-identity regression
+// anchor: representative 1-level /v1/predict requests spanning catalog
+// names, scaled variants, and custom platforms of all three kinds. Their
+// response bodies were captured before the multi-level cache refactor;
+// the Levels generalization must reproduce them byte for byte.
+func anchorRequests() []struct {
+	label string
+	req   PredictRequest
+} {
+	return []struct {
+		label string
+		req   PredictRequest
+	}{
+		{"c4_fft", PredictRequest{
+			Config: ConfigSpec{Name: "C4"}, Workload: WorkloadSpec{Name: "FFT"}}},
+		{"c11_radix", PredictRequest{
+			Config: ConfigSpec{Name: "C11"}, Workload: WorkloadSpec{Name: "Radix"}}},
+		{"c13_div16_lu", PredictRequest{
+			Config: ConfigSpec{Name: "C13", Divisor: 16}, Workload: WorkloadSpec{Name: "LU"}}},
+		{"custom_smp_edge", PredictRequest{
+			Config: ConfigSpec{Kind: "smp", Procs: 4, CacheBytes: 512 << 10,
+				MemoryBytes: 128 << 20, ClockMHz: 400},
+			Workload: WorkloadSpec{Name: "EDGE"}}},
+		{"custom_csmp_lu", PredictRequest{
+			Config: ConfigSpec{Kind: "csmp", Machines: 4, Procs: 2, CacheBytes: 256 << 10,
+				MemoryBytes: 128 << 20, Net: "atm"},
+			Workload: WorkloadSpec{Name: "LU"}}},
+		{"custom_ws_tpcc", PredictRequest{
+			Config: ConfigSpec{Kind: "ws", Machines: 8, CacheBytes: 512 << 10,
+				MemoryBytes: 64 << 20, Net: "100"},
+			Workload: WorkloadSpec{Name: "TPC-C"}}},
+	}
+}
+
+// TestPredictBodiesMatchGoldenAnchor replays the anchor request table
+// against the in-process handler and requires byte-identical response
+// bodies to the pre-refactor goldens in testdata/golden_predict. It runs
+// under -race as part of the race CI job.
+//
+// Regenerate (only for an intentional API output change) with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/server -run TestPredictBodiesMatchGoldenAnchor
+func TestPredictBodiesMatchGoldenAnchor(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	if update {
+		if err := os.MkdirAll("testdata/golden_predict", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tc := range anchorRequests() {
+		rec := post(t, s, "/v1/predict", tc.req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d, body %s", tc.label, rec.Code, rec.Body.String())
+		}
+		path := filepath.Join("testdata", "golden_predict", tc.label+".json")
+		if update {
+			if err := os.WriteFile(path, rec.Body.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden body (run with UPDATE_GOLDEN=1 to create): %v", tc.label, err)
+		}
+		if got := rec.Body.String(); got != string(want) {
+			t.Errorf("%s: /v1/predict body drifted from the pre-refactor anchor\n got: %s\nwant: %s",
+				tc.label, got, want)
+		}
+	}
+}
+
+// TestPredictLevelsAliasSharesGoldenAnchor pins the tentpole's aliasing
+// contract end to end: respelling each custom anchor request's cache_bytes
+// as a 1-element levels list must return the same pre-refactor golden
+// bytes, and must answer from the cache entry the legacy spelling warmed
+// (X-Cache: hit) — one entry per platform, whichever spelling arrives.
+func TestPredictLevelsAliasSharesGoldenAnchor(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+
+	for _, tc := range anchorRequests() {
+		if tc.req.Config.CacheBytes == 0 {
+			continue // catalog-name anchors have no spelling to alias
+		}
+		legacy := post(t, s, "/v1/predict", tc.req)
+		if legacy.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d, body %s", tc.label, legacy.Code, legacy.Body.String())
+		}
+
+		alias := tc.req
+		alias.Config.Levels = []machine.CacheLevel{{Bytes: alias.Config.CacheBytes}}
+		alias.Config.CacheBytes = 0
+		rec := post(t, s, "/v1/predict", alias)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s (levels spelling): status = %d, body %s", tc.label, rec.Code, rec.Body.String())
+		}
+		if rec.Body.String() != legacy.Body.String() {
+			t.Errorf("%s: levels spelling answered different bytes than cache_bytes", tc.label)
+		}
+		if cacheHdr := rec.Header().Get("X-Cache"); cacheHdr != "hit" {
+			t.Errorf("%s: levels spelling missed the legacy spelling's cache entry (X-Cache %q)",
+				tc.label, cacheHdr)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", "golden_predict", tc.label+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Body.String() != string(want) {
+			t.Errorf("%s: levels spelling drifted from the pre-refactor anchor", tc.label)
+		}
+	}
+}

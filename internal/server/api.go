@@ -43,6 +43,10 @@ type ConfigSpec struct {
 	// per-machine memory capacities (defaults: 256 KB and 64 MB).
 	CacheBytes  int64 `json:"cache_bytes,omitempty"`
 	MemoryBytes int64 `json:"memory_bytes,omitempty"`
+	// Levels is the per-processor cache hierarchy, innermost first (up to
+	// three levels). A 1-element list is the same platform as the
+	// equivalent cache_bytes — both spellings share one cache key.
+	Levels []machine.CacheLevel `json:"levels,omitempty"`
 	// Net is the cluster network: "none", "10", "100", or "atm".
 	Net string `json:"net,omitempty"`
 	// ClockMHz is the processor clock (default the 200 MHz reference).
@@ -75,7 +79,8 @@ func (c ConfigSpec) Resolve() (machine.Config, error) {
 			Name: "custom", Kind: kind,
 			N: c.Machines, Procs: c.Procs,
 			CacheBytes: c.CacheBytes, MemoryBytes: c.MemoryBytes,
-			Net: net, ClockMHz: c.ClockMHz,
+			Levels: c.Levels,
+			Net:    net, ClockMHz: c.ClockMHz,
 		}
 		if cfg.N == 0 {
 			cfg.N = 1
@@ -83,7 +88,7 @@ func (c ConfigSpec) Resolve() (machine.Config, error) {
 		if cfg.Procs == 0 {
 			cfg.Procs = 1
 		}
-		if cfg.CacheBytes == 0 {
+		if cfg.CacheBytes == 0 && len(cfg.Levels) == 0 {
 			cfg.CacheBytes = 256 << 10
 		}
 		if cfg.MemoryBytes == 0 {
@@ -100,6 +105,11 @@ func (c ConfigSpec) Resolve() (machine.Config, error) {
 	if err := cfg.Validate(); err != nil {
 		return machine.Config{}, err
 	}
+	// Canonicalize after validation (validation still sees a cache_bytes /
+	// levels[0] disagreement): a 1-element zero-latency levels list folds
+	// back to the legacy spelling, so both forms resolve to one config —
+	// and through configKey, one cache entry.
+	cfg = cfg.Canonical()
 	if c.Divisor > 1 {
 		return cfg.Scaled(c.Divisor)
 	}

@@ -63,6 +63,31 @@ func BenchmarkServePredictHit(b *testing.B) {
 	}
 }
 
+// BenchmarkServePredictDeepHit measures the cached path for a multi-level
+// custom platform: the canonical key now carries the levels list, so this
+// tracks what the Levels generalization costs request canonicalization.
+func BenchmarkServePredictDeepHit(b *testing.B) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	body := benchRequest(b, PredictRequest{
+		Config:   ConfigSpec{Name: "modern-2s-server"},
+		Workload: WorkloadSpec{Name: "fft"},
+	})
+	warm := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+	h.ServeHTTP(httptest.NewRecorder(), warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "hit" {
+			b.Fatalf("status=%d cache=%s", rec.Code, rec.Header().Get("X-Cache"))
+		}
+	}
+}
+
 // BenchmarkServePredictHitParallel exercises shard-lock contention on the
 // hot cached path.
 func BenchmarkServePredictHitParallel(b *testing.B) {

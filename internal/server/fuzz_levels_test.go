@@ -1,0 +1,96 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"memhier/internal/machine"
+)
+
+// FuzzCanonicalKeyLevels pins the tentpole's aliasing contract at the
+// cache-key layer: a legacy cache_bytes spec and the equivalent 1-element
+// levels spec must resolve to the same canonical config, derive the same
+// cache key, and land on the same owner of a 5-node ring — one cache entry
+// and one shard, whichever spelling the client uses. Multi-level specs must
+// canonicalize to a fixed point (their keys cannot drift on re-resolve) and
+// must never collide with the 1-level key. A separate target (rather than
+// new FuzzCanonicalKey parameters) keeps the existing corpus valid.
+func FuzzCanonicalKeyLevels(f *testing.F) {
+	f.Add("smp", "none", 1, 4, int64(256<<10), int64(64<<20), 0, 0.0, int64(1<<20), 14.0, int64(4<<20), 44.0, uint8(0))
+	f.Add("ws", "100", 8, 1, int64(512<<10), int64(64<<20), 0, 2.0, int64(2<<20), 12.0, int64(8<<20), 40.0, uint8(1))
+	f.Add("csmp", "atm", 4, 2, int64(32<<10), int64(128<<20), 2, 4.0, int64(1<<20), 14.0, int64(4<<20), 44.0, uint8(2))
+	f.Add("smp", "none", 1, 16, int64(32<<10), int64(1<<30), 0, 4.0, int64(512<<10), 12.0, int64(2<<20), 40.0, uint8(2))
+	f.Add("ws", "10", 2, 1, int64(-1), int64(0), -4, -3.0, int64(0), -1.0, int64(7), 1e300, uint8(9))
+
+	f.Fuzz(func(t *testing.T, kind, net string, machines, procs int,
+		cacheBytes, memoryBytes int64, divisor int,
+		l1Lat float64, l2Bytes int64, l2Lat float64, l3Bytes int64, l3Lat float64, depth uint8) {
+
+		legacy := ConfigSpec{
+			Kind: kind, Net: net, Machines: machines, Procs: procs,
+			CacheBytes: cacheBytes, MemoryBytes: memoryBytes, Divisor: divisor,
+		}
+		oneLevel := legacy
+		oneLevel.CacheBytes = 0
+		oneLevel.Levels = []machine.CacheLevel{{Bytes: cacheBytes}}
+
+		cfgA, errA := legacy.Resolve()
+		cfgB, errB := oneLevel.Resolve()
+		if (errA == nil) != (errB == nil) {
+			// One exception: cache_bytes 0 means "default 256KB" in the
+			// legacy spelling but is an invalid explicit level.
+			if cacheBytes != 0 {
+				t.Fatalf("spellings disagree on validity: legacy err %v, levels err %v", errA, errB)
+			}
+			return
+		}
+		if errA != nil {
+			return
+		}
+		if !reflect.DeepEqual(cfgA, cfgB) {
+			t.Fatalf("spellings resolve differently:\nlegacy: %+v\nlevels: %+v", cfgA, cfgB)
+		}
+		wl := WorkloadSpec{Name: "fft"}
+		keyA, err := canonicalKey("predict", PredictRequest{Config: configKey(cfgA), Workload: wl})
+		if err != nil {
+			t.Fatalf("canonicalKey(legacy): %v", err)
+		}
+		keyB, err := canonicalKey("predict", PredictRequest{Config: configKey(cfgB), Workload: wl})
+		if err != nil || keyA != keyB {
+			t.Fatalf("cache keys split by spelling:\nlegacy: %q\nlevels: %q (err %v)", keyA, keyB, err)
+		}
+		if fuzzRing.Owner(keyA) != fuzzRing.Owner(keyB) {
+			t.Fatalf("ring owners split by spelling for key %q", keyA)
+		}
+
+		// Multi-level: build a deeper spec from the remaining inputs.
+		nLevels := 2 + int(depth)%2
+		levels := []machine.CacheLevel{
+			{Bytes: cacheBytes, LatencyCycles: l1Lat},
+			{Bytes: l2Bytes, LatencyCycles: l2Lat},
+			{Bytes: l3Bytes, LatencyCycles: l3Lat},
+		}[:nLevels]
+		deep := legacy
+		deep.CacheBytes = 0
+		deep.Levels = levels
+		cfgD, err := deep.Resolve()
+		if err != nil {
+			return // invalid hierarchy: rejected before keying
+		}
+		keyD, err := canonicalKey("predict", PredictRequest{Config: configKey(cfgD), Workload: wl})
+		if err != nil {
+			t.Fatalf("canonicalKey(deep): %v", err)
+		}
+		if keyD == keyA {
+			t.Fatalf("multi-level config collides with 1-level key %q", keyA)
+		}
+		cfgD2, err := configKey(cfgD).Resolve()
+		if err != nil {
+			t.Fatalf("canonical deep spec %+v rejected on re-resolve: %v", configKey(cfgD), err)
+		}
+		keyD2, err := canonicalKey("predict", PredictRequest{Config: configKey(cfgD2), Workload: wl})
+		if err != nil || keyD2 != keyD {
+			t.Fatalf("deep canonical key not a fixed point: %q vs %q (err %v)", keyD2, keyD, err)
+		}
+	})
+}

@@ -737,6 +737,11 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		}
 		share := make(map[string]float64, int(backend.ClassDisk-backend.ClassCacheHit)+1)
 		for c := backend.ClassCacheHit; c <= backend.ClassDisk; c++ {
+			// Deep-level classes appear only when the config has them:
+			// one-level responses keep their historical key set.
+			if c.DeepOnly() && res.ClassShare[c] == 0 {
+				continue
+			}
 			share[c.String()] = res.ClassShare[c]
 		}
 		return render(ValidateResponse{
@@ -788,7 +793,8 @@ func configKey(cfg machine.Config) ConfigSpec {
 	return ConfigSpec{
 		Kind: string(kind), Machines: cfg.N, Procs: cfg.Procs,
 		CacheBytes: cfg.CacheBytes, MemoryBytes: cfg.MemoryBytes,
-		Net: string(net), ClockMHz: cfg.ClockMHz,
+		Levels: cfg.Levels,
+		Net:    string(net), ClockMHz: cfg.ClockMHz,
 	}
 }
 

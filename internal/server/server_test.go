@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -387,7 +388,7 @@ func TestOptimizeEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Best.Config != best.Config || resp.Best.EInstr != best.EInstr {
+	if !reflect.DeepEqual(resp.Best.Config, best.Config) || resp.Best.EInstr != best.EInstr {
 		t.Errorf("best = %+v, want %+v", resp.Best, best)
 	}
 	if resp.Feasible != len(all) {

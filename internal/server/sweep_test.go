@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strconv"
 	"testing"
 	"time"
@@ -153,7 +154,7 @@ func TestSweepMatchesPredict(t *testing.T) {
 			t.Fatalf("budget line stats %+v (%d points), want %+v (%d points)", got.Stats, len(got.Points), stats, len(pts))
 		}
 		for i := range pts {
-			if got.Points[i].Budget != pts[i].Budget || got.Points[i].Best != pts[i].Best {
+			if got.Points[i].Budget != pts[i].Budget || !reflect.DeepEqual(got.Points[i].Best, pts[i].Best) {
 				t.Errorf("%s budget %v: %+v != %+v", w, pts[i].Budget, got.Points[i], pts[i])
 			}
 		}
@@ -204,7 +205,7 @@ func TestSweepBruteBudgetsBitIdentical(t *testing.T) {
 		t.Fatalf("point counts differ: %d vs %d", len(pruned.Points), len(brute.Points))
 	}
 	for i := range pruned.Points {
-		if pruned.Points[i].Budget != brute.Points[i].Budget || pruned.Points[i].Best != brute.Points[i].Best {
+		if pruned.Points[i].Budget != brute.Points[i].Budget || !reflect.DeepEqual(pruned.Points[i].Best, brute.Points[i].Best) {
 			t.Errorf("budget %v: pruned winner %+v != brute winner %+v",
 				pruned.Points[i].Budget, pruned.Points[i].Best, brute.Points[i].Best)
 		}

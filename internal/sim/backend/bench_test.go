@@ -71,6 +71,34 @@ func BenchmarkSimulateClusterSMP(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateSMPBusDeep3 is BenchmarkSimulateSMPBus on a 3-level
+// hierarchy: same trace, same coherence, plus the exclusive victim stack in
+// front of memory. The pair bounds what the deep path costs the engine.
+func BenchmarkSimulateSMPBusDeep3(b *testing.B) {
+	tr := benchTraceFor(b, 4)
+	cfg := withLevels(smpConfig(4), 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.MemoryRefs()), "refs")
+}
+
+// BenchmarkSimulateClusterSMPDeep2 tracks the deep path under the DSM
+// protocol, where the L2 probe sits between the snoop and the directory.
+func BenchmarkSimulateClusterSMPDeep2(b *testing.B) {
+	tr := benchTraceFor(b, 4)
+	cfg := withLevels(csmpConfig(2, 2, machine.NetSwitch155), 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunParallel tracks the phase-parallel engine A/B against
 // BenchmarkSimulateSMPBus (same trace and configuration, sequential
 // engine). bench.sh runs it under several -cpu values so per-core scaling

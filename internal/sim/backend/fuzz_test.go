@@ -34,6 +34,13 @@ func FuzzRunEquivalence(f *testing.F) {
 				wsConfig(nproc, machine.NetBus100),
 				csmpConfig(nproc/2, 2, machine.NetSwitch155))
 		}
+		// Seed-derived multi-level variant: the same equivalence contract
+		// must hold with a private L2/L3 stack in front of the coherence
+		// machinery. Deriving the depth from the seed keeps the fuzz
+		// signature — and the checked-in corpus — unchanged.
+		depth := 2 + int(uint64(seed)%2)
+		deep := withLevels(cfgs[uint64(seed)%uint64(len(cfgs))], depth)
+		cfgs = append(cfgs, deep)
 		for _, cfg := range cfgs {
 			sysA, err := NewSystem(cfg)
 			if err != nil {
@@ -54,6 +61,10 @@ func FuzzRunEquivalence(f *testing.F) {
 			if !reflect.DeepEqual(got, want) {
 				t.Errorf("%s: Run diverged from reference (seed=%d nproc=%d phases=%d events=%d)",
 					cfg.Name, seed, nproc, phases, events)
+			}
+			if err := sysB.VerifyCoherence(); err != nil {
+				t.Errorf("%s: %v (seed=%d nproc=%d phases=%d events=%d)",
+					cfg.Name, err, seed, nproc, phases, events)
 			}
 			for _, workers := range []int{2, 3} {
 				sysC, err := NewSystem(cfg)

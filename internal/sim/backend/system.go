@@ -146,9 +146,13 @@ func (t *blockTable) grow() {
 // paper's memory-hierarchy levels (Figure 1).
 type AccessClass int
 
-// Access classes, cheapest first.
+// Access classes, cheapest first. ClassL2Cache and ClassL3Cache exist only
+// on multi-level configurations (machine.Config.Levels); one-level runs
+// never record them.
 const (
-	ClassCacheHit    AccessClass = iota // own cache
+	ClassCacheHit    AccessClass = iota // own L1 cache
+	ClassL2Cache                        // own L2 cache (multi-level configs)
+	ClassL3Cache                        // own L3 cache (multi-level configs)
 	ClassRemoteCache                    // another cache in the same machine (15)
 	ClassLocalMemory                    // the machine's memory (50)
 	ClassRemoteClean                    // a remote node's memory (2-hop transfer)
@@ -157,11 +161,20 @@ const (
 	numClasses
 )
 
+// DeepOnly reports whether the class can only appear on multi-level
+// configurations; output layers skip zero-count deep classes so one-level
+// runs keep their historical output bytes.
+func (c AccessClass) DeepOnly() bool { return c == ClassL2Cache || c == ClassL3Cache }
+
 // String names the class.
 func (c AccessClass) String() string {
 	switch c {
 	case ClassCacheHit:
 		return "cache"
+	case ClassL2Cache:
+		return "l2-cache"
+	case ClassL3Cache:
+		return "l3-cache"
 	case ClassRemoteCache:
 		return "remote-cache"
 	case ClassLocalMemory:
@@ -213,7 +226,17 @@ type System struct {
 	nodes int // N
 	perN  int // n
 
-	caches []*cache.Cache // per cpu
+	caches []*cache.Cache // per cpu (level 1, the coherent level)
+	// deep holds the private L2/L3 victim caches of multi-level configs:
+	// deep[l][cpu] is processor cpu's level l+2 cache. nil on one-level
+	// configs, which keeps every 1-level code path — including the
+	// engines' packed fast path — structurally identical to the
+	// pre-Levels simulator. Deep levels hold only clean lines a processor
+	// evicted from the level above (an exclusive victim hierarchy), so
+	// the coherence protocol still runs entirely between the L1s; writes
+	// and cross-node invalidations additionally kill deep copies.
+	deep    [][]*cache.Cache
+	deepLat []float64 // access latency per deep level, in cycles
 	// hots holds the flattened fast-path views of every cache when the
 	// geometry supports them (hotOK); the snoop and directory helpers then
 	// probe with inlined loads instead of a call per line.
@@ -297,9 +320,26 @@ func NewSystemOpts(cfg machine.Config, opts SystemOptions) (*System, error) {
 	if cfg.N > 64 {
 		return nil, fmt.Errorf("backend: %s: directory sharer mask supports at most 64 nodes, got %d", cfg.Name, cfg.N)
 	}
+	// A multi-level config may pin its L1 hit latency; one-level configs
+	// keep the §5.1 table value.
+	s.lat.CacheHit = cfg.L1Latency(s.lat.CacheHit)
+	levels := cfg.CacheLevels()
 	s.caches = make([]*cache.Cache, 0, cfg.TotalProcs())
 	for cpu := 0; cpu < cfg.TotalProcs(); cpu++ {
-		s.caches = append(s.caches, cache.New(int(cfg.CacheBytes), CacheLineSize, CacheAssoc))
+		s.caches = append(s.caches, cache.New(int(levels[0].Bytes), CacheLineSize, CacheAssoc))
+	}
+	for li := 1; li < len(levels); li++ {
+		assoc, ok := deepAssoc(levels[li].Bytes)
+		if !ok {
+			return nil, fmt.Errorf("backend: %s: cache level %d size %d is not a power-of-two multiple of the %d-byte line",
+				cfg.Name, li+1, levels[li].Bytes, CacheLineSize)
+		}
+		lvl := make([]*cache.Cache, cfg.TotalProcs())
+		for cpu := range lvl {
+			lvl[cpu] = cache.New(int(levels[li].Bytes), CacheLineSize, assoc)
+		}
+		s.deep = append(s.deep, lvl)
+		s.deepLat = append(s.deepLat, levels[li].LatencyCycles)
 	}
 	s.hots = make([]cache.Hot, len(s.caches))
 	s.hotOK = true
@@ -334,6 +374,122 @@ func NewSystemOpts(cfg machine.Config, opts SystemOptions) (*System, error) {
 	return s, nil
 }
 
+// deepAssoc picks a deep level's associativity: the highest of 8/4/2/1
+// whose set count comes out a power of two for the given capacity (the
+// cache package's geometry requirement).
+func deepAssoc(sizeBytes int64) (int, bool) {
+	for _, assoc := range []int{8, 4, 2, 1} {
+		way := int64(CacheLineSize * assoc)
+		if sizeBytes%way == 0 {
+			if sets := sizeBytes / way; sets > 0 && sets&(sets-1) == 0 {
+				return assoc, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// deepTake serves addr from cpu's private deep hierarchy if resident: the
+// line is removed from the deep level (it moves up into the L1 on the
+// caller's fill) and the level index (0 = L2) is returned.
+func (s *System) deepTake(cpu int, addr uint64) (int, bool) {
+	for li := range s.deep {
+		c := s.deep[li][cpu]
+		if _, ok := c.Probe(addr); ok {
+			c.SetState(addr, cache.Invalid)
+			return li, true
+		}
+	}
+	return 0, false
+}
+
+// deepClass maps a deep level index to its access class.
+func deepClass(li int) AccessClass { return ClassL2Cache + AccessClass(li) }
+
+// deepInstall pushes a line evicted from the L1 into the deep hierarchy:
+// install clean at L2, cascading each level's victim into the next (an
+// exclusive victim hierarchy). Deep lines are always clean — a dirty
+// victim's write-back has already been charged by fill.
+func (s *System) deepInstall(cpu int, addr uint64) {
+	for li := range s.deep {
+		evAddr, _, evicted := s.deep[li][cpu].Fill(addr, cache.Shared)
+		if !evicted {
+			return
+		}
+		addr = evAddr
+	}
+}
+
+// deepHeldElsewhere reports whether any other processor of cpu's node
+// holds addr in its deep hierarchy (a MESI Exclusive grant must see no
+// other copy in the machine, deep levels included).
+func (s *System) deepHeldElsewhere(cpu int, addr uint64) bool {
+	myNode := s.node(cpu)
+	for p := 0; p < s.perN; p++ {
+		other := myNode*s.perN + p
+		if other == cpu {
+			continue
+		}
+		for li := range s.deep {
+			if _, ok := s.deep[li][other].Probe(addr); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// deepInvalidateOthers kills addr in the deep hierarchies of cpu's node
+// siblings — every write that takes ownership of a line must also
+// invalidate the clean deep copies the L1 snoop cannot see.
+func (s *System) deepInvalidateOthers(cpu int, addr uint64) {
+	myNode := s.node(cpu)
+	for p := 0; p < s.perN; p++ {
+		other := myNode*s.perN + p
+		if other == cpu {
+			continue
+		}
+		for li := range s.deep {
+			c := s.deep[li][other]
+			if _, ok := c.Probe(addr); ok {
+				c.SetState(addr, cache.Invalid)
+			}
+		}
+	}
+}
+
+// deepDrop removes cpu's own deep copy of addr (the line just moved into
+// its L1 through a path that bypassed the deep probe).
+func (s *System) deepDrop(cpu int, addr uint64) {
+	for li := range s.deep {
+		c := s.deep[li][cpu]
+		if _, ok := c.Probe(addr); ok {
+			c.SetState(addr, cache.Invalid)
+		}
+	}
+}
+
+// deepInvalidateBlock kills every line of the block in every deep cache of
+// the node (the deep complement of invalidateNode's L1 sweep), returning
+// the number of lines dropped.
+func (s *System) deepInvalidateBlock(node int, block uint64) int {
+	killed := 0
+	base := block * DSMBlockSize
+	for p := 0; p < s.perN; p++ {
+		cpu := node*s.perN + p
+		for li := range s.deep {
+			c := s.deep[li][cpu]
+			for off := uint64(0); off < DSMBlockSize; off += CacheLineSize {
+				if _, ok := c.Probe(base + off); ok {
+					c.SetState(base+off, cache.Invalid)
+					killed++
+				}
+			}
+		}
+	}
+	return killed
+}
+
 // Config returns the simulated configuration.
 func (s *System) Config() machine.Config { return s.cfg }
 
@@ -350,6 +506,11 @@ func (s *System) Stats() Stats { return s.stats }
 func (s *System) exactLatencies() bool {
 	//chc:allow floateq -- integrality test: v == trunc(v) is the predicate itself
 	isInt := func(v float64) bool { return v >= 0 && v == float64(uint64(v)) }
+	for _, d := range s.deepLat {
+		if !isInt(d) {
+			return false
+		}
+	}
 	return isInt(s.lat.Instruction) && isInt(s.lat.CacheHit) &&
 		isInt(s.lat.LocalMemory) && isInt(s.lat.LocalDisk) &&
 		isInt(s.lat.RemoteCache) && isInt(s.latRemoteNode) && isInt(s.latRemoteCached)
@@ -383,6 +544,34 @@ func (s *System) VerifyCoherence() error {
 		if exclusive >= 0 && len(hs) > 1 {
 			return fmt.Errorf("backend: line %#x held %v by cpu %d but valid in %d caches",
 				line*CacheLineSize, cache.Modified, exclusive, len(hs))
+		}
+	}
+	// Deep levels hold only clean victims: no line may sit there
+	// Modified/Exclusive, and a line owned by any L1 must have no deep copy
+	// anywhere (every ownership grant sweeps the deep hierarchies).
+	for li := range s.deep {
+		for cpu := range s.deep[li] {
+			var deepErr error
+			s.deep[li][cpu].Lines(func(lineAddr uint64, st cache.State) {
+				if deepErr != nil {
+					return
+				}
+				if st == cache.Modified || st == cache.Exclusive {
+					deepErr = fmt.Errorf("backend: line %#x held %v in cpu %d L%d (deep levels must stay clean)",
+						lineAddr*CacheLineSize, st, cpu, li+2)
+					return
+				}
+				for _, h := range held[lineAddr] {
+					if h.st == cache.Modified || h.st == cache.Exclusive {
+						deepErr = fmt.Errorf("backend: line %#x owned %v by cpu %d L1 but cached in cpu %d L%d",
+							lineAddr*CacheLineSize, h.st, h.cpu, cpu, li+2)
+						return
+					}
+				}
+			})
+			if deepErr != nil {
+				return deepErr
+			}
 		}
 	}
 	// Cross-check the Modified-line lanes against a full scan: every test
@@ -472,6 +661,9 @@ func (s *System) invalidateNode(node int, block uint64) int {
 		if s.trackDirty && dirtyKilled > 0 {
 			s.dirtyAdd(node, block, -dirtyKilled)
 		}
+		if s.deep != nil {
+			killed += s.deepInvalidateBlock(node, block)
+		}
 		return killed
 	}
 	for p := 0; p < s.perN; p++ {
@@ -482,6 +674,9 @@ func (s *System) invalidateNode(node int, block uint64) int {
 				killed++
 			}
 		}
+	}
+	if s.deep != nil {
+		killed += s.deepInvalidateBlock(node, block)
 	}
 	return killed
 }
@@ -673,6 +868,11 @@ func (s *System) accessRest(cpu int, addr uint64, write bool, now float64, st ca
 				done = t
 			}
 		}
+		if s.deep != nil {
+			// The write takes ownership: sibling deep copies are clean
+			// spill-overs the L1 snoop cannot see — kill them too.
+			s.deepInvalidateOthers(cpu, addr)
+		}
 		// Cross-node: invalidate sharer nodes through the directory.
 		if s.nodes > 1 {
 			done = s.dirUpgrade(cpu, addr, now, done)
@@ -736,9 +936,35 @@ func (s *System) accessRest(cpu int, addr uint64, write bool, now float64, st ca
 						s.dirtyAdd(myNode, s.block(addr), -1)
 					}
 				}
+				if s.deep != nil {
+					// The line moved into the requester's L1 without a deep
+					// probe: drop any stale own deep copy, and on a write
+					// kill the siblings' clean deep copies as well.
+					s.deepDrop(cpu, addr)
+					if write {
+						s.deepInvalidateOthers(cpu, addr)
+					}
+				}
 				s.fill(cpu, addr, write, false, now)
 				return s.finish(ClassRemoteCache, now, done)
 			}
+		}
+	}
+
+	// Own deep hierarchy (L2/L3), probed after the snoop: a sibling's
+	// Modified copy must intervene first, and every write that takes
+	// ownership kills deep copies, so a resident deep line is always
+	// clean and current.
+	if s.deep != nil {
+		if li, ok := s.deepTake(cpu, addr); ok {
+			if write {
+				s.deepInvalidateOthers(cpu, addr)
+				if s.nodes > 1 {
+					return s.deepClusterServe(cpu, addr, write, now, li)
+				}
+			}
+			s.fill(cpu, addr, write, false, now)
+			return s.finish(deepClass(li), now, now+s.deepLat[li])
 		}
 	}
 
@@ -751,12 +977,33 @@ func (s *System) accessRest(cpu int, addr uint64, write bool, now float64, st ca
 			done = t
 			class = ClassDisk
 		}
-		// No other cache in the machine holds the line (the snoop above
-		// would have served it), so a MESI read fill may go Exclusive.
-		s.fill(cpu, addr, write, true, now)
+		// No other L1 in the machine holds the line (the snoop above would
+		// have served it), so a MESI read fill may go Exclusive — unless a
+		// sibling's deep hierarchy still holds a clean copy.
+		sole := true
+		if s.deep != nil && !write && s.opts.Protocol == ProtocolMESI {
+			sole = !s.deepHeldElsewhere(cpu, addr)
+		}
+		if s.deep != nil && write {
+			// The write takes ownership: clean spill-overs in sibling deep
+			// hierarchies must die with it.
+			s.deepInvalidateOthers(cpu, addr)
+		}
+		s.fill(cpu, addr, write, sole, now)
 		return s.finish(class, now, done)
 	}
 	return s.clusterMiss(cpu, addr, write, now)
+}
+
+// deepClusterServe completes a write served from the processor's own deep
+// hierarchy on a cluster: the line is clean and current (remote exclusivity
+// would have invalidated it), so no data moves — but the directory must
+// still take ownership for the writer's node, invalidating the other
+// sharer nodes exactly as a write upgrade does.
+func (s *System) deepClusterServe(cpu int, addr uint64, write bool, now float64, li int) float64 {
+	done := s.dirUpgrade(cpu, addr, now, now+s.deepLat[li])
+	s.fill(cpu, addr, write, false, now)
+	return s.finish(deepClass(li), now, done)
 }
 
 // dirUpgrade acquires exclusive ownership of addr's block for cpu's node,
@@ -800,6 +1047,12 @@ func (s *System) clusterMiss(cpu int, addr uint64, write bool, now float64) floa
 	// Sole copy in the system: no other node shares the block (and the
 	// intra-node snoop already came up empty before reaching this path).
 	sole := !dirtyRemote && e.sharers&^(1<<uint(myNode)) == 0
+	if sole && s.deep != nil && !write && s.opts.Protocol == ProtocolMESI &&
+		s.deepHeldElsewhere(cpu, addr) {
+		// A sibling's deep hierarchy still holds a clean copy: the MESI
+		// Exclusive grant below must not happen.
+		sole = false
+	}
 
 	var done float64
 	var class AccessClass
@@ -838,6 +1091,11 @@ func (s *System) clusterMiss(cpu int, addr uint64, write bool, now float64) floa
 
 	// Directory update.
 	if write {
+		if s.deep != nil {
+			// Sibling deep copies within the writer's node are outside the
+			// directory's cross-node sweep below.
+			s.deepInvalidateOthers(cpu, addr)
+		}
 		others := e.sharers &^ (1 << uint(myNode))
 		if dirtyRemote {
 			others |= 1 << uint(e.owner)
@@ -962,11 +1220,20 @@ func (s *System) fill(cpu int, addr uint64, write, sole bool, now float64) {
 		if writeback {
 			*h.Writebacks++
 		}
+		if s.deep != nil {
+			// The victim spills into the deep hierarchy (clean: a dirty
+			// victim's data is written back below, the tags stay).
+			s.deepInstall(cpu, evAddr)
+		}
 		if !writeback {
 			return
 		}
 	} else {
-		evAddr, writeback, _ = s.caches[cpu].Fill(addr, st)
+		var evicted bool
+		evAddr, writeback, evicted = s.caches[cpu].Fill(addr, st)
+		if evicted && s.deep != nil {
+			s.deepInstall(cpu, evAddr)
+		}
 		if !writeback {
 			return
 		}

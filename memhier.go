@@ -52,6 +52,8 @@ type (
 type (
 	// Config describes one platform configuration.
 	Config = machine.Config
+	// CacheLevel is one level of a per-processor cache hierarchy.
+	CacheLevel = machine.CacheLevel
 	// PlatformKind is SMP, ClusterWS, or ClusterSMP.
 	PlatformKind = machine.PlatformKind
 	// NetworkKind is the cluster interconnect family.
@@ -116,7 +118,11 @@ func SMPCatalog() []Config        { return machine.SMPCatalog() }
 func WSCatalog() []Config         { return machine.WSCatalog() }
 func SMPClusterCatalog() []Config { return machine.SMPClusterCatalog() }
 
-// ConfigByName returns a C1–C15 catalog configuration.
+// ModernCatalog returns the multi-level modern presets (modern-2s-server,
+// cloud-vm-8), resolvable through ConfigByName like the paper's C1–C15.
+func ModernCatalog() []Config { return machine.ModernCatalog() }
+
+// ConfigByName returns a C1–C15 catalog configuration or a modern preset.
 func ConfigByName(name string) (Config, error) { return machine.ByName(name) }
 
 // Kernels returns the paper's application suite at small (fast) or paper
